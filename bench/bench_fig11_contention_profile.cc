@@ -1,0 +1,89 @@
+// Reproduces paper Fig. 11: decode slowdown when spatially multiplexed
+// with prefill, across SM partitions, models and GPUs — plus the
+// contention-guard coverage this profiling produces (paper §3.3.2:
+// slowdowns stay within ~20% on A100 and ~30% on H100-class parts).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/estimator.h"
+#include "gpu/gpu.h"
+#include "llm/cost_model.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "sim/simulator.h"
+
+using namespace muxwise;
+
+namespace {
+
+void Profile(const llm::ModelConfig& model, const gpu::GpuSpec& spec) {
+  const llm::CostModel cost(model, 8, spec);
+  std::printf("\n%s on 8x %s (decode bs=32; slowdown min..max over "
+              "prefill ctx 1K..128K, decode reuse 1K..32K)\n",
+              model.name.c_str(), spec.name.c_str());
+  std::printf("%12s | %10s | %10s | %10s\n", "decode SMs", "min", "mean",
+              "max");
+
+  for (int decode_sms = 16; decode_sms + spec.min_partition_sms <= spec.sm_count;
+       decode_sms += 16) {
+    double min_s = 1e9, max_s = 0.0, sum = 0.0;
+    int count = 0;
+    for (std::int64_t pf_ctx : {1024, 8192, 32768, 131072}) {
+      for (std::int64_t dc_ctx : {1024, 4096, 16384, 32768}) {
+        sim::Simulator simulator;
+        gpu::Gpu device(&simulator, spec);
+        const gpu::StreamId prefill_stream =
+            device.CreateStream(spec.sm_count - decode_sms);
+        const gpu::StreamId decode_stream = device.CreateStream(decode_sms);
+        const std::vector<std::int64_t> ctx(32, dc_ctx);
+        const gpu::Kernel decode = cost.DecodeIteration(ctx);
+        const gpu::Kernel prefill =
+            cost.PrefillLayers({llm::SeqWork{pf_ctx / 2, pf_ctx / 2}}, 4);
+        const double solo = device.SoloDurationSeconds(decode, decode_sms);
+        sim::Time done = 0;
+        device.Launch(prefill_stream, prefill, {});
+        device.Launch(decode_stream, decode,
+                      [&] { done = simulator.Now(); });
+        simulator.Run();
+        const double slowdown = sim::ToSeconds(done) / solo;
+        min_s = std::min(min_s, slowdown);
+        max_s = std::max(max_s, slowdown);
+        sum += slowdown;
+        ++count;
+      }
+    }
+    std::printf("%12d | %9.1f%% | %9.1f%% | %9.1f%%\n", decode_sms,
+                100 * (min_s - 1), 100 * (sum / count - 1),
+                100 * (max_s - 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Fig. 11: decode slowdown under PD multiplexing");
+  Profile(llm::ModelConfig::Llama8B(), gpu::GpuSpec::A100());
+  Profile(llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  Profile(llm::ModelConfig::Llama8B(), gpu::GpuSpec::H100());
+  Profile(llm::ModelConfig::Llama70B(), gpu::GpuSpec::H100());
+
+  bench::Banner("Contention guard built from this profiling (paper §3.3.2)");
+  for (const gpu::GpuSpec& spec :
+       {gpu::GpuSpec::A100(), gpu::GpuSpec::H100()}) {
+    const serve::Deployment d =
+        serve::Deployment::Make(llm::ModelConfig::Llama70B(), spec);
+    const core::ContentionEstimator estimator =
+        core::ContentionEstimator::BuildOffline(d);
+    std::printf("%s: %zu grid cells, max guard factor %.2fx\n",
+                spec.name.c_str(), estimator.guard_cells(),
+                estimator.MaxGuard());
+  }
+  std::printf(
+      "\nShape check (paper): slowdown varies from ~0 to tens of percent\n"
+      "across partitions and is hard to predict analytically — motivating\n"
+      "the worst-case grid guard; A100 stays within ~20%%, H100 ~30%%.\n");
+  return 0;
+}

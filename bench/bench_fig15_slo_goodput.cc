@@ -1,0 +1,133 @@
+// Reproduces paper Fig. 15 (TBT SLO attainment under increasing Poisson
+// request rates on the Tool&Agent workload; goodput = the highest rate
+// meeting the 99%-ile SLO) and Table 5 (token throughput and GPU
+// utilization at goodput).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "baselines/chunked_prefill.h"
+#include "workload/datasets.h"
+
+using namespace muxwise;
+
+namespace {
+
+void RunModel(const llm::ModelConfig& model,
+              const std::vector<double>& rates, int num_requests) {
+  const serve::Deployment d =
+      serve::Deployment::Make(model, gpu::GpuSpec::A100());
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(d);
+  const workload::Trace base = workload::GenerateTrace(
+      workload::Dataset::kToolAgent, num_requests, 1.0, 1500);
+
+  bench::Banner("Fig. 15: SLO attainment vs request rate — " + model.name +
+                " on 8xA100, Tool&Agent, TBT target " +
+                std::to_string(static_cast<int>(
+                    sim::ToMilliseconds(d.slo.tbt))) +
+                " ms");
+  std::printf("%-11s", "engine");
+  for (double r : rates) std::printf(" | %5.1f/s", r);
+  std::printf(" | goodput\n");
+
+  struct Row {
+    harness::EngineKind kind;
+    harness::GoodputResult result;
+  };
+  std::vector<Row> rows;
+  for (harness::EngineKind kind :
+       {harness::EngineKind::kMuxWise, harness::EngineKind::kChunked,
+        harness::EngineKind::kNanoFlow, harness::EngineKind::kLoongServe,
+        harness::EngineKind::kSglangPd}) {
+    harness::RunConfig config;
+    config.drain_timeout_seconds = 180.0;
+    if (kind == harness::EngineKind::kChunked ||
+        kind == harness::EngineKind::kNanoFlow) {
+      // Offline per-workload budget tuning (SARATHI methodology): the
+      // Tool&Agent chunks attend several-K reused tokens.
+      config.token_budget = baselines::ChunkedPrefillEngine::TuneTokenBudget(
+          d, d.slo.tbt, 32, 1024, 4096);
+    }
+    Row row{kind, harness::SweepGoodput(kind, d, base, rates, &estimator,
+                                        config)};
+    std::printf("%-11s", harness::EngineKindName(kind));
+    std::size_t i = 0;
+    for (double r : rates) {
+      (void)r;
+      if (i < row.result.points.size()) {
+        const harness::RunOutcome& o = row.result.points[i].outcome;
+        if (!o.stable) {
+          std::printf(" | unstbl");
+        } else {
+          std::printf(" | %5.1f%%", 100.0 * o.tbt_attainment);
+        }
+      } else {
+        std::printf(" |      -");
+      }
+      ++i;
+    }
+    if (row.result.goodput_rps > 0) {
+      std::printf(" | %.1f req/s\n", row.result.goodput_rps);
+    } else {
+      std::printf(" | none\n");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bench::Banner("Table 5: throughput and GPU utilization at goodput — " +
+                model.name);
+  std::printf("%-11s | %9s | %12s | %s\n", "engine", "goodput",
+              "tokens/s", "GPU util");
+  double muxwise_goodput = 0.0;
+  for (const Row& row : rows) {
+    if (row.kind == harness::EngineKind::kMuxWise) {
+      muxwise_goodput = row.result.goodput_rps;
+    }
+    if (!row.result.at_goodput.has_value()) {
+      std::printf("%-11s | %9s | %12s | -\n",
+                  harness::EngineKindName(row.kind), "none", "-");
+      continue;
+    }
+    const harness::RunOutcome& o = *row.result.at_goodput;
+    std::printf("%-11s | %5.1f r/s | %12.0f | ",
+                harness::EngineKindName(row.kind), row.result.goodput_rps,
+                o.token_throughput);
+    if (o.gpu_utilization.size() == 2) {
+      std::printf("P(%.1f)/D(%.1f)\n", o.gpu_utilization[0],
+                  o.gpu_utilization[1]);
+    } else if (!o.gpu_utilization.empty()) {
+      std::printf("%.1f\n", o.gpu_utilization[0]);
+    } else {
+      std::printf("-\n");
+    }
+  }
+  for (const Row& row : rows) {
+    if (row.kind != harness::EngineKind::kMuxWise &&
+        row.result.goodput_rps > 0 && muxwise_goodput > 0) {
+      std::printf("goodput ratio MuxWise / %s = %.2fx\n",
+                  harness::EngineKindName(row.kind),
+                  muxwise_goodput / row.result.goodput_rps);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunModel(llm::ModelConfig::Llama8B(),
+           {2, 4, 6, 8, 10, 14, 18, 22, 26, 30, 36, 42, 48}, 2500);
+  RunModel(llm::ModelConfig::Llama70B(),
+           {0.2, 0.3, 0.4, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}, 600);
+  std::printf(
+      "\nShape check (paper): MuxWise sustains the highest goodput "
+      "(2.6x/5.2x/2.0x/1.3x over chunked/NanoFlow/LoongServe/SGLang-PD on\n"
+      "Llama-8B; 3.06x/2.62x/1.62x on Llama-70B), with the highest token\n"
+      "throughput and GPU utilization at goodput (Table 5).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 16: 99%-ile TTFT and TBT on newer GPUs and a
+// larger MoE model — Llama-8B and Llama-70B on 8xH100, and
+// Qwen3-235B-A22B on 8xH200 — comparing MuxWise against chunked
+// prefill (the only baseline that supports all these deployments).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+using namespace muxwise;
+
+namespace {
+
+void Compare(const llm::ModelConfig& model, const gpu::GpuSpec& spec,
+             workload::Dataset dataset, double rate, const char* label) {
+  const serve::Deployment d = serve::Deployment::Make(model, spec);
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(d);
+  const workload::Trace trace = workload::GenerateBurstyTrace(
+      dataset, rate, 150.0, 10.0, 1600);
+
+  bench::Banner(std::string("Fig. 16 ") + label + " (" +
+                std::to_string(trace.requests.size()) + " requests)");
+  bench::PrintLatencyHeader();
+  harness::RunConfig config;
+  config.drain_timeout_seconds = 200.0;
+  const harness::RunOutcome mux = harness::RunWorkload(
+      harness::EngineKind::kMuxWise, d, trace, &estimator, config);
+  const harness::RunOutcome chunked = harness::RunWorkload(
+      harness::EngineKind::kChunked, d, trace, &estimator, config);
+  bench::PrintLatencyRow(mux);
+  bench::PrintLatencyRow(chunked);
+  if (mux.stable && chunked.stable && mux.ttft.p99_ms > 0) {
+    std::printf("P99 TTFT speedup %.2fx, P99 TBT speedup %.2fx\n",
+                chunked.ttft.p99_ms / mux.ttft.p99_ms,
+                chunked.tbt.p99_ms / mux.tbt.p99_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Compare(llm::ModelConfig::Llama8B(), gpu::GpuSpec::H100(),
+          workload::Dataset::kConversation, 20.0, "(a) Llama-8B, 8xH100");
+  Compare(llm::ModelConfig::Llama70B(), gpu::GpuSpec::H100(),
+          workload::Dataset::kConversation, 4.5, "(b) Llama-70B, 8xH100");
+  Compare(llm::ModelConfig::Qwen235B(), gpu::GpuSpec::H200(),
+          workload::Dataset::kToolAgent, 6.0, "(c) Qwen-235B, 8xH200");
+  std::printf(
+      "\nShape check (paper): the PD-multiplexing advantage generalizes to\n"
+      "newer GPUs and the MoE model — average 2.28x P99 TTFT and 1.81x P99\n"
+      "TBT speedups over chunked prefill across these settings.\n");
+  return 0;
+}

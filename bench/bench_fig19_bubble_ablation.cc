@@ -1,0 +1,89 @@
+// Reproduces paper Fig. 19 (ablating the bubble-less multiplex engine:
+// disable layer-wise scheduling, then also query-based synchronization)
+// and §4.4.2 (bubble ratios of MuxWise vs chunked prefill under load).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+using namespace muxwise;
+
+namespace {
+
+harness::RunOutcome RunVariant(const serve::Deployment& d,
+                               const workload::Trace& trace,
+                               const core::ContentionEstimator& estimator,
+                               bool layerwise, bool query_sync,
+                               const char* label) {
+  harness::RunConfig config;
+  core::MuxWiseEngine::Options options;
+  options.layerwise = layerwise;
+  options.query_sync = query_sync;
+  config.muxwise_options = options;
+  config.drain_timeout_seconds = 240.0;
+  harness::RunOutcome outcome = harness::RunWorkload(
+      harness::EngineKind::kMuxWise, d, trace, &estimator, config);
+  outcome.engine = label;
+  return outcome;
+}
+
+void RunModel(const llm::ModelConfig& model, double rate) {
+  const serve::Deployment d =
+      serve::Deployment::Make(model, gpu::GpuSpec::A100());
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(d);
+  for (double r : {rate, rate * 1.5}) {
+    const workload::Trace trace = workload::GenerateTrace(
+        workload::Dataset::kToolAgent, 150, r, 1900 +
+        static_cast<std::uint64_t>(r * 10));
+    bench::Banner("Fig. 19: " + model.name + " on Tool&Agent @ " +
+                  std::to_string(r) + " req/s");
+    bench::PrintLatencyHeader();
+    bench::PrintLatencyRow(
+        RunVariant(d, trace, estimator, true, true, "MuxWise"));
+    bench::PrintLatencyRow(
+        RunVariant(d, trace, estimator, false, true, "-layerwise"));
+    bench::PrintLatencyRow(
+        RunVariant(d, trace, estimator, false, false, "-querysync"));
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunModel(llm::ModelConfig::Llama8B(), 10.0);
+  RunModel(llm::ModelConfig::Llama70B(), 2.0);
+
+  // §4.4.2: bubble ratio under goodput-level load.
+  bench::Banner("Sec. 4.4.2: bubble ratios at high load "
+                "(Llama-8B, Tool&Agent)");
+  const serve::Deployment d = serve::Deployment::Make(
+      llm::ModelConfig::Llama8B(), gpu::GpuSpec::A100());
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(d);
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kToolAgent, 600, 13.0, 1910);
+  harness::RunConfig config;
+  config.drain_timeout_seconds = 240.0;
+  const harness::RunOutcome mux = harness::RunWorkload(
+      harness::EngineKind::kMuxWise, d, trace, &estimator, config);
+  const harness::RunOutcome chunked = harness::RunWorkload(
+      harness::EngineKind::kChunked, d, trace, &estimator, config);
+  std::printf("MuxWise bubble ratio : %5.1f%%  (paper: 7.7%%)\n",
+              100.0 * mux.bubble_ratio);
+  std::printf("Chunked bubble ratio : %5.1f%%  (paper: 4.5%%)\n",
+              100.0 * chunked.bubble_ratio);
+  std::printf(
+      "\nShape check (paper): disabling layer-wise execution adds roughly\n"
+      "the prefill launch time (~10 ms for Llama-70B) to decode latency;\n"
+      "further disabling query-based synchronization degrades TBT by\n"
+      "hundreds of ms (stalls waiting for prefill completion). MuxWise's\n"
+      "bubble ratio is slightly higher than chunked's but does not cost\n"
+      "goodput.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper §6's prototype comparisons: MuxWise against a
+// WindServe-style variant (plain-stream multiplexing, unmanaged
+// contention; paper: MuxWise 1.61x goodput on ShareGPT, Llama-8B, one
+// A100, 50 ms TBT) and an enhanced Tropical-style temporal-only variant
+// (layer-wise prefill squeezed into decode slack; paper: >= 20% worse).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+using namespace muxwise;
+
+int main() {
+  serve::Deployment d = serve::Deployment::Make(
+      llm::ModelConfig::Llama8B(), gpu::GpuSpec::A100(), /*num_gpus=*/1);
+  // The simulated single-GPU 8B decodes faster (relative to its
+  // prefill) than the paper's measured kernels, so a 50 ms target never
+  // binds. Tighten the TBT target to preserve the paper's slack ratio
+  // (decode iteration ~= 2/3 of the SLO) so contention management is
+  // actually exercised.
+  d.slo.tbt = sim::Milliseconds(18);
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(d);
+
+  bench::Banner("Sec. 6: goodput of multiplexing variants "
+                "(Llama-8B, one A100, ShareGPT, strict TBT)");
+  const workload::Trace base =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 200, 1.0, 2101);
+  const std::vector<double> rates = {2, 4, 6, 8, 10, 12, 14, 16,
+                                     18, 20, 24, 28, 32, 36, 40};
+
+  double muxwise_goodput = 0.0;
+  for (harness::EngineKind kind :
+       {harness::EngineKind::kMuxWise, harness::EngineKind::kWindServe,
+        harness::EngineKind::kTemporal}) {
+    const harness::GoodputResult result =
+        harness::SweepGoodput(kind, d, base, rates, &estimator);
+    std::printf("%-11s goodput: %5.1f req/s", harness::EngineKindName(kind),
+                result.goodput_rps);
+    if (kind == harness::EngineKind::kMuxWise) {
+      muxwise_goodput = result.goodput_rps;
+      std::printf("\n");
+    } else if (result.goodput_rps > 0) {
+      std::printf("   (MuxWise advantage: %.2fx)\n",
+                  muxwise_goodput / result.goodput_rps);
+    } else {
+      std::printf("   (never meets the SLO)\n");
+    }
+  }
+
+  bench::Banner("Latency detail at a shared moderate rate (8 req/s)");
+  workload::Trace trace = base;
+  workload::ResampleArrivalsPoisson(trace, 8.0, 2102);
+  bench::PrintLatencyHeader();
+  for (harness::EngineKind kind :
+       {harness::EngineKind::kMuxWise, harness::EngineKind::kWindServe,
+        harness::EngineKind::kTemporal}) {
+    bench::PrintLatencyRow(
+        harness::RunWorkload(kind, d, trace, &estimator));
+  }
+  std::printf(
+      "\nShape check (paper): spatial multiplexing with managed partitions\n"
+      "(MuxWise) sustains more goodput than unmanaged streams (WindServe,\n"
+      "1.61x in the paper) and than temporal-only layering (Tropical-like,\n"
+      ">= 20%% worse), which cannot use the SMs decode leaves idle.\n");
+  return 0;
+}

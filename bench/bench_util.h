@@ -1,0 +1,53 @@
+#ifndef MUXWISE_BENCH_BENCH_UTIL_H_
+#define MUXWISE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace muxwise::bench {
+
+/** Prints a section banner. */
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Header for the standard latency table. */
+inline void PrintLatencyHeader() {
+  std::printf("%-11s %7s | %9s %9s | %8s %8s | %6s\n", "engine", "stable",
+              "TTFT-p99", "TTFT-avg", "TBT-p99", "TBT-avg", "attain");
+  std::printf("%.*s\n", 78,
+              "-----------------------------------------------------------"
+              "--------------------");
+}
+
+/** One standard latency row (values in ms; '*' flags unstable runs). */
+inline void PrintLatencyRow(const harness::RunOutcome& o) {
+  std::printf("%-11s %7s | %9.1f %9.1f | %8.2f %8.2f | %5.1f%%%s\n",
+              o.engine.c_str(), o.stable ? "yes" : "NO", o.ttft.p99_ms,
+              o.ttft.mean_ms, o.tbt.p99_ms, o.tbt.mean_ms,
+              100.0 * o.tbt_attainment, o.stable ? "" : "  *clipped");
+}
+
+/** The paper's Table 3/4 row format (other latency metrics). */
+inline void PrintOtherMetricsHeader() {
+  std::printf("%-11s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n", "engine",
+              "TTFT-avg", "TTFT-p50", "TBT-avg", "TBT-p50", "E2E-avg",
+              "E2E-p50", "TPOT-avg", "TPOT-p50");
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------"
+              "---------------------------------------");
+}
+
+inline void PrintOtherMetricsRow(const harness::RunOutcome& o) {
+  std::printf(
+      "%-11s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f\n",
+      o.engine.c_str(), o.ttft.mean_ms / 1000.0, o.ttft.p50_ms / 1000.0,
+      o.tbt.mean_ms, o.tbt.p50_ms, o.e2e.mean_ms / 1000.0,
+      o.e2e.p50_ms / 1000.0, o.tpot.mean_ms, o.tpot.p50_ms);
+}
+
+}  // namespace muxwise::bench
+
+#endif  // MUXWISE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// Multi-turn chatbot serving: the scenario that motivates PD
+// multiplexing (paper §1). A Conversation-style workload with long
+// reused histories is served by MuxWise and by every baseline on the
+// same simulated 8xA100 server, showing where each design pays:
+// chunked prefill's fused iterations inflate TBT with long reused
+// context, LoongServe recomputes whole histories, SGLang-PD splits the
+// KV pool, and MuxWise multiplexes prefill beside a protected decode
+// partition while sharing one radix cache.
+//
+// Run: ./build/examples/multi_turn_chat
+
+#include <cstdio>
+
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+using namespace muxwise;
+
+int main() {
+  const serve::Deployment deployment = serve::Deployment::Make(
+      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+
+  // A 120-second bursty multi-turn trace, Mooncake-style statistics.
+  const workload::Trace trace = workload::GenerateBurstyTrace(
+      workload::Dataset::kConversation, /*base_rate=*/1.0,
+      /*duration_seconds=*/120.0, /*max_spike=*/10.0, /*seed=*/7);
+  std::printf("Serving %zu requests (%zu sessions worth of turns), mean "
+              "input %.0f tokens of which %.0f reused\n\n",
+              trace.requests.size(), trace.requests.size(),
+              trace.InputStats().mean, trace.ReusedStats().mean);
+
+  std::printf("One-time offline profiling (solo-run predictor + "
+              "contention guard)...\n");
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  std::printf("  guard grid: %zu cells, max slowdown factor %.2fx\n\n",
+              estimator.guard_cells(), estimator.MaxGuard());
+
+  std::printf("%-11s | %9s | %9s | %7s | %8s | %s\n", "engine", "TTFT-p99",
+              "TBT-p99", "attain", "hit rate", "notes");
+  for (harness::EngineKind kind :
+       {harness::EngineKind::kMuxWise, harness::EngineKind::kChunked,
+        harness::EngineKind::kNanoFlow, harness::EngineKind::kLoongServe,
+        harness::EngineKind::kSglangPd}) {
+    const harness::RunOutcome o =
+        harness::RunWorkload(kind, deployment, trace, &estimator);
+    const char* note = "";
+    switch (kind) {
+      case harness::EngineKind::kMuxWise:
+        note = "layer-wise prefill beside reserved decode SMs";
+        break;
+      case harness::EngineKind::kChunked:
+        note = "chunks re-read the reused KV every iteration";
+        break;
+      case harness::EngineKind::kNanoFlow:
+        note = "nano-batches re-stream weights";
+        break;
+      case harness::EngineKind::kLoongServe:
+        note = "recomputes session history every turn";
+        break;
+      case harness::EngineKind::kSglangPd:
+        note = "half-size KV pools, P->D migration";
+        break;
+      default:
+        break;
+    }
+    std::printf("%-11s | %7.0f ms | %6.1f ms | %6.1f%% | %7.1f%% | %s%s\n",
+                o.engine.c_str(), o.ttft.p99_ms, o.tbt.p99_ms,
+                100.0 * o.tbt_attainment, 100.0 * o.cache_hit_rate, note,
+                o.stable ? "" : " [UNSTABLE]");
+  }
+  std::printf("\nTBT SLO: %.0f ms at the 99th percentile.\n",
+              sim::ToMilliseconds(deployment.slo.tbt));
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "baselines/loongserve.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::baselines {
+
+LoongServeEngine::LoongServeEngine(sim::Simulator* simulator,
+                                   const serve::Deployment& deployment,
+                                   Options options)
+    : sim_(simulator), deployment_(deployment), options_(options) {
+  const gpu::GpuSpec aggregate =
+      deployment_.gpu.Aggregate(deployment_.num_gpus);
+  device_ = std::make_unique<gpu::Gpu>(sim_, aggregate);
+  host_ = std::make_unique<gpu::HostThread>(sim_);
+  link_ = std::make_unique<gpu::Interconnect>(
+      sim_, deployment_.gpu.nvlink_bandwidth, sim::Microseconds(10));
+  cost_by_tp_.resize(static_cast<std::size_t>(deployment_.num_gpus) + 1);
+  for (int k = 1; k <= deployment_.num_gpus; ++k) {
+    cost_by_tp_[static_cast<std::size_t>(k)] = std::make_unique<llm::CostModel>(
+        deployment_.model, k, deployment_.gpu);
+  }
+  pool_capacity_ = deployment_.PoolTokens(deployment_.num_gpus);
+  decode_gpus_ = options_.min_decode_gpus;
+  const int per_gpu_sms = deployment_.gpu.sm_count;
+  prefill_stream_ = device_->CreateStream(
+      (deployment_.num_gpus - decode_gpus_) * per_gpu_sms);
+  decode_stream_ = device_->CreateStream(decode_gpus_ * per_gpu_sms);
+}
+
+LoongServeEngine::~LoongServeEngine() = default;
+
+gpu::Kernel LoongServeEngine::GroupKernel(const gpu::Kernel& per_gpu,
+                                          int k) const {
+  gpu::Kernel kernel = per_gpu;
+  kernel.flops *= k;  // Aggregate-device kernels carry group-total work.
+  kernel.bytes *= k;
+  return kernel;
+}
+
+void LoongServeEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  ++in_flight_;
+  waiting_.push_back(std::move(request));
+  PumpPrefill();
+}
+
+void LoongServeEngine::PumpPrefill() {
+  if (prefill_in_flight_ || waiting_.empty()) return;
+  const int prefill_gpus = deployment_.num_gpus - decode_gpus_;
+  if (prefill_gpus <= 0) return;
+
+  std::vector<llm::SeqWork> work;
+  std::int64_t batch_tokens = 0;
+  while (!waiting_.empty() &&
+         static_cast<int>(prefill_batch_.size()) <
+             options_.prefill_batch_requests &&
+         batch_tokens < options_.prefill_batch_tokens) {
+    serve::Request& req = *waiting_.front();
+    // No cross-request reuse: the whole input is recomputed each turn.
+    const std::int64_t need =
+        req.spec->input_tokens + req.spec->output_tokens;
+    if (pool_used_ + need > pool_capacity_) break;
+    pool_used_ += need;
+    req.cached_tokens = 0;
+    req.prefill_tokens = req.spec->input_tokens;
+    req.reserved_tokens = need;
+    req.phase = serve::Phase::kPrefill;
+    req.prefill_start = sim_->Now();
+    work.push_back(llm::SeqWork{req.spec->input_tokens, 0});
+    batch_tokens += req.spec->input_tokens;
+    prefill_batch_.push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+  }
+  if (prefill_batch_.empty()) return;
+
+  prefill_in_flight_ = true;
+  const llm::CostModel& cost =
+      *cost_by_tp_[static_cast<std::size_t>(prefill_gpus)];
+  gpu::Kernel kernel = GroupKernel(cost.PrefillPhase(work), prefill_gpus);
+  device_->SetStreamSms(prefill_stream_,
+                        prefill_gpus * deployment_.gpu.sm_count);
+  const sim::Duration launch =
+      cost.PrefillLayerLaunch() * deployment_.model.num_layers;
+  host_->Submit(launch, [this, kernel] {
+    device_->Launch(prefill_stream_, kernel,
+                    [this] { OnPrefillBatchDone(); });
+  });
+}
+
+void LoongServeEngine::OnPrefillBatchDone() {
+  const sim::Time now = sim_->Now();
+  prefill_in_flight_ = false;
+  // Detach the batch first: NotifyComplete can re-enter Enqueue, which
+  // may start refilling prefill_batch_.
+  std::vector<std::unique_ptr<serve::Request>> batch =
+      std::move(prefill_batch_);
+  prefill_batch_.clear();
+  std::vector<std::unique_ptr<serve::Request>> completed;
+  for (auto& req : batch) {
+    req->EmitToken(now);
+    if (req->DecodeFinished()) {
+      req->phase = serve::Phase::kDone;
+      req->completion = now;
+      pool_used_ -= req->reserved_tokens;
+      req->reserved_tokens = 0;
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      completed.push_back(std::move(req));
+    } else {
+      req->phase = serve::Phase::kDecode;
+      decoding_.push_back(std::move(req));
+    }
+  }
+  for (auto& req : completed) NotifyComplete(std::move(req));
+  MaybeStartDecodeIteration();
+  PumpPrefill();
+}
+
+int LoongServeEngine::ChooseDecodeGpus(
+    const std::vector<std::int64_t>& ctx) const {
+  for (int k = options_.min_decode_gpus; k <= deployment_.num_gpus; ++k) {
+    const llm::CostModel& cost = *cost_by_tp_[static_cast<std::size_t>(k)];
+    const gpu::Kernel kernel = GroupKernel(cost.DecodeIteration(ctx), k);
+    const double seconds = device_->SoloDurationSeconds(
+        kernel, k * deployment_.gpu.sm_count);
+    const sim::Duration total = static_cast<sim::Duration>(seconds * 1e9) +
+                                cost.DecodeGraphLaunch();
+    if (total <= deployment_.slo.tbt) return k;
+  }
+  return deployment_.num_gpus;
+}
+
+void LoongServeEngine::MaybeStartDecodeIteration() {
+  if (decode_in_flight_ || resharding_ || decoding_.empty()) return;
+
+  std::vector<std::int64_t> ctx;
+  ctx.reserve(decoding_.size());
+  std::int64_t total_ctx = 0;
+  for (const auto& req : decoding_) {
+    ctx.push_back(req->spec->input_tokens + req->generated);
+    total_ctx += ctx.back();
+  }
+
+  const int wanted = ChooseDecodeGpus(ctx);
+  if (wanted != decode_gpus_) {
+    // Elastic re-sharding: move the proportional share of decode KV.
+    const double moved_bytes =
+        static_cast<double>(total_ctx) * deployment_.model.KvBytesPerToken() *
+        std::abs(wanted - decode_gpus_) /
+        static_cast<double>(deployment_.num_gpus);
+    decode_gpus_ = wanted;
+    device_->SetStreamSms(decode_stream_,
+                          decode_gpus_ * deployment_.gpu.sm_count);
+    const int prefill_gpus =
+        std::max(1, deployment_.num_gpus - decode_gpus_);
+    device_->SetStreamSms(prefill_stream_,
+                          prefill_gpus * deployment_.gpu.sm_count);
+    resharding_ = true;
+    link_->Transfer(moved_bytes, [this] {
+      resharding_ = false;
+      MaybeStartDecodeIteration();
+    });
+    return;
+  }
+
+  decode_in_flight_ = true;
+  const llm::CostModel& cost =
+      *cost_by_tp_[static_cast<std::size_t>(decode_gpus_)];
+  const gpu::Kernel kernel =
+      GroupKernel(cost.DecodeIteration(ctx), decode_gpus_);
+  host_->Submit(cost.DecodeGraphLaunch(), [this, kernel] {
+    device_->Launch(decode_stream_, kernel,
+                    [this] { OnDecodeIterationDone(); });
+  });
+}
+
+void LoongServeEngine::OnDecodeIterationDone() {
+  decode_in_flight_ = false;
+  const sim::Time now = sim_->Now();
+  std::vector<std::unique_ptr<serve::Request>> still;
+  std::vector<std::unique_ptr<serve::Request>> completed;
+  still.reserve(decoding_.size());
+  for (auto& req : decoding_) {
+    req->EmitToken(now);
+    if (req->DecodeFinished()) {
+      req->phase = serve::Phase::kDone;
+      req->completion = now;
+      // KV released immediately — the adaptivity/reuse trade-off.
+      pool_used_ -= req->reserved_tokens;
+      req->reserved_tokens = 0;
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      completed.push_back(std::move(req));
+    } else {
+      still.push_back(std::move(req));
+    }
+  }
+  decoding_ = std::move(still);
+  for (auto& req : completed) NotifyComplete(std::move(req));
+  MaybeStartDecodeIteration();
+  PumpPrefill();
+}
+
+}  // namespace muxwise::baselines

@@ -1,0 +1,238 @@
+#include "baselines/static_disagg.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::baselines {
+
+struct StaticDisaggEngine::Job {
+  std::unique_ptr<serve::Request> request;
+
+  // Prefill-instance accounting.
+  kv::KvPool::PrefixLease p_lease;
+  std::int64_t p_reserved = 0;
+
+  // Decode-instance accounting.
+  kv::KvPool::PrefixLease d_lease;
+  std::int64_t d_reserved = 0;
+  std::int64_t d_cached = 0;
+};
+
+StaticDisaggEngine::StaticDisaggEngine(sim::Simulator* simulator,
+                                       const serve::Deployment& deployment,
+                                       Options options)
+    : sim_(simulator), deployment_(deployment), options_(options) {
+  MUX_CHECK(options_.prefill_tp + options_.decode_tp <= deployment_.num_gpus);
+  cluster_ = std::make_unique<gpu::Cluster>(sim_, deployment_.gpu,
+                                            deployment_.num_gpus);
+  gpu::Instance& prefill = cluster_->AddInstance(options_.prefill_tp);
+  gpu::Instance& decode = cluster_->AddInstance(options_.decode_tp);
+  prefill_pool_ =
+      std::make_unique<kv::KvPool>(deployment_.PoolTokens(options_.prefill_tp));
+  decode_pool_ =
+      std::make_unique<kv::KvPool>(deployment_.PoolTokens(options_.decode_tp));
+  prefill_cost_ = std::make_unique<llm::CostModel>(
+      deployment_.model, options_.prefill_tp, deployment_.gpu);
+  decode_cost_ = std::make_unique<llm::CostModel>(
+      deployment_.model, options_.decode_tp, deployment_.gpu);
+  prefill_stream_ = prefill.device->CreateStream(deployment_.gpu.sm_count);
+  decode_stream_ = decode.device->CreateStream(deployment_.gpu.sm_count);
+}
+
+StaticDisaggEngine::~StaticDisaggEngine() = default;
+
+void StaticDisaggEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  ++in_flight_;
+  auto job = std::make_unique<Job>();
+  job->request = std::move(request);
+  waiting_.push_back(std::move(job));
+  PumpPrefill();
+}
+
+void StaticDisaggEngine::PumpPrefill() {
+  if (prefill_in_flight_ || waiting_.empty()) return;
+
+  // Pack a FIFO prefill batch within token/request limits, admitting
+  // each member to the prefill pool.
+  std::vector<llm::SeqWork> work;
+  std::int64_t batch_tokens = 0;
+  while (!waiting_.empty() &&
+         static_cast<int>(prefill_batch_.size()) <
+             options_.prefill_batch_requests &&
+         batch_tokens < options_.prefill_batch_tokens) {
+    Job& job = *waiting_.front();
+    serve::Request& req = *job.request;
+    kv::KvPool::PrefixLease lease =
+        prefill_pool_->AcquirePrefix(req.spec->prompt, sim_->Now());
+    const std::int64_t cached =
+        std::min(lease.matched_tokens, req.spec->input_tokens - 1);
+    const std::int64_t need = req.spec->input_tokens - cached;
+    if (!prefill_pool_->TryReserve(need)) {
+      prefill_pool_->ReleasePrefix(lease);
+      break;
+    }
+    job.p_lease = lease;
+    job.p_reserved = need;
+    req.cached_tokens = cached;
+    req.prefill_tokens = need;
+    req.phase = serve::Phase::kPrefill;
+    req.prefill_start = sim_->Now();
+    work.push_back(llm::SeqWork{need, cached});
+    batch_tokens += need;
+    prefill_batch_.push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+  }
+  if (prefill_batch_.empty()) return;
+
+  prefill_in_flight_ = true;
+  const gpu::Kernel kernel = prefill_cost_->PrefillPhase(work);
+  gpu::Instance& instance = cluster_->instance(0);
+  // Piecewise per-layer CUDA graphs, as in modern SGLang.
+  const sim::Duration launch = prefill_cost_->PrefillLayerLaunch() *
+                               deployment_.model.num_layers;
+  instance.host->Submit(launch, [this, kernel] {
+    cluster_->instance(0).device->Launch(prefill_stream_, kernel,
+                                         [this] { OnPrefillBatchDone(); });
+  });
+}
+
+void StaticDisaggEngine::OnPrefillBatchDone() {
+  const sim::Time now = sim_->Now();
+  std::vector<std::unique_ptr<Job>> finished_batch =
+      std::move(prefill_batch_);
+  prefill_batch_.clear();
+  prefill_in_flight_ = false;
+
+  std::vector<std::unique_ptr<serve::Request>> completed;
+  for (auto& job : finished_batch) {
+    serve::Request& req = *job->request;
+    req.EmitToken(now);  // First token comes out of prefill.
+    // Cache the prompt KV on the prefill instance for future turns.
+    prefill_pool_->CommitSequence(req.spec->prompt, now);
+    prefill_pool_->ReleaseReserved(job->p_reserved);
+    job->p_reserved = 0;
+    prefill_pool_->ReleasePrefix(job->p_lease);
+
+    if (req.DecodeFinished()) {
+      // Single-token output: completes without touching the decode side.
+      req.phase = serve::Phase::kDone;
+      req.completion = now;
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      completed.push_back(std::move(job->request));
+      continue;
+    }
+    req.phase = serve::Phase::kDecode;
+    migrating_.push_back(std::move(job));
+  }
+  for (auto& req : completed) NotifyComplete(std::move(req));
+  TryMoveToDecode();
+  PumpPrefill();
+}
+
+void StaticDisaggEngine::TryMoveToDecode() {
+  while (!migrating_.empty() &&
+         decoding_.size() < static_cast<std::size_t>(
+                                options_.max_decode_batch)) {
+    Job& job = *migrating_.front();
+    serve::Request& req = *job.request;
+    kv::KvPool::PrefixLease lease =
+        decode_pool_->AcquirePrefix(req.spec->prompt, sim_->Now());
+    // The decode instance needs the full prompt context resident.
+    const std::int64_t cached = lease.matched_tokens;
+    const std::int64_t need =
+        (req.spec->input_tokens - cached) + req.spec->output_tokens;
+    if (!decode_pool_->TryReserve(need)) {
+      decode_pool_->ReleasePrefix(lease);
+      break;
+    }
+    job.d_lease = lease;
+    job.d_cached = cached;
+    job.d_reserved = need;
+    auto owned = std::move(migrating_.front());
+    migrating_.pop_front();
+
+    const double migrate_bytes =
+        static_cast<double>(req.spec->input_tokens - cached) *
+        deployment_.model.KvBytesPerToken();
+    Job* raw = owned.get();
+    decoding_.push_back(std::move(owned));
+    cluster_->link().Transfer(migrate_bytes, [this, raw] {
+      raw->request->progress = 1;  // Marker: KV landed, decodable.
+      MaybeStartDecodeIteration();
+    });
+  }
+}
+
+void StaticDisaggEngine::MaybeStartDecodeIteration() {
+  if (decode_in_flight_) return;
+  std::vector<std::int64_t> ctx;
+  for (const auto& job : decoding_) {
+    if (job->request->progress == 1) {  // Migration complete.
+      ctx.push_back(job->request->spec->input_tokens +
+                    job->request->generated);
+    }
+  }
+  if (ctx.empty()) return;
+  decode_in_flight_ = true;
+  const gpu::Kernel kernel = decode_cost_->DecodeIteration(ctx);
+  cluster_->instance(1).host->Submit(
+      decode_cost_->DecodeGraphLaunch(), [this, kernel] {
+        cluster_->instance(1).device->Launch(
+            decode_stream_, kernel, [this] { OnDecodeIterationDone(); });
+      });
+}
+
+void StaticDisaggEngine::OnDecodeIterationDone() {
+  decode_in_flight_ = false;
+  const sim::Time now = sim_->Now();
+  std::vector<std::unique_ptr<Job>> still;
+  std::vector<std::unique_ptr<serve::Request>> completed;
+  still.reserve(decoding_.size());
+  for (auto& job : decoding_) {
+    serve::Request& req = *job->request;
+    if (req.progress != 1) {  // Still migrating; not part of the batch.
+      still.push_back(std::move(job));
+      continue;
+    }
+    req.EmitToken(now);
+    if (req.DecodeFinished()) {
+      Finish(job.get());
+      completed.push_back(std::move(job->request));
+    } else {
+      still.push_back(std::move(job));
+    }
+  }
+  decoding_ = std::move(still);
+  for (auto& req : completed) NotifyComplete(std::move(req));
+  TryMoveToDecode();
+  MaybeStartDecodeIteration();
+  PumpPrefill();
+}
+
+void StaticDisaggEngine::Finish(Job* job) {
+  const sim::Time now = sim_->Now();
+  serve::Request& req = *job->request;
+  req.phase = serve::Phase::kDone;
+  req.completion = now;
+  decode_pool_->ReleaseReserved(job->d_reserved);
+  job->d_reserved = 0;
+  decode_pool_->CommitSequence(req.spec->full_seq, now);
+  decode_pool_->ReleasePrefix(job->d_lease);
+
+  // Ship the generated KV back so the prefill instance can serve the
+  // next turn of this session from cache.
+  const double back_bytes = static_cast<double>(req.generated) *
+                            deployment_.model.KvBytesPerToken();
+  const kv::TokenSeq full = req.spec->full_seq;
+  cluster_->link().Transfer(back_bytes, [this, full] {
+    prefill_pool_->CommitSequence(full, sim_->Now());
+  });
+
+  MUX_CHECK(in_flight_ > 0);
+  --in_flight_;
+}
+
+}  // namespace muxwise::baselines

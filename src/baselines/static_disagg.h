@@ -1,0 +1,90 @@
+#ifndef MUXWISE_BASELINES_STATIC_DISAGG_H_
+#define MUXWISE_BASELINES_STATIC_DISAGG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gpu/cluster.h"
+#include "kv/kv_pool.h"
+#include "llm/cost_model.h"
+#include "serve/deployment.h"
+#include "serve/engine.h"
+#include "sim/simulator.h"
+
+namespace muxwise::baselines {
+
+/**
+ * Static disaggregation in the style of SGLang-PD (paper §4.1): a
+ * prefill instance and a decode instance, P:D = 1:1 with TP = 4 each on
+ * an 8-GPU server. Unlike DistServe, KV caches are shared across phases
+ * and requests: each instance keeps its own radix-tree pool, prompt KV
+ * migrates P→D over NVLink after prefill, and generated KV is copied
+ * back so the prefill instance can reuse full histories in later turns.
+ *
+ * Its structural costs, which the paper's evaluation surfaces: each
+ * pool is roughly half the aggregated size (lower hit rate, Fig. 5),
+ * and compute is statically split (idle decode GPUs during prefill
+ * bursts and vice versa, Fig. 4-a).
+ */
+class StaticDisaggEngine : public serve::Engine {
+ public:
+  struct Options {
+    int prefill_tp = 4;
+    int decode_tp = 4;
+    int max_decode_batch = 256;
+    /** Max new tokens packed into one prefill batch. */
+    std::int64_t prefill_batch_tokens = 8192;
+    int prefill_batch_requests = 8;
+  };
+
+  StaticDisaggEngine(sim::Simulator* simulator,
+                     const serve::Deployment& deployment, Options options);
+  ~StaticDisaggEngine() override;
+
+  const char* name() const override { return "SGLang-PD"; }
+  void Enqueue(std::unique_ptr<serve::Request> request) override;
+  std::size_t InFlight() const override { return in_flight_; }
+
+  const kv::KvPool& prefill_pool() const { return *prefill_pool_; }
+  const kv::KvPool& decode_pool() const { return *decode_pool_; }
+  gpu::Gpu& prefill_device() { return *cluster_->instance(0).device; }
+  gpu::Gpu& decode_device() { return *cluster_->instance(1).device; }
+
+ private:
+  struct Job;  // One request moving through the P -> D pipeline.
+
+  void PumpPrefill();
+  void OnPrefillBatchDone();
+  void TryMoveToDecode();
+  void MaybeStartDecodeIteration();
+  void OnDecodeIterationDone();
+  void Finish(Job* job);
+
+  sim::Simulator* sim_;
+  serve::Deployment deployment_;
+  Options options_;
+
+  std::unique_ptr<gpu::Cluster> cluster_;
+  std::unique_ptr<kv::KvPool> prefill_pool_;
+  std::unique_ptr<kv::KvPool> decode_pool_;
+  std::unique_ptr<llm::CostModel> prefill_cost_;
+  std::unique_ptr<llm::CostModel> decode_cost_;
+
+  gpu::StreamId prefill_stream_ = 0;
+  gpu::StreamId decode_stream_ = 0;
+
+  std::deque<std::unique_ptr<Job>> waiting_;
+  std::deque<std::unique_ptr<Job>> migrating_;  // Awaiting D admission.
+  std::vector<std::unique_ptr<Job>> decoding_;
+  std::vector<std::unique_ptr<Job>> prefill_batch_;
+
+  bool prefill_in_flight_ = false;
+  bool decode_in_flight_ = false;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace muxwise::baselines
+
+#endif  // MUXWISE_BASELINES_STATIC_DISAGG_H_

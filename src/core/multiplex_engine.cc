@@ -1,0 +1,67 @@
+#include "core/multiplex_engine.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::core {
+
+MultiplexEngine::MultiplexEngine(sim::Simulator* simulator,
+                                 const serve::Deployment& deployment,
+                                 Options options)
+    : sim_(simulator), deployment_(deployment), options_(options) {
+  device_ = std::make_unique<gpu::Gpu>(sim_, deployment_.gpu);
+  host_ = std::make_unique<gpu::HostThread>(sim_);
+  const int total = deployment_.gpu.sm_count;
+  // Initial split; the dispatcher reconfigures before the first launch.
+  decode_sms_ = total / 2 / deployment_.gpu.partition_granularity *
+                deployment_.gpu.partition_granularity;
+  if (decode_sms_ == 0) decode_sms_ = total;
+  prefill_sms_ = total - decode_sms_;
+  if (prefill_sms_ == 0) prefill_sms_ = total;
+
+  decode_stream_ = device_->CreateStream(
+      options_.mode == Mode::kSpatial ? decode_sms_ : total);
+  prefill_stream_ = device_->CreateStream(
+      options_.mode == Mode::kSpatial ? prefill_sms_ : total);
+}
+
+void MultiplexEngine::SetPartition(int decode_sms, int prefill_sms) {
+  if (options_.mode != Mode::kSpatial) return;
+  MUX_CHECK(decode_sms > 0 && prefill_sms > 0);
+  if (decode_sms == decode_sms_ && prefill_sms == prefill_sms_) return;
+  decode_sms_ = decode_sms;
+  prefill_sms_ = prefill_sms;
+  device_->SetStreamSms(decode_stream_, decode_sms_);
+  device_->SetStreamSms(prefill_stream_, prefill_sms_);
+  host_->Submit(options_.reconfig_cost, nullptr);
+  ++reconfigurations_;
+}
+
+void MultiplexEngine::LaunchDecode(const gpu::Kernel& kernel,
+                                   sim::Duration launch_cost,
+                                   std::function<void()> done) {
+  host_->Submit(launch_cost, [this, kernel, done = std::move(done)] {
+    device_->Launch(decode_stream_, kernel, std::move(done));
+  });
+}
+
+void MultiplexEngine::LaunchPrefillGroup(const gpu::Kernel& kernel,
+                                         sim::Duration launch_cost,
+                                         std::function<void()> done) {
+  const gpu::StreamId stream = options_.mode == Mode::kTemporal
+                                   ? decode_stream_
+                                   : prefill_stream_;
+  host_->Submit(launch_cost, [this, stream, kernel, done = std::move(done)] {
+    device_->Launch(stream, kernel, std::move(done));
+  });
+}
+
+double MultiplexEngine::AverageBubbleRatio() const {
+  const double d = device_->stream_stats(decode_stream_).BubbleRatio();
+  if (options_.mode == Mode::kTemporal) return d;
+  const double p = device_->stream_stats(prefill_stream_).BubbleRatio();
+  return (d + p) / 2.0;
+}
+
+}  // namespace muxwise::core

@@ -1,0 +1,90 @@
+#ifndef MUXWISE_CORE_MULTIPLEX_ENGINE_H_
+#define MUXWISE_CORE_MULTIPLEX_ENGINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "gpu/gpu.h"
+#include "gpu/host.h"
+#include "serve/deployment.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace muxwise::core {
+
+/**
+ * The bubble-less multiplex engine (paper §3.2): owns the device, the
+ * host launch thread, and the two green-context streams prefill and
+ * decode execute on, and implements the mechanics the scheduling policy
+ * sits on — partition reconfiguration, layer-group launches, and the
+ * launch-latency accounting responsible for the bubbles of Fig. 9.
+ *
+ * Modes select the multiplexing substrate:
+ *  - kSpatial: managed green-context SM partitions (MuxWise proper).
+ *  - kUnmanaged: two plain CUDA streams, both granted the full device —
+ *    the WindServe-style prototype of §6; contention is uncontrolled.
+ *  - kTemporal: prefill layers share the decode stream, time-multiplexed
+ *    into decode slack — the enhanced Tropical-style variant of §6.
+ */
+class MultiplexEngine {
+ public:
+  enum class Mode { kSpatial, kUnmanaged, kTemporal };
+
+  struct Options {
+    Mode mode = Mode::kSpatial;
+
+    /** Host cost of a green-context reconfiguration (stream sync). */
+    sim::Duration reconfig_cost = sim::Microseconds(10);
+  };
+
+  MultiplexEngine(sim::Simulator* simulator,
+                  const serve::Deployment& deployment, Options options);
+
+  gpu::Gpu& device() { return *device_; }
+  const gpu::Gpu& device() const { return *device_; }
+  gpu::HostThread& host() { return *host_; }
+
+  /**
+   * Applies an SM partition (decode / prefill). Charges the host the
+   * reconfiguration cost when the partition actually changes. Ignored
+   * in kUnmanaged and kTemporal modes.
+   */
+  void SetPartition(int decode_sms, int prefill_sms);
+
+  /** Launches one decode iteration; `done` fires at kernel completion. */
+  void LaunchDecode(const gpu::Kernel& kernel, sim::Duration launch_cost,
+                    std::function<void()> done);
+
+  /** Launches one prefill layer group on the prefill context. */
+  void LaunchPrefillGroup(const gpu::Kernel& kernel,
+                          sim::Duration launch_cost,
+                          std::function<void()> done);
+
+  int decode_sms() const { return decode_sms_; }
+  int prefill_sms() const { return prefill_sms_; }
+  Mode mode() const { return options_.mode; }
+
+  /** Bubble ratio averaged over the two active streams (paper §4.4.2). */
+  double AverageBubbleRatio() const;
+
+  /** Number of partition reconfigurations performed. */
+  std::size_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  sim::Simulator* sim_;
+  serve::Deployment deployment_;
+  Options options_;
+
+  std::unique_ptr<gpu::Gpu> device_;
+  std::unique_ptr<gpu::HostThread> host_;
+  gpu::StreamId decode_stream_ = 0;
+  gpu::StreamId prefill_stream_ = 0;
+
+  int decode_sms_ = 0;
+  int prefill_sms_ = 0;
+  std::size_t reconfigurations_ = 0;
+};
+
+}  // namespace muxwise::core
+
+#endif  // MUXWISE_CORE_MULTIPLEX_ENGINE_H_

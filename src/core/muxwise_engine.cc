@@ -1,0 +1,398 @@
+#include "core/muxwise_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/admission.h"
+#include "sim/logging.h"
+
+namespace muxwise::core {
+
+MuxWiseEngine::MuxWiseEngine(sim::Simulator* simulator,
+                             const serve::Deployment& deployment,
+                             ContentionEstimator estimator, Options options)
+    : sim_(simulator),
+      deployment_(deployment),
+      options_(options),
+      estimator_(std::move(estimator)) {
+  mux_ = std::make_unique<MultiplexEngine>(sim_, deployment_, options_.mux);
+  pool_ = std::make_unique<kv::KvPool>(deployment_.PoolTokens(
+      deployment_.num_gpus,
+      /*extra_graph_fraction=*/0.032));  // Per-partition decode graphs, §4.5.
+  cost_ = std::make_unique<llm::CostModel>(deployment_.model,
+                                           deployment_.num_gpus,
+                                           deployment_.gpu);
+  dispatcher_ = std::make_unique<SloAwareDispatcher>(deployment_, &estimator_,
+                                                     options_.dispatch);
+}
+
+MuxWiseEngine::~MuxWiseEngine() = default;
+
+const char* MuxWiseEngine::name() const {
+  switch (options_.mux.mode) {
+    case MultiplexEngine::Mode::kSpatial:
+      return "MuxWise";
+    case MultiplexEngine::Mode::kUnmanaged:
+      return "WindServe*";
+    case MultiplexEngine::Mode::kTemporal:
+      return "Temporal*";
+  }
+  return "MuxWise";
+}
+
+void MuxWiseEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  ++in_flight_;
+  request->phase = serve::Phase::kQueued;
+  const serve::Request& incoming = *request;
+  waiting_.push_back(std::move(request));
+  MaybePreemptFor(incoming);
+  PumpScheduler();
+}
+
+void MuxWiseEngine::PumpScheduler() {
+  if (active_ != nullptr && !waiting_.empty()) {
+    // Scheduling-point preemption check against the shortest waiter.
+    const serve::Request* shortest = waiting_.front().get();
+    for (const auto& request : waiting_) {
+      if (request->spec->input_tokens < shortest->spec->input_tokens) {
+        shortest = request.get();
+      }
+    }
+    MaybePreemptFor(*shortest);
+  }
+  // A pause requested between layer groups swaps immediately; with a
+  // group in flight the swap waits for the group boundary
+  // (OnPrefillGroupDone).
+  if (active_ != nullptr && active_->pause_requested &&
+      active_->layers_inflight == 0) {
+    MUX_CHECK(preempted_ == nullptr);
+    active_->pause_requested = false;
+    preempted_ = std::move(active_);
+    ++preemptions_;
+  }
+  TryStartPrefillBatch();
+  MaybeLaunchDecode();  // Decode launches first (§3.2.2 priority).
+  ContinuePrefill();
+}
+
+void MuxWiseEngine::TryStartPrefillBatch() {
+  if (active_ != nullptr) return;
+
+  // A paused batch resumes once no preemptor is pending; only the batch
+  // created for an approved preemption runs ahead of it (no recursive
+  // preemption, and no starvation by later arrivals).
+  if (preempted_ != nullptr && !preemptor_pending_) {
+    active_ = std::move(preempted_);
+    active_->pause_requested = false;
+    return;
+  }
+
+  const std::size_t running = decoding_.size() + merge_ready_.size();
+  if (running >= static_cast<std::size_t>(options_.max_decode_batch)) return;
+  if (waiting_.empty()) {
+    if (preempted_ != nullptr) {
+      // The would-be preemptor vanished: resume the paused batch.
+      preemptor_pending_ = false;
+      active_ = std::move(preempted_);
+      active_->pause_requested = false;
+    }
+    return;
+  }
+
+  auto job = std::make_unique<PrefillJob>();
+  const bool building_preemptor = preemptor_pending_;
+  if (building_preemptor) {
+    // Short requests preempt long ones (§3.4.2): pull the smallest
+    // prefills to the front of the queue for the preemptor batch.
+    std::stable_sort(waiting_.begin(), waiting_.end(),
+                     [](const std::unique_ptr<serve::Request>& a,
+                        const std::unique_ptr<serve::Request>& b) {
+                       return a->spec->input_tokens - a->cached_tokens <
+                              b->spec->input_tokens - b->cached_tokens;
+                     });
+  }
+  std::int64_t batch_tokens = 0;
+  while (!waiting_.empty() &&
+         static_cast<int>(job->requests.size()) <
+             options_.prefill_batch_requests &&
+         batch_tokens < options_.prefill_batch_tokens &&
+         running + job->requests.size() <
+             static_cast<std::size_t>(options_.max_decode_batch)) {
+    serve::Request& head = *waiting_.front();
+    if (!serve::AdmitToPool(*pool_, head, sim_->Now())) break;
+    head.phase = serve::Phase::kPrefill;
+    head.prefill_start = sim_->Now();
+    job->work.push_back(
+        llm::SeqWork{head.prefill_tokens, head.cached_tokens});
+    job->new_tokens += head.prefill_tokens;
+    job->reused_tokens += head.cached_tokens;
+    batch_tokens += head.prefill_tokens;
+    job->earliest_deadline = std::min(
+        job->earliest_deadline,
+        head.arrival + deployment_.slo.TtftTargetFor(head.spec->input_tokens));
+    job->requests.push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+  }
+  if (job->requests.empty()) {
+    if (preempted_ != nullptr) {
+      // Pool pressure blocked the preemptor: resume rather than stall.
+      preemptor_pending_ = false;
+      active_ = std::move(preempted_);
+      active_->pause_requested = false;
+    }
+    return;
+  }
+  job->is_preemptor = preemptor_pending_;
+  preemptor_pending_ = false;
+  active_ = std::move(job);
+}
+
+PrefillDesc MuxWiseEngine::ActivePrefillDesc() const {
+  if (active_ == nullptr) return PrefillDesc{};
+  return PrefillDesc{active_->new_tokens, active_->reused_tokens};
+}
+
+sim::Duration MuxWiseEngine::ActivePrefillRemaining() const {
+  if (active_ == nullptr) return 0;
+  const int total_layers = deployment_.model.num_layers;
+  const int remaining = total_layers - active_->layers_done;
+  const sim::Duration phase =
+      estimator_.PredictPrefill(active_->work, mux_->prefill_sms());
+  return static_cast<sim::Duration>(
+      static_cast<double>(phase) * remaining / total_layers);
+}
+
+void MuxWiseEngine::ContinuePrefill() {
+  if (active_ == nullptr || active_->layers_inflight > 0) return;
+  if (active_->pause_requested) return;  // Swap happens at group end.
+  const int total_layers = deployment_.model.num_layers;
+  const int remaining = total_layers - active_->layers_done;
+  MUX_CHECK(remaining > 0);
+
+  const bool decode_live = decode_in_flight_ || !decoding_.empty();
+  int prefill_sms = mux_->prefill_sms();
+  if (!decode_live && options_.mux.mode == MultiplexEngine::Mode::kSpatial) {
+    // Decode terminated (paper Fig. 9, bubble type 2): move the later
+    // prefill layers into a full-device green context.
+    mux_->SetPartition(deployment_.gpu.partition_granularity,
+                       deployment_.gpu.sm_count);
+    prefill_sms = deployment_.gpu.sm_count;
+  }
+  if (options_.mux.mode != MultiplexEngine::Mode::kSpatial) {
+    prefill_sms = deployment_.gpu.sm_count;
+  }
+
+  int layers = remaining;
+  if (options_.layerwise) {
+    if (options_.mux.mode == MultiplexEngine::Mode::kTemporal) {
+      // Fit layer groups into the decode slack (Tropical-style).
+      const sim::Duration slack =
+          deployment_.slo.tbt - last_decode_estimate_ -
+          dispatcher_->options().tbt_margin;
+      const sim::Duration phase =
+          estimator_.PredictPrefill(active_->work, prefill_sms);
+      if (decode_live && phase > 0) {
+        const double fit = static_cast<double>(std::max<sim::Duration>(
+                               0, slack)) *
+                           total_layers / static_cast<double>(phase);
+        layers = std::clamp(static_cast<int>(fit), 1, remaining);
+      } else {
+        layers = std::min(remaining, dispatcher_->options().idle_layer_group);
+      }
+    } else {
+      layers = decode_live
+                   ? dispatcher_->PrefillLayersToLaunch(
+                         last_decode_estimate_, active_->work, prefill_sms,
+                         remaining)
+                   : std::min(remaining,
+                              dispatcher_->options().idle_layer_group);
+    }
+  }
+
+  gpu::Kernel kernel = cost_->PrefillLayers(active_->work, layers);
+  const sim::Duration launch_cost = cost_->PrefillLayerLaunch() * layers;
+  active_->layers_inflight = layers;
+  mux_->LaunchPrefillGroup(kernel, launch_cost,
+                           [this, layers] { OnPrefillGroupDone(layers); });
+}
+
+void MuxWiseEngine::OnPrefillGroupDone(int layers) {
+  MUX_CHECK(active_ != nullptr);
+  active_->layers_done += layers;
+  active_->layers_inflight = 0;
+
+  if (active_->layers_done >= deployment_.model.num_layers) {
+    CompleteActivePrefill();
+  } else if (active_->pause_requested) {
+    MUX_CHECK(preempted_ == nullptr);
+    active_->pause_requested = false;
+    preempted_ = std::move(active_);
+    ++preemptions_;
+  }
+  FlushCompletions();
+  PumpScheduler();
+}
+
+void MuxWiseEngine::FlushCompletions() {
+  while (!pending_completions_.empty()) {
+    auto request = std::move(pending_completions_.back());
+    pending_completions_.pop_back();
+    NotifyComplete(std::move(request));
+  }
+}
+
+void MuxWiseEngine::CompleteActivePrefill() {
+  const sim::Time now = sim_->Now();
+  auto job = std::move(active_);
+  for (auto& request : job->requests) {
+    request->EmitToken(now);  // First token.
+    if (request->DecodeFinished()) {
+      FinishRequest(std::move(request));
+    } else {
+      request->phase = serve::Phase::kDecode;
+      merge_ready_.push_back(std::move(request));
+    }
+  }
+  if (preempted_ != nullptr) {
+    active_ = std::move(preempted_);
+    active_->pause_requested = false;
+  }
+  // The merge is observed via query-based synchronization; without it
+  // the decode loop was blocked waiting for exactly this completion.
+  decode_blocked_on_merge_ = false;
+}
+
+void MuxWiseEngine::MaybeLaunchDecode() {
+  if (decode_in_flight_) return;
+
+  // Query-based synchronization: completed prefills merge into the
+  // decode batch at iteration-construction time (paper §3.2.3).
+  for (auto& request : merge_ready_) {
+    decoding_.push_back(std::move(request));
+  }
+  merge_ready_.clear();
+
+  if (decoding_.empty()) return;
+
+  if (!options_.query_sync && active_ != nullptr &&
+      active_->layers_done + active_->layers_inflight >=
+          deployment_.model.num_layers) {
+    // Naive blocking merge: the host synchronizes on the prefill
+    // completion event before building the next decode batch.
+    decode_blocked_on_merge_ = true;
+    return;
+  }
+
+  std::vector<std::int64_t> ctx;
+  ctx.reserve(decoding_.size());
+  for (const auto& request : decoding_) {
+    ctx.push_back(request->spec->input_tokens + request->generated);
+  }
+
+  const bool prefill_pending =
+      active_ != nullptr || preempted_ != nullptr || !waiting_.empty();
+  PrefillDesc desc = ActivePrefillDesc();
+  if (desc.new_tokens == 0 && prefill_pending && !waiting_.empty()) {
+    desc.new_tokens = waiting_.front()->spec->input_tokens;
+    desc.reused_tokens = waiting_.front()->spec->reused_tokens;
+  }
+
+  const int total = deployment_.gpu.sm_count;
+  int decode_sms = dispatcher_->ChooseDecodeSms(ctx, prefill_pending, desc);
+  if (options_.mux.mode == MultiplexEngine::Mode::kSpatial) {
+    if (decode_sms >= total) {
+      mux_->SetPartition(total, deployment_.gpu.partition_granularity);
+    } else {
+      mux_->SetPartition(decode_sms, total - decode_sms);
+    }
+  } else {
+    decode_sms = total;
+  }
+  partition_trace_.push_back(PartitionSample{
+      sim_->Now(), decode_sms,
+      decode_sms >= total ? 0 : total - decode_sms, active_ != nullptr});
+
+  const gpu::Kernel kernel = cost_->DecodeIteration(ctx);
+  const sim::Duration solo = estimator_.PredictDecodeSolo(ctx, decode_sms);
+  last_decode_estimate_ =
+      prefill_pending ? estimator_.WorstCaseDecode(ctx, decode_sms, desc)
+                      : solo;
+  std::int64_t total_ctx = 0;
+  for (std::int64_t c : ctx) total_ctx += c;
+  const ContentionEstimator::CellKey cell = estimator_.CellFor(
+      desc, ctx.size(), total_ctx / static_cast<std::int64_t>(ctx.size()),
+      decode_sms);
+  const bool had_cotenant =
+      active_ != nullptr && active_->layers_inflight > 0;
+
+  decode_in_flight_ = true;
+  ++decode_iterations_;
+  const sim::Time launch_time = sim_->Now();
+  mux_->LaunchDecode(kernel, cost_->DecodeGraphLaunch(),
+                     [this, launch_time, solo, cell, had_cotenant] {
+                       OnDecodeIterationDone(launch_time, solo, cell,
+                                             had_cotenant);
+                     });
+}
+
+void MuxWiseEngine::OnDecodeIterationDone(sim::Time launch_time,
+                                          sim::Duration solo,
+                                          ContentionEstimator::CellKey cell,
+                                          bool had_cotenant) {
+  decode_in_flight_ = false;
+  const sim::Time now = sim_->Now();
+
+  if (options_.online_refinement && had_cotenant && solo > 0) {
+    const sim::Duration measured =
+        now - launch_time - cost_->DecodeGraphLaunch();
+    const double slowdown =
+        static_cast<double>(measured) / static_cast<double>(solo);
+    if (slowdown > 1.0) estimator_.ObserveDecode(cell, slowdown);
+  }
+
+  std::vector<std::unique_ptr<serve::Request>> still;
+  still.reserve(decoding_.size());
+  for (auto& request : decoding_) {
+    request->EmitToken(now);
+    if (request->DecodeFinished()) {
+      FinishRequest(std::move(request));
+    } else {
+      still.push_back(std::move(request));
+    }
+  }
+  decoding_ = std::move(still);
+  FlushCompletions();
+  PumpScheduler();
+}
+
+void MuxWiseEngine::FinishRequest(std::unique_ptr<serve::Request> request) {
+  request->phase = serve::Phase::kDone;
+  request->completion = sim_->Now();
+  serve::FinishInPool(*pool_, *request, sim_->Now());
+  MUX_CHECK(in_flight_ > 0);
+  --in_flight_;
+  pending_completions_.push_back(std::move(request));
+}
+
+void MuxWiseEngine::MaybePreemptFor(const serve::Request& incoming) {
+  if (!options_.dispatch.preemption) return;
+  if (active_ == nullptr || active_->is_preemptor || preempted_ != nullptr ||
+      active_->pause_requested) {
+    return;
+  }
+  const int prefill_sms = mux_->prefill_sms();
+  const sim::Duration incoming_duration = estimator_.PredictPrefill(
+      {llm::SeqWork{incoming.spec->input_tokens, incoming.spec->reused_tokens}},
+      prefill_sms);
+  const sim::Time incoming_deadline =
+      incoming.arrival +
+      deployment_.slo.TtftTargetFor(incoming.spec->input_tokens);
+  if (dispatcher_->ShouldPreempt(
+          sim_->Now(), ActivePrefillRemaining(), active_->is_preemptor,
+          active_->earliest_deadline, incoming_duration, incoming_deadline)) {
+    active_->pause_requested = true;
+    preemptor_pending_ = true;
+  }
+}
+
+}  // namespace muxwise::core

@@ -1,0 +1,155 @@
+#ifndef MUXWISE_CORE_MUXWISE_ENGINE_H_
+#define MUXWISE_CORE_MUXWISE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/dispatcher.h"
+#include "core/estimator.h"
+#include "core/multiplex_engine.h"
+#include "kv/kv_pool.h"
+#include "llm/cost_model.h"
+#include "serve/deployment.h"
+#include "serve/engine.h"
+#include "sim/simulator.h"
+
+namespace muxwise::core {
+
+/**
+ * MuxWise: LLM serving with intra-GPU prefill-decode multiplexing
+ * (paper §3). Decode iterations run continuously on a best-fit SM
+ * reservation sized by the contention-tolerant estimator; prefill
+ * executes layer-wise on the remaining SMs, merging into the decode
+ * batch through query-based synchronization, with optional preemption
+ * of long prefills by short ones.
+ *
+ * Ablation flags reproduce the paper's studies: `layerwise` off
+ * launches whole prefill phases (Fig. 19 variant 1), `query_sync` off
+ * blocks decode on prefill completion for merging (Fig. 19 variant 2),
+ * `dispatch.preemption` off disables preemptive scheduling (Fig. 20),
+ * and MultiplexEngine modes give the WindServe / temporal-only
+ * prototypes of §6.
+ */
+class MuxWiseEngine : public serve::Engine {
+ public:
+  struct Options {
+    MultiplexEngine::Options mux;
+    SloAwareDispatcher::Options dispatch;
+
+    /** Layer-wise prefill execution (paper §3.2.3). */
+    bool layerwise = true;
+
+    /** Query-based synchronization for batch merging (paper §3.2.3). */
+    bool query_sync = true;
+
+    /** Online refinement of the contention guard (paper §3.1). */
+    bool online_refinement = true;
+
+    int max_decode_batch = 256;
+    std::int64_t prefill_batch_tokens = 16384;
+    int prefill_batch_requests = 8;
+  };
+
+  /**
+   * `estimator` is the offline-profiled estimator for this deployment
+   * (ContentionEstimator::BuildOffline); the engine takes its own copy
+   * so online refinement stays per-instance.
+   */
+  MuxWiseEngine(sim::Simulator* simulator,
+                const serve::Deployment& deployment,
+                ContentionEstimator estimator, Options options);
+  ~MuxWiseEngine() override;
+
+  const char* name() const override;
+  void Enqueue(std::unique_ptr<serve::Request> request) override;
+  std::size_t InFlight() const override { return in_flight_; }
+
+  MultiplexEngine& mux() { return *mux_; }
+  const ContentionEstimator& estimator() const { return estimator_; }
+  const kv::KvPool& pool() const { return *pool_; }
+
+  /** Completed decode iterations (diagnostics). */
+  std::size_t decode_iterations() const { return decode_iterations_; }
+
+  /** Prefill batches that were preempted. */
+  std::size_t preemptions() const { return preemptions_; }
+
+  /** Samples of (time, decode_sms) at each partition decision (Fig. 18). */
+  struct PartitionSample {
+    sim::Time time;
+    int decode_sms;
+    int prefill_sms;
+    bool prefill_active;
+  };
+  const std::vector<PartitionSample>& partition_trace() const {
+    return partition_trace_;
+  }
+
+ private:
+  struct PrefillJob {
+    std::vector<std::unique_ptr<serve::Request>> requests;
+    std::vector<llm::SeqWork> work;
+    std::int64_t new_tokens = 0;
+    std::int64_t reused_tokens = 0;
+    int layers_done = 0;
+    int layers_inflight = 0;
+    bool is_preemptor = false;
+    bool pause_requested = false;
+    sim::Time earliest_deadline = sim::kTimeNever;
+  };
+
+  void PumpScheduler();
+  void FlushCompletions();
+  void TryStartPrefillBatch();
+  void ContinuePrefill();
+  void OnPrefillGroupDone(int layers);
+  void CompleteActivePrefill();
+  void MaybeLaunchDecode();
+  void OnDecodeIterationDone(sim::Time launch_time, sim::Duration solo,
+                             ContentionEstimator::CellKey cell,
+                             bool had_cotenant);
+  void FinishRequest(std::unique_ptr<serve::Request> request);
+  void MaybePreemptFor(const serve::Request& incoming);
+
+  /** Prefill work remaining in the active job, as an estimator input. */
+  PrefillDesc ActivePrefillDesc() const;
+  sim::Duration ActivePrefillRemaining() const;
+
+  sim::Simulator* sim_;
+  serve::Deployment deployment_;
+  Options options_;
+
+  std::unique_ptr<MultiplexEngine> mux_;
+  std::unique_ptr<kv::KvPool> pool_;
+  std::unique_ptr<llm::CostModel> cost_;
+  ContentionEstimator estimator_;
+  std::unique_ptr<SloAwareDispatcher> dispatcher_;
+
+  std::deque<std::unique_ptr<serve::Request>> waiting_;
+  std::unique_ptr<PrefillJob> active_;
+  std::unique_ptr<PrefillJob> preempted_;
+  std::vector<std::unique_ptr<serve::Request>> merge_ready_;
+  std::vector<std::unique_ptr<serve::Request>> decoding_;
+
+  // Finished requests awaiting notification: completions are handed
+  // back only once engine state is consistent, because NotifyComplete
+  // can synchronously re-enter Enqueue with the session's next turn.
+  std::vector<std::unique_ptr<serve::Request>> pending_completions_;
+
+  bool decode_in_flight_ = false;
+  bool decode_blocked_on_merge_ = false;
+  // Set when an approved preemption awaits its preemptor batch; the
+  // paused batch resumes only after that batch (and only it) runs.
+  bool preemptor_pending_ = false;
+  sim::Duration last_decode_estimate_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t decode_iterations_ = 0;
+  std::size_t preemptions_ = 0;
+  std::vector<PartitionSample> partition_trace_;
+};
+
+}  // namespace muxwise::core
+
+#endif  // MUXWISE_CORE_MUXWISE_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "gpu/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::gpu {
+
+Interconnect::Interconnect(sim::Simulator* simulator,
+                           double bandwidth_bytes_per_s, sim::Duration latency)
+    : sim_(simulator), bandwidth_(bandwidth_bytes_per_s), latency_(latency) {
+  MUX_CHECK(sim_ != nullptr);
+  MUX_CHECK(bandwidth_ > 0.0);
+}
+
+void Interconnect::Transfer(double bytes, std::function<void()> done) {
+  MUX_CHECK(bytes >= 0.0);
+  const sim::Duration wire_time =
+      latency_ + static_cast<sim::Duration>(bytes / bandwidth_ * 1e9);
+  const sim::Time start = std::max(sim_->Now(), free_at_);
+  free_at_ = start + wire_time;
+  bytes_transferred_ += bytes;
+  auto finish = [this, done = std::move(done)] {
+    ++transfers_completed_;
+    if (done) done();
+  };
+  sim_->ScheduleAt(free_at_, std::move(finish));
+}
+
+Cluster::Cluster(sim::Simulator* simulator, GpuSpec spec, int total_gpus)
+    : sim_(simulator), spec_(std::move(spec)), total_gpus_(total_gpus) {
+  MUX_CHECK(sim_ != nullptr);
+  MUX_CHECK(total_gpus_ > 0);
+  // Migration rides the per-GPU NVLink; latency covers handshake cost.
+  link_ = std::make_unique<Interconnect>(sim_, spec_.nvlink_bandwidth,
+                                         sim::Microseconds(10));
+}
+
+Instance& Cluster::AddInstance(int tp_degree) {
+  MUX_CHECK(tp_degree > 0);
+  if (allocated_gpus_ + tp_degree > total_gpus_) {
+    sim::Fatal("cluster over-allocated: " + std::to_string(allocated_gpus_) +
+               " + " + std::to_string(tp_degree) + " > " +
+               std::to_string(total_gpus_));
+  }
+  allocated_gpus_ += tp_degree;
+  auto instance = std::make_unique<Instance>();
+  instance->device = std::make_unique<Gpu>(sim_, spec_);
+  instance->host = std::make_unique<HostThread>(sim_);
+  instance->tp_degree = tp_degree;
+  instances_.push_back(std::move(instance));
+  return *instances_.back();
+}
+
+}  // namespace muxwise::gpu

@@ -1,0 +1,101 @@
+#ifndef MUXWISE_GPU_CLUSTER_H_
+#define MUXWISE_GPU_CLUSTER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/host.h"
+#include "sim/simulator.h"
+
+namespace muxwise::gpu {
+
+/**
+ * A FIFO point-to-point link used for KV-cache migration between
+ * disaggregated instances. Transfers queue behind each other; duration
+ * is latency + bytes / bandwidth.
+ */
+class Interconnect {
+ public:
+  Interconnect(sim::Simulator* simulator, double bandwidth_bytes_per_s,
+               sim::Duration latency);
+
+  /** Enqueues a transfer; `done` fires when the bytes have landed. */
+  void Transfer(double bytes, std::function<void()> done);
+
+  /** Total bytes moved so far. */
+  double bytes_transferred() const { return bytes_transferred_; }
+
+  /** Number of completed transfers. */
+  std::size_t transfers_completed() const { return transfers_completed_; }
+
+ private:
+  sim::Simulator* sim_;
+  double bandwidth_;
+  sim::Duration latency_;
+  sim::Time free_at_ = 0;
+  double bytes_transferred_ = 0.0;
+  std::size_t transfers_completed_ = 0;
+};
+
+/**
+ * One serving instance: a symmetric tensor-parallel group of `tp_degree`
+ * GPUs simulated as a single Gpu executing per-GPU work, plus the host
+ * thread that launches onto it.
+ */
+struct Instance {
+  std::unique_ptr<Gpu> device;
+  std::unique_ptr<HostThread> host;
+  int tp_degree = 0;
+
+  /** Aggregate HBM capacity across the group, bytes. */
+  double TotalHbmCapacity() const {
+    return device->spec().hbm_capacity * tp_degree;
+  }
+};
+
+/**
+ * An 8-GPU (by default) single server carved into one or more
+ * tensor-parallel instances, mirroring the paper's testbeds. Aggregated
+ * serving uses one instance of degree 8; SGLang-PD uses two of degree 4;
+ * LoongServe re-partitions dynamically (modeled by its engine on top of
+ * instances it requests here).
+ */
+class Cluster {
+ public:
+  Cluster(sim::Simulator* simulator, GpuSpec spec, int total_gpus);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /** Adds a TP group of `tp_degree` GPUs; fatal if over-allocated. */
+  Instance& AddInstance(int tp_degree);
+
+  Instance& instance(std::size_t i) { return *instances_[i]; }
+  const Instance& instance(std::size_t i) const { return *instances_[i]; }
+  std::size_t num_instances() const { return instances_.size(); }
+
+  const GpuSpec& spec() const { return spec_; }
+  int total_gpus() const { return total_gpus_; }
+  int allocated_gpus() const { return allocated_gpus_; }
+  sim::Simulator* simulator() const { return sim_; }
+
+  /** NVLink fabric used for inter-instance KV migration. */
+  Interconnect& link() { return *link_; }
+
+ private:
+  sim::Simulator* sim_;
+  GpuSpec spec_;
+  int total_gpus_;
+  int allocated_gpus_ = 0;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::unique_ptr<Interconnect> link_;
+};
+
+}  // namespace muxwise::gpu
+
+#endif  // MUXWISE_GPU_CLUSTER_H_

@@ -1,0 +1,179 @@
+#ifndef MUXWISE_GPU_GPU_H_
+#define MUXWISE_GPU_GPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "gpu/kernel.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace muxwise::gpu {
+
+/** Identifies a stream (and its green-context SM allocation) on a Gpu. */
+using StreamId = int;
+
+/** Accounting per stream, used for bubble-ratio analysis (paper §4.4.2). */
+struct StreamStats {
+  sim::Duration busy_time = 0;          // Time with a kernel executing.
+  sim::Time first_activity = sim::kTimeNever;
+  sim::Time last_activity = 0;
+  std::size_t kernels_completed = 0;
+
+  /** Fraction of the active window [first, last] with no kernel running. */
+  double BubbleRatio() const;
+};
+
+/**
+ * Execution model for one GPU (representing every GPU of a symmetric
+ * tensor-parallel group; kernels carry per-GPU work).
+ *
+ * Duration of a kernel emerges from a roofline:
+ *   max(compute_time(sms), bytes / allocated_bandwidth) + fixed_time
+ * where HBM bandwidth is arbitrated max-min among concurrently running
+ * kernels, shrunk by a deterministic interference factor whenever more
+ * than one stream is active (the "unmanaged contention" of paper §3.3).
+ * Running kernels are re-rated whenever the active set changes, in the
+ * style of processor-sharing queues.
+ *
+ * Streams follow CUDA semantics: in-order, one kernel executing at a
+ * time, concurrent across streams. Each stream is bound to a
+ * green-context SM allocation that can be reconfigured at any time and
+ * takes effect for subsequently started kernels. If the running streams'
+ * allocations oversubscribe the device (possible when a caller opts out
+ * of partition management, e.g. the WindServe variant), effective SMs
+ * are scaled proportionally.
+ */
+class Gpu {
+ public:
+  using Callback = std::function<void()>;
+
+  Gpu(sim::Simulator* simulator, GpuSpec spec);
+
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  /** Creates a stream with an initial SM allocation (0 < sms <= total). */
+  StreamId CreateStream(int sms);
+
+  /**
+   * Reconfigures the stream's green context. Takes effect when the next
+   * kernel starts; the currently running kernel keeps its SMs, matching
+   * green-context semantics (reconfiguration costs a stream sync, which
+   * callers model as host time).
+   */
+  void SetStreamSms(StreamId stream, int sms);
+
+  int StreamSms(StreamId stream) const;
+
+  /**
+   * Enqueues a kernel. `on_complete` (optional) fires after the kernel
+   * finishes and the stream has advanced.
+   */
+  void Launch(StreamId stream, Kernel kernel, Callback on_complete = {});
+
+  /**
+   * Invokes `fn` once everything currently enqueued on the stream has
+   * completed (immediately if the stream is idle). Models recording a
+   * CUDA event at the current tail.
+   */
+  void OnStreamDrained(StreamId stream, Callback fn);
+
+  /** True when the stream has no running or queued kernels. */
+  bool StreamIdle(StreamId stream) const;
+
+  /** Number of queued (not yet started) kernels on the stream. */
+  std::size_t StreamQueueDepth(StreamId stream) const;
+
+  const GpuSpec& spec() const { return spec_; }
+  sim::Simulator* simulator() const { return sim_; }
+
+  const StreamStats& stream_stats(StreamId stream) const;
+
+  /**
+   * Integral of (allocated busy SMs / total SMs) dt since construction,
+   * in nanoseconds of "full-device time". Utilization over an interval is
+   * (integral(t1) - integral(t0)) / (t1 - t0); callers snapshot it.
+   */
+  double SmUtilizationIntegral() const;
+
+  /** Integral of "at least one kernel running" time, ns. */
+  double BusyTimeIntegral() const;
+
+  /** Solo compute time (seconds) of a kernel on `sms` SMs. */
+  double ComputeTimeSeconds(const Kernel& kernel, int sms) const;
+
+  /**
+   * Ground-truth duration (seconds) the kernel would take running alone
+   * on `sms` SMs — the quantity the solo-run predictor approximates.
+   */
+  double SoloDurationSeconds(const Kernel& kernel, int sms) const;
+
+  /** Total kernels completed on this device. */
+  std::size_t kernels_completed() const { return kernels_completed_; }
+
+ private:
+  struct QueuedKernel {
+    Kernel kernel;
+    std::vector<Callback> on_complete;
+  };
+
+  struct RunningKernel {
+    Kernel kernel;
+    std::vector<Callback> on_complete;
+    int granted_sms = 0;      // Green-context grant when it started.
+    double fraction_done = 0.0;
+    sim::Time last_update = 0;
+    sim::Duration current_total = 0;  // Full duration under current rates.
+    sim::EventId completion = sim::kInvalidEventId;
+  };
+
+  struct Stream {
+    int sms = 0;
+    std::deque<QueuedKernel> queue;
+    std::optional<RunningKernel> running;
+    StreamStats stats;
+  };
+
+  Stream& GetStream(StreamId id);
+  const Stream& GetStream(StreamId id) const;
+
+  /** Starts the next queued kernel on `id` if the stream is free. */
+  void TryStart(StreamId id);
+
+  /** Handles completion of the running kernel on `id`. */
+  void Complete(StreamId id);
+
+  /**
+   * Re-derives every running kernel's duration from current SM grants
+   * and bandwidth arbitration, advancing progress first.
+   */
+  void Rerate();
+
+  /** Deterministic interference factor for the current active set. */
+  double InterferenceFactor(
+      const std::vector<std::pair<StreamId, const RunningKernel*>>& active)
+      const;
+
+  /** Advances the utilization integrals up to now. */
+  void AdvanceIntegrals();
+
+  sim::Simulator* sim_;
+  GpuSpec spec_;
+  std::vector<Stream> streams_;
+  std::size_t kernels_completed_ = 0;
+
+  // Utilization accounting.
+  sim::Time integral_updated_at_ = 0;
+  double sm_utilization_integral_ = 0.0;  // sum over dt of busy_sms/total.
+  double busy_time_integral_ = 0.0;       // dt where >=1 kernel runs.
+};
+
+}  // namespace muxwise::gpu
+
+#endif  // MUXWISE_GPU_GPU_H_

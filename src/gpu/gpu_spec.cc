@@ -1,0 +1,73 @@
+#include "gpu/gpu_spec.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace muxwise::gpu {
+
+double GpuSpec::BandwidthCap(int sms) const {
+  const double saturating_sms = bw_saturation_sm_fraction * sm_count;
+  if (saturating_sms <= 0.0) return hbm_bandwidth;
+  const double share = std::min(1.0, sms / saturating_sms);
+  return hbm_bandwidth * share;
+}
+
+GpuSpec GpuSpec::Aggregate(int n) const {
+  MUX_CHECK(n >= 1);
+  GpuSpec agg = *this;
+  agg.name = name + "x" + std::to_string(n);
+  agg.sm_count = sm_count * n;
+  agg.hbm_bandwidth = hbm_bandwidth * n;
+  agg.hbm_capacity = hbm_capacity * n;
+  agg.bw_saturation_sm_fraction = 1.0;
+  agg.max_interference = 0.0;
+  agg.partition_granularity = sm_count;  // Whole GPUs.
+  return agg;
+}
+
+GpuSpec GpuSpec::A100() {
+  GpuSpec spec;
+  spec.name = "A100";
+  spec.sm_count = 108;
+  spec.flops_per_sm = 312e12 / 108.0;  // 312 TFLOP/s dense BF16.
+  spec.hbm_bandwidth = 2.039e12;       // 2039 GB/s.
+  spec.hbm_capacity = 80e9;
+  spec.nvlink_bandwidth = 600e9;       // NVLink3, paper testbed.
+  spec.max_interference = 0.20;
+  spec.partition_granularity = 16;
+  spec.min_partition_sms = 8;  // Pre-Hopper: no thread block clusters.
+  return spec;
+}
+
+GpuSpec GpuSpec::H100() {
+  GpuSpec spec;
+  spec.name = "H100";
+  spec.sm_count = 132;
+  spec.flops_per_sm = 989e12 / 132.0;  // 989 TFLOP/s dense BF16.
+  spec.hbm_bandwidth = 3.35e12;        // 3350 GB/s.
+  spec.hbm_capacity = 80e9;
+  spec.nvlink_bandwidth = 900e9;       // NVLink4.
+  spec.max_interference = 0.30;
+  spec.partition_granularity = 16;
+  spec.min_partition_sms = 16;  // Thread block clusters need 16 SMs.
+  return spec;
+}
+
+GpuSpec GpuSpec::H200() {
+  GpuSpec spec = H100();
+  spec.name = "H200";
+  spec.hbm_bandwidth = 4.8e12;   // 4800 GB/s.
+  spec.hbm_capacity = 141e9;
+  spec.max_interference = 0.30;
+  return spec;
+}
+
+GpuSpec GpuSpec::ByName(const std::string& name) {
+  if (name == "A100") return A100();
+  if (name == "H100") return H100();
+  if (name == "H200") return H200();
+  sim::Fatal("unknown GPU spec: " + name);
+}
+
+}  // namespace muxwise::gpu

@@ -1,0 +1,86 @@
+#ifndef MUXWISE_GPU_GPU_SPEC_H_
+#define MUXWISE_GPU_GPU_SPEC_H_
+
+#include <string>
+
+namespace muxwise::gpu {
+
+/**
+ * Static description of one physical GPU.
+ *
+ * Numbers follow the public datasheets for the three server GPUs the
+ * paper evaluates on (A100-80GB SXM, H100-80GB SXM5, H200-141GB SXM5).
+ * Compute is dense BF16 without sparsity.
+ */
+struct GpuSpec {
+  std::string name;
+
+  /** Number of streaming multiprocessors. */
+  int sm_count = 0;
+
+  /** Peak dense BF16 FLOP/s contributed by one SM. */
+  double flops_per_sm = 0.0;
+
+  /** HBM bandwidth in bytes/s. */
+  double hbm_bandwidth = 0.0;
+
+  /** HBM capacity in bytes. */
+  double hbm_capacity = 0.0;
+
+  /** Per-GPU NVLink bandwidth in bytes/s (unidirectional). */
+  double nvlink_bandwidth = 0.0;
+
+  /**
+   * Fraction of SMs needed to saturate HBM bandwidth. A partition with
+   * fewer SMs can draw at most sms / (fraction * sm_count) of peak
+   * bandwidth — the reason decode still needs a non-trivial SM share
+   * even though it is memory-bound (paper Fig. 3-b).
+   */
+  double bw_saturation_sm_fraction = 0.6;
+
+  /**
+   * Ground-truth ceiling for the multiplexing interference term
+   * (paper §3.3: <= 20% on A100, <= 30% on H100-class parts). The
+   * serving systems cannot observe this; MuxWise must learn it by
+   * profiling.
+   */
+  double max_interference = 0.0;
+
+  /** Green-context SM mask granularity (16 on Hopper and newer). */
+  int partition_granularity = 16;
+
+  /**
+   * Minimum SMs a co-resident green context must keep: 8 before Hopper,
+   * 16 on H100+ where kernels use thread block clusters (paper §3.3.2 —
+   * this is what yields 6 partition configurations on A100 and 7 on
+   * H100).
+   */
+  int min_partition_sms = 8;
+
+  /** Total peak FLOP/s of the device. */
+  double PeakFlops() const { return sm_count * flops_per_sm; }
+
+  /** Maximum HBM bandwidth reachable with `sms` allocated SMs. */
+  double BandwidthCap(int sms) const;
+
+  /**
+   * Spec of `n` of these GPUs treated as one aggregate device, used to
+   * model engines that re-partition whole GPUs between phases
+   * (LoongServe's elastic groups). SM counts, bandwidth and capacity
+   * scale linearly; bandwidth caps become exactly proportional (a group
+   * of k GPUs owns k/n of aggregate bandwidth) and cross-stream
+   * interference is disabled — distinct physical GPUs do not contend.
+   */
+  GpuSpec Aggregate(int n) const;
+
+  static GpuSpec A100();
+  static GpuSpec H100();
+  static GpuSpec H200();
+
+  /** Looks a spec up by name ("A100"/"H100"/"H200"); fatal on unknown. */
+  static GpuSpec ByName(const std::string& name);
+};
+
+}  // namespace muxwise::gpu
+
+#endif  // MUXWISE_GPU_GPU_SPEC_H_

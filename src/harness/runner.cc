@@ -1,0 +1,195 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "baselines/chunked_prefill.h"
+#include "baselines/loongserve.h"
+#include "baselines/static_disagg.h"
+#include "serve/frontend.h"
+#include "sim/logging.h"
+#include "sim/simulator.h"
+#include "workload/datasets.h"
+
+namespace muxwise::harness {
+
+namespace {
+
+bool IsMuxWiseFamily(EngineKind kind) {
+  return kind == EngineKind::kMuxWise || kind == EngineKind::kWindServe ||
+         kind == EngineKind::kTemporal;
+}
+
+double UtilPercent(const gpu::Gpu& device, sim::Time end) {
+  if (end <= 0) return 0.0;
+  return 100.0 * device.SmUtilizationIntegral() / static_cast<double>(end);
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMuxWise:
+      return "MuxWise";
+    case EngineKind::kChunked:
+      return "Chunked";
+    case EngineKind::kNanoFlow:
+      return "NanoFlow";
+    case EngineKind::kSglangPd:
+      return "SGLang-PD";
+    case EngineKind::kLoongServe:
+      return "LoongServe";
+    case EngineKind::kWindServe:
+      return "WindServe*";
+    case EngineKind::kTemporal:
+      return "Temporal*";
+  }
+  return "?";
+}
+
+RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
+                       const workload::Trace& trace,
+                       const core::ContentionEstimator* shared_estimator,
+                       const RunConfig& config) {
+  sim::Simulator simulator;
+  RunOutcome outcome;
+  outcome.engine = EngineKindName(kind);
+  outcome.total = trace.requests.size();
+
+  std::unique_ptr<serve::Engine> engine;
+  core::MuxWiseEngine* muxwise = nullptr;
+  baselines::ChunkedPrefillEngine* chunked = nullptr;
+  baselines::StaticDisaggEngine* disagg = nullptr;
+  baselines::LoongServeEngine* loong = nullptr;
+
+  if (IsMuxWiseFamily(kind)) {
+    MUX_CHECK(shared_estimator != nullptr);
+    core::MuxWiseEngine::Options options =
+        config.muxwise_options.value_or(core::MuxWiseEngine::Options());
+    if (kind == EngineKind::kWindServe) {
+      options.mux.mode = core::MultiplexEngine::Mode::kUnmanaged;
+    } else if (kind == EngineKind::kTemporal) {
+      options.mux.mode = core::MultiplexEngine::Mode::kTemporal;
+    }
+    auto owned = std::make_unique<core::MuxWiseEngine>(
+        &simulator, deployment, *shared_estimator, options);
+    muxwise = owned.get();
+    engine = std::move(owned);
+  } else if (kind == EngineKind::kChunked || kind == EngineKind::kNanoFlow) {
+    baselines::ChunkedPrefillEngine::Options options;
+    options.token_budget =
+        config.token_budget > 0
+            ? config.token_budget
+            : baselines::ChunkedPrefillEngine::TuneTokenBudget(
+                  deployment, deployment.slo.tbt);
+    options.nano_overlap = (kind == EngineKind::kNanoFlow);
+    auto owned = std::make_unique<baselines::ChunkedPrefillEngine>(
+        &simulator, deployment, options);
+    chunked = owned.get();
+    engine = std::move(owned);
+  } else if (kind == EngineKind::kSglangPd) {
+    auto owned = std::make_unique<baselines::StaticDisaggEngine>(
+        &simulator, deployment, baselines::StaticDisaggEngine::Options());
+    disagg = owned.get();
+    engine = std::move(owned);
+  } else {
+    auto owned = std::make_unique<baselines::LoongServeEngine>(
+        &simulator, deployment, baselines::LoongServeEngine::Options());
+    loong = owned.get();
+    engine = std::move(owned);
+  }
+
+  serve::MetricsCollector metrics;
+  serve::Frontend frontend(&simulator, engine.get(), &trace, &metrics);
+  frontend.Start();
+
+  const double last_arrival =
+      trace.requests.empty() ? 0.0
+                             : trace.requests.back().arrival_seconds;
+  double drain = config.drain_timeout_seconds;
+  if (config.steady_state) {
+    drain = std::min(drain, std::max(30.0, 0.35 * trace.SpanSeconds()));
+  }
+  const sim::Time horizon = sim::Seconds(last_arrival + drain);
+  simulator.RunUntil(horizon);
+  outcome.stable = frontend.AllCompleted();
+  if (!outcome.stable) {
+    // Let whatever is still queued finish for partial statistics, but
+    // report the run as unstable.
+    simulator.Run();
+  }
+
+  outcome.completed = frontend.completed();
+  outcome.ttft = metrics.Ttft();
+  outcome.tbt = metrics.Tbt();
+  outcome.tpot = metrics.Tpot();
+  outcome.e2e = metrics.E2e();
+  outcome.ttft_per_token = metrics.TtftPerToken();
+  outcome.ttft_per_token_samples_ms = metrics.ttft_per_token_samples_ms();
+  outcome.tbt_attainment = metrics.TbtAttainment(deployment.slo.tbt);
+  outcome.meets_slo = outcome.stable && metrics.MeetsSlo(deployment.slo);
+
+  const sim::Time end = std::max<sim::Time>(frontend.last_completion(), 1);
+  outcome.token_throughput = metrics.TokenThroughput(0, end);
+  outcome.request_throughput = metrics.RequestThroughput(0, end);
+
+  if (muxwise != nullptr) {
+    outcome.gpu_utilization = {UtilPercent(muxwise->mux().device(), end)};
+    outcome.bubble_ratio = muxwise->mux().AverageBubbleRatio();
+    outcome.cache_hit_rate = muxwise->pool().HitRate();
+    outcome.preemptions = muxwise->preemptions();
+    outcome.partition_trace = muxwise->partition_trace();
+  } else if (chunked != nullptr) {
+    outcome.gpu_utilization = {UtilPercent(chunked->device(), end)};
+    outcome.bubble_ratio =
+        chunked->device().stream_stats(0).BubbleRatio();
+    outcome.cache_hit_rate = chunked->pool().HitRate();
+  } else if (disagg != nullptr) {
+    outcome.gpu_utilization = {UtilPercent(disagg->prefill_device(), end),
+                               UtilPercent(disagg->decode_device(), end)};
+    outcome.cache_hit_rate = disagg->prefill_pool().HitRate();
+  } else if (loong != nullptr) {
+    outcome.gpu_utilization = {UtilPercent(loong->device(), end)};
+  }
+  return outcome;
+}
+
+GoodputResult SweepGoodput(EngineKind kind,
+                           const serve::Deployment& deployment,
+                           const workload::Trace& base_trace,
+                           const std::vector<double>& rates,
+                           const core::ContentionEstimator* shared_estimator,
+                           const RunConfig& config,
+                           std::uint64_t arrival_seed) {
+  GoodputResult result;
+  // Hold the tested duration roughly constant across rates: resample
+  // arrivals, then truncate to ~90 s of offered load. A prefix never
+  // orphans a session turn (turns keep their relative order).
+  constexpr double kSweepSpanSeconds = 90.0;
+  for (double rate : rates) {
+    workload::Trace trace = base_trace;
+    workload::ResampleArrivalsPoisson(trace, rate, arrival_seed);
+    const std::size_t wanted = std::max<std::size_t>(
+        50, static_cast<std::size_t>(rate * kSweepSpanSeconds));
+    if (trace.requests.size() > wanted) {
+      trace.requests.resize(wanted);
+    }
+    SweepPoint point;
+    point.rate_rps = rate;
+    RunConfig sweep_config = config;
+    sweep_config.steady_state = true;
+    point.outcome =
+        RunWorkload(kind, deployment, trace, shared_estimator, sweep_config);
+    const bool ok = point.outcome.meets_slo;
+    result.points.push_back(point);
+    if (ok && rate > result.goodput_rps) {
+      result.goodput_rps = rate;
+      result.at_goodput = point.outcome;
+    }
+    if (!ok) break;  // Paper: stop once unstable / SLO-violating.
+  }
+  return result;
+}
+
+}  // namespace muxwise::harness

@@ -1,0 +1,119 @@
+#ifndef MUXWISE_HARNESS_RUNNER_H_
+#define MUXWISE_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/muxwise_engine.h"
+#include "serve/deployment.h"
+#include "serve/metrics.h"
+#include "workload/request_spec.h"
+
+namespace muxwise::harness {
+
+/** Every serving system implemented in this repository. */
+enum class EngineKind {
+  kMuxWise,
+  kChunked,
+  kNanoFlow,
+  kSglangPd,
+  kLoongServe,
+  kWindServe,   // §6 prototype: unmanaged-stream multiplexing.
+  kTemporal,    // §6 prototype: temporal-only layered multiplexing.
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/** Per-run knobs (defaults reproduce the paper's configurations). */
+struct RunConfig {
+  /** Chunked/NanoFlow token budget; 0 tunes offline for the TBT SLO. */
+  int token_budget = 0;
+
+  /** MuxWise option overrides (ablations). */
+  std::optional<core::MuxWiseEngine::Options> muxwise_options;
+
+  /**
+   * Simulated-time cap after the last arrival; a run that cannot drain
+   * within it is reported unstable (paper: "the serving system becomes
+   * unstable"). Seconds.
+   */
+  double drain_timeout_seconds = 600.0;
+
+  /**
+   * Steady-state mode (goodput sweeps): the drain allowance shrinks to
+   * max(30 s, 35% of the arrival span), so a run that merely queues up
+   * work and drains it long after arrivals stop counts as unstable.
+   */
+  bool steady_state = false;
+};
+
+/** Everything the paper's tables/figures report about one run. */
+struct RunOutcome {
+  std::string engine;
+  bool stable = true;           // All requests completed in time.
+  std::size_t completed = 0;
+  std::size_t total = 0;
+
+  serve::LatencySummary ttft;
+  serve::LatencySummary tbt;
+  serve::LatencySummary tpot;
+  serve::LatencySummary e2e;
+  serve::LatencySummary ttft_per_token;
+  std::vector<double> ttft_per_token_samples_ms;
+
+  double tbt_attainment = 0.0;  // Fraction of gaps within the target.
+  bool meets_slo = false;
+
+  double token_throughput = 0.0;  // (input+output) tokens / s.
+  double request_throughput = 0.0;
+
+  /** SM-utilization percentages; disaggregated engines report P and D. */
+  std::vector<double> gpu_utilization;
+
+  double bubble_ratio = 0.0;    // MuxWise / chunked streams (§4.4.2).
+  double cache_hit_rate = 0.0;  // Token-weighted, where applicable.
+  std::size_t preemptions = 0;
+  std::vector<core::MuxWiseEngine::PartitionSample> partition_trace;
+};
+
+/**
+ * Replays `trace` through the chosen engine on a fresh simulator.
+ * `shared_estimator` (required for MuxWise-family engines) is the
+ * deployment's offline-profiled estimator; the engine copies it.
+ */
+RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
+                       const workload::Trace& trace,
+                       const core::ContentionEstimator* shared_estimator,
+                       const RunConfig& config = RunConfig());
+
+/** One point of an SLO-attainment sweep (paper Fig. 15). */
+struct SweepPoint {
+  double rate_rps = 0.0;
+  RunOutcome outcome;
+};
+
+/**
+ * Replays `requests` with Poisson arrivals at each rate (ascending),
+ * stopping after the first rate that is unstable or misses the SLO.
+ * The goodput is the highest stable, SLO-meeting rate (0 if none).
+ */
+struct GoodputResult {
+  std::vector<SweepPoint> points;
+  double goodput_rps = 0.0;
+  std::optional<RunOutcome> at_goodput;
+};
+
+GoodputResult SweepGoodput(EngineKind kind,
+                           const serve::Deployment& deployment,
+                           const workload::Trace& base_trace,
+                           const std::vector<double>& rates,
+                           const core::ContentionEstimator* shared_estimator,
+                           const RunConfig& config = RunConfig(),
+                           std::uint64_t arrival_seed = 2024);
+
+}  // namespace muxwise::harness
+
+#endif  // MUXWISE_HARNESS_RUNNER_H_

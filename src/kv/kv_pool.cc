@@ -1,0 +1,75 @@
+#include "kv/kv_pool.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace muxwise::kv {
+
+KvPool::KvPool(std::int64_t capacity_tokens) : capacity_(capacity_tokens) {
+  MUX_CHECK(capacity_ > 0);
+}
+
+KvPool::PrefixLease KvPool::AcquirePrefix(const TokenSeq& seq,
+                                          sim::Time now) {
+  PrefixLease lease;
+  RadixTree::MatchResult match = tree_.MatchAndLock(seq, now);
+  lease.lock = match.lock;
+  lease.matched_tokens = match.matched_tokens;
+  ++lookups_;
+  requested_tokens_ += SeqLength(seq);
+  hit_tokens_ += match.matched_tokens;
+  return lease;
+}
+
+void KvPool::ReleasePrefix(PrefixLease& lease) {
+  if (lease.lock.node == nullptr) return;
+  tree_.Unlock(lease.lock);
+  lease.lock.node = nullptr;
+  lease.matched_tokens = 0;
+}
+
+bool KvPool::TryReserve(std::int64_t tokens) {
+  MUX_CHECK(tokens >= 0);
+  if (tokens == 0) return true;
+  if (free_tokens() < tokens) {
+    tree_.EvictLru(tokens - free_tokens());
+  }
+  if (free_tokens() < tokens) return false;
+  reserved_ += tokens;
+  return true;
+}
+
+void KvPool::ReleaseReserved(std::int64_t tokens) {
+  MUX_CHECK(tokens >= 0);
+  MUX_CHECK(tokens <= reserved_);
+  reserved_ -= tokens;
+}
+
+void KvPool::CommitSequence(const TokenSeq& seq, sim::Time now) {
+  auto [added, lock] = tree_.InsertAndLock(seq, now);
+  tree_.Unlock(lock);
+  (void)added;
+  if (used_tokens() > capacity_) {
+    tree_.EvictLru(used_tokens() - capacity_);
+  }
+  if (used_tokens() > capacity_) {
+    // Everything is pinned by in-flight requests; engines admit within
+    // capacity so this indicates transient pressure, not corruption.
+    MUX_LOG_DEBUG << "KvPool transiently over capacity: "
+                  << used_tokens() << " > " << capacity_;
+  }
+}
+
+void KvPool::Clear() {
+  MUX_CHECK(tree_.LockedTokens() == 0);
+  tree_.EvictLru(tree_.total_tokens());
+}
+
+double KvPool::HitRate() const {
+  if (requested_tokens_ == 0) return 0.0;
+  return static_cast<double>(hit_tokens_) /
+         static_cast<double>(requested_tokens_);
+}
+
+}  // namespace muxwise::kv

@@ -1,0 +1,95 @@
+#ifndef MUXWISE_KV_KV_POOL_H_
+#define MUXWISE_KV_KV_POOL_H_
+
+#include <cstdint>
+
+#include "kv/radix_tree.h"
+#include "kv/token_seq.h"
+#include "sim/time.h"
+
+namespace muxwise::kv {
+
+/**
+ * The KV-cache memory pool of one serving instance.
+ *
+ * Capacity is expressed in tokens (HBM left after weights and CUDA
+ * graphs, divided by per-token KV bytes). Space is consumed by two
+ * populations:
+ *  - cached tokens living in the radix tree (evictable when unpinned);
+ *  - the working set of in-flight requests (tokens being prefilled or
+ *    decoded), reserved explicitly and released when a request finishes
+ *    and its sequence is committed back into the tree.
+ *
+ * Cross-request reuse statistics (token-weighted hit rate) feed the
+ * paper's Fig. 5 experiment.
+ */
+class KvPool {
+ public:
+  explicit KvPool(std::int64_t capacity_tokens);
+
+  KvPool(const KvPool&) = delete;
+  KvPool& operator=(const KvPool&) = delete;
+
+  /** Pin on a reused prefix, held for a request's lifetime. */
+  struct PrefixLease {
+    RadixTree::Lock lock;
+    std::int64_t matched_tokens = 0;
+  };
+
+  /**
+   * Looks up the longest cached prefix of `seq`, pins it, and records
+   * hit statistics (`requested` counts the full prompt length).
+   */
+  PrefixLease AcquirePrefix(const TokenSeq& seq, sim::Time now);
+
+  /** Releases a prefix pin (idempotent for a moved-from lease). */
+  void ReleasePrefix(PrefixLease& lease);
+
+  /**
+   * Reserves working space for `tokens` in-flight tokens, evicting
+   * unpinned cache LRU-first if needed. Returns false (reserving
+   * nothing) when the space cannot be produced.
+   */
+  bool TryReserve(std::int64_t tokens);
+
+  /** Returns previously reserved working space. */
+  void ReleaseReserved(std::int64_t tokens);
+
+  /**
+   * Inserts a finished request's full sequence into the cache (so later
+   * turns can reuse it) and immediately unpins it. Evicts LRU if the
+   * insert overflows capacity; skips silently if nothing is evictable.
+   */
+  void CommitSequence(const TokenSeq& seq, sim::Time now);
+
+  /** Drops the entire cache (used by engines without cross-request reuse). */
+  void Clear();
+
+  std::int64_t capacity_tokens() const { return capacity_; }
+  std::int64_t cached_tokens() const { return tree_.total_tokens(); }
+  std::int64_t reserved_tokens() const { return reserved_; }
+  std::int64_t used_tokens() const { return cached_tokens() + reserved_; }
+  std::int64_t free_tokens() const { return capacity_ - used_tokens(); }
+
+  /** Token-weighted cache hit rate over all AcquirePrefix calls. */
+  double HitRate() const;
+
+  std::int64_t lookups() const { return lookups_; }
+  std::int64_t hit_tokens() const { return hit_tokens_; }
+  std::int64_t requested_tokens() const { return requested_tokens_; }
+
+  RadixTree& tree() { return tree_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t reserved_ = 0;
+  RadixTree tree_;
+
+  std::int64_t lookups_ = 0;
+  std::int64_t hit_tokens_ = 0;
+  std::int64_t requested_tokens_ = 0;
+};
+
+}  // namespace muxwise::kv
+
+#endif  // MUXWISE_KV_KV_POOL_H_

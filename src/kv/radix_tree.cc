@@ -1,0 +1,226 @@
+#include "kv/radix_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.h"
+
+namespace muxwise::kv {
+
+RadixTree::RadixTree() : root_(std::make_unique<Node>()) {}
+
+RadixTree::~RadixTree() = default;
+
+RadixTree::ChildKey RadixTree::KeyFor(const TokenSeq& seq) {
+  MUX_CHECK(!seq.empty());
+  return {seq.front().stream, seq.front().begin};
+}
+
+std::int64_t RadixTree::MatchedPrefix(const TokenSeq& seq, sim::Time now) {
+  Node* node = root_.get();
+  TokenSeq remaining = seq;
+  std::int64_t matched = 0;
+  while (!remaining.empty()) {
+    auto it = node->children.find(KeyFor(remaining));
+    if (it == node->children.end()) break;
+    Node* child = it->second.get();
+    const std::int64_t common = CommonPrefixLength(child->edge, remaining);
+    MUX_CHECK(common > 0);
+    matched += common;
+    child->last_access = now;
+    if (common < child->EdgeTokens()) break;
+    remaining = SeqSuffix(remaining, common);
+    node = child;
+  }
+  return matched;
+}
+
+RadixTree::MatchResult RadixTree::MatchAndLock(const TokenSeq& seq,
+                                               sim::Time now) {
+  Node* node = root_.get();
+  TokenSeq remaining = seq;
+  std::int64_t matched = 0;
+  Node* deepest = nullptr;
+  while (!remaining.empty()) {
+    auto it = node->children.find(KeyFor(remaining));
+    if (it == node->children.end()) break;
+    Node* child = it->second.get();
+    const std::int64_t common = CommonPrefixLength(child->edge, remaining);
+    MUX_CHECK(common > 0);
+    matched += common;
+    child->last_access = now;
+    ++child->ref_count;
+    deepest = child;
+    if (common < child->EdgeTokens()) break;
+    remaining = SeqSuffix(remaining, common);
+    node = child;
+  }
+  MatchResult result;
+  result.matched_tokens = matched;
+  result.lock.node = deepest;
+  return result;
+}
+
+void RadixTree::Unlock(Lock lock) {
+  for (Node* node = lock.node; node != nullptr && node != root_.get();
+       node = node->parent) {
+    MUX_CHECK(node->ref_count > 0);
+    --node->ref_count;
+  }
+}
+
+RadixTree::Node* RadixTree::SplitNode(Node* node, std::int64_t offset) {
+  MUX_CHECK(offset > 0 && offset < node->EdgeTokens());
+  Node* parent = node->parent;
+  MUX_CHECK(parent != nullptr);
+
+  auto top = std::make_unique<Node>();
+  top->edge = SeqPrefix(node->edge, offset);
+  top->parent = parent;
+  top->ref_count = node->ref_count;  // Pins through `node` pin the path.
+  top->last_access = node->last_access;
+
+  const ChildKey node_key = KeyFor(node->edge);
+  auto it = parent->children.find(node_key);
+  MUX_CHECK(it != parent->children.end());
+  std::unique_ptr<Node> owned = std::move(it->second);
+  parent->children.erase(it);
+
+  owned->edge = SeqSuffix(owned->edge, offset);
+  owned->parent = top.get();
+  const ChildKey bottom_key = KeyFor(owned->edge);
+  Node* top_raw = top.get();
+  top->children.emplace(bottom_key, std::move(owned));
+  parent->children.emplace(KeyFor(top_raw->edge), std::move(top));
+  ++node_count_;
+  return top_raw;
+}
+
+std::pair<std::int64_t, RadixTree::Lock> RadixTree::InsertAndLock(
+    const TokenSeq& seq, sim::Time now) {
+  Node* node = root_.get();
+  TokenSeq remaining = seq;
+  std::int64_t added = 0;
+  Node* deepest = nullptr;
+  while (!remaining.empty()) {
+    auto it = node->children.find(KeyFor(remaining));
+    if (it == node->children.end()) {
+      auto leaf = std::make_unique<Node>();
+      leaf->edge = remaining;
+      leaf->parent = node;
+      leaf->last_access = now;
+      leaf->ref_count = 1;
+      added += SeqLength(remaining);
+      total_tokens_ += SeqLength(remaining);
+      Node* leaf_raw = leaf.get();
+      node->children.emplace(KeyFor(remaining), std::move(leaf));
+      ++node_count_;
+      deepest = leaf_raw;
+      remaining.clear();
+      break;
+    }
+    Node* child = it->second.get();
+    const std::int64_t common = CommonPrefixLength(child->edge, remaining);
+    MUX_CHECK(common > 0);
+    if (common < child->EdgeTokens()) {
+      // The new sequence diverges (or ends) inside this edge: split so
+      // the shared top part becomes its own node.
+      child = SplitNode(child, common);
+    }
+    child->last_access = now;
+    ++child->ref_count;
+    deepest = child;
+    remaining = SeqSuffix(remaining, common);
+    node = child;
+  }
+  return {added, Lock{deepest}};
+}
+
+std::int64_t RadixTree::EvictLru(std::int64_t tokens_needed) {
+  // Min-heap of evictable leaves ordered by last access.
+  struct HeapEntry {
+    sim::Time last_access;
+    Node* node;
+    bool operator>(const HeapEntry& other) const {
+      if (last_access != other.last_access)
+        return last_access > other.last_access;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+  // DFS to seed the heap with current evictable leaves.
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (auto& [key, child] : node->children) stack.push_back(child.get());
+    if (node != root_.get() && node->children.empty() &&
+        node->ref_count == 0) {
+      heap.push({node->last_access, node});
+    }
+  }
+
+  std::int64_t freed = 0;
+  while (freed < tokens_needed && !heap.empty()) {
+    Node* victim = heap.top().node;
+    heap.pop();
+    // The victim may have gained children/refs meanwhile — impossible in
+    // this single loop, but stay defensive.
+    if (!victim->children.empty() || victim->ref_count != 0) continue;
+    Node* parent = victim->parent;
+    freed += victim->EdgeTokens();
+    total_tokens_ -= victim->EdgeTokens();
+    --node_count_;
+    parent->children.erase(KeyFor(victim->edge));
+    if (parent != root_.get() && parent->children.empty() &&
+        parent->ref_count == 0) {
+      heap.push({parent->last_access, parent});
+    }
+  }
+  return freed;
+}
+
+std::int64_t RadixTree::LockedTokens() const {
+  std::int64_t locked = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& [key, child] : node->children)
+      stack.push_back(child.get());
+    if (node != root_.get() && node->ref_count > 0)
+      locked += node->EdgeTokens();
+  }
+  return locked;
+}
+
+void RadixTree::CheckInvariants() const {
+  std::int64_t tokens = 0;
+  std::size_t nodes = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node != root_.get()) {
+      MUX_CHECK(!node->edge.empty());
+      MUX_CHECK(node->ref_count >= 0);
+      tokens += node->EdgeTokens();
+      ++nodes;
+    }
+    for (const auto& [key, child] : node->children) {
+      MUX_CHECK(child->parent == node);
+      MUX_CHECK(key == KeyFor(child->edge));
+      // A child pinned by a lock implies the parent is pinned too,
+      // because locks increment every node on the path.
+      if (node != root_.get() && child->ref_count > 0) {
+        MUX_CHECK(node->ref_count > 0);
+      }
+      stack.push_back(child.get());
+    }
+  }
+  MUX_CHECK(tokens == total_tokens_);
+  MUX_CHECK(nodes == node_count_);
+}
+
+}  // namespace muxwise::kv

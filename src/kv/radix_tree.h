@@ -1,0 +1,108 @@
+#ifndef MUXWISE_KV_RADIX_TREE_H_
+#define MUXWISE_KV_RADIX_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kv/token_seq.h"
+#include "sim/time.h"
+
+namespace muxwise::kv {
+
+/**
+ * SGLang-style radix tree over cached token sequences.
+ *
+ * Each node owns a compressed edge (a TokenSeq) whose tokens occupy KV
+ * pool space. Nodes carry reference counts: a request pins (locks) the
+ * path covering the prefix it reuses so that eviction cannot free cache
+ * under an in-flight computation. Unreferenced leaves are evicted in
+ * LRU order (paper Fig. 5 uses exactly this policy).
+ */
+class RadixTree {
+ public:
+  struct Node;
+
+  /** Pin on a matched path. Release with Unlock(). */
+  struct Lock {
+    Node* node = nullptr;
+  };
+
+  struct MatchResult {
+    std::int64_t matched_tokens = 0;
+    Lock lock;  // Valid only when requested via MatchAndLock.
+  };
+
+  RadixTree();
+  ~RadixTree();
+
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+
+  /** Longest cached prefix of `seq`, updating recency. Does not pin. */
+  std::int64_t MatchedPrefix(const TokenSeq& seq, sim::Time now);
+
+  /** Longest cached prefix of `seq`; pins the matched path. */
+  MatchResult MatchAndLock(const TokenSeq& seq, sim::Time now);
+
+  /** Releases a pin obtained from MatchAndLock or InsertAndLock. */
+  void Unlock(Lock lock);
+
+  /**
+   * Ensures `seq` is fully present, splitting/creating nodes as needed.
+   * Returns the number of tokens newly materialized (pool growth) and a
+   * pin on the deepest node of the inserted path.
+   */
+  std::pair<std::int64_t, Lock> InsertAndLock(const TokenSeq& seq,
+                                              sim::Time now);
+
+  /**
+   * Evicts unreferenced leaves, LRU first, until at least
+   * `tokens_needed` tokens are freed or nothing evictable remains.
+   * Returns tokens actually freed.
+   */
+  std::int64_t EvictLru(std::int64_t tokens_needed);
+
+  /** Tokens currently cached (sum of all edge lengths). */
+  std::int64_t total_tokens() const { return total_tokens_; }
+
+  /** Tokens pinned by outstanding locks (not evictable). */
+  std::int64_t LockedTokens() const;
+
+  /** Number of nodes (diagnostic). */
+  std::size_t node_count() const { return node_count_; }
+
+  /** Internal consistency check used by tests; aborts on violation. */
+  void CheckInvariants() const;
+
+ private:
+  using ChildKey = std::pair<std::int64_t, std::int64_t>;  // (stream, begin).
+
+  static ChildKey KeyFor(const TokenSeq& seq);
+
+  /**
+   * Splits `node`'s edge at `offset` tokens, inserting a new parent that
+   * owns the top part. Locks on `node` keep pinning the whole path.
+   */
+  Node* SplitNode(Node* node, std::int64_t offset);
+
+  std::unique_ptr<Node> root_;
+  std::int64_t total_tokens_ = 0;
+  std::size_t node_count_ = 0;  // Excludes the root sentinel.
+};
+
+struct RadixTree::Node {
+  TokenSeq edge;
+  Node* parent = nullptr;
+  std::map<ChildKey, std::unique_ptr<Node>> children;
+  std::int64_t ref_count = 0;
+  sim::Time last_access = 0;
+
+  std::int64_t EdgeTokens() const { return SeqLength(edge); }
+};
+
+}  // namespace muxwise::kv
+
+#endif  // MUXWISE_KV_RADIX_TREE_H_

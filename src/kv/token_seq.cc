@@ -1,0 +1,81 @@
+#include "kv/token_seq.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace muxwise::kv {
+
+std::int64_t SeqLength(const TokenSeq& seq) {
+  std::int64_t total = 0;
+  for (const TokenSpan& span : seq) total += span.length();
+  return total;
+}
+
+void AppendSpan(TokenSeq& seq, TokenSpan span) {
+  MUX_CHECK(span.begin <= span.end);
+  if (span.length() == 0) return;
+  if (!seq.empty() && seq.back().stream == span.stream &&
+      seq.back().end == span.begin) {
+    seq.back().end = span.end;
+    return;
+  }
+  seq.push_back(span);
+}
+
+TokenSeq SeqPrefix(const TokenSeq& seq, std::int64_t len) {
+  MUX_CHECK(len >= 0);
+  TokenSeq out;
+  std::int64_t remaining = len;
+  for (const TokenSpan& span : seq) {
+    if (remaining <= 0) break;
+    const std::int64_t take = std::min(remaining, span.length());
+    AppendSpan(out, TokenSpan{span.stream, span.begin, span.begin + take});
+    remaining -= take;
+  }
+  MUX_CHECK(remaining == 0);
+  return out;
+}
+
+TokenSeq SeqSuffix(const TokenSeq& seq, std::int64_t from) {
+  MUX_CHECK(from >= 0);
+  TokenSeq out;
+  std::int64_t to_skip = from;
+  for (const TokenSpan& span : seq) {
+    if (to_skip >= span.length()) {
+      to_skip -= span.length();
+      continue;
+    }
+    AppendSpan(out, TokenSpan{span.stream, span.begin + to_skip, span.end});
+    to_skip = 0;
+  }
+  MUX_CHECK(to_skip == 0);
+  return out;
+}
+
+std::int64_t CommonPrefixLength(const TokenSeq& a, const TokenSeq& b) {
+  std::int64_t matched = 0;
+  std::size_t ia = 0, ib = 0;
+  std::int64_t oa = 0, ob = 0;  // Offsets within current spans.
+  while (ia < a.size() && ib < b.size()) {
+    const TokenSpan& sa = a[ia];
+    const TokenSpan& sb = b[ib];
+    if (sa.stream != sb.stream || sa.begin + oa != sb.begin + ob) break;
+    const std::int64_t run =
+        std::min(sa.length() - oa, sb.length() - ob);
+    matched += run;
+    oa += run;
+    ob += run;
+    if (oa == sa.length()) {
+      ++ia;
+      oa = 0;
+    }
+    if (ob == sb.length()) {
+      ++ib;
+      ob = 0;
+    }
+  }
+  return matched;
+}
+
+}  // namespace muxwise::kv

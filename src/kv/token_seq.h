@@ -1,0 +1,50 @@
+#ifndef MUXWISE_KV_TOKEN_SEQ_H_
+#define MUXWISE_KV_TOKEN_SEQ_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace muxwise::kv {
+
+/**
+ * A contiguous run of tokens inside a deterministic token stream.
+ *
+ * The simulator never materializes token ids. Instead, every logical
+ * token belongs to a `stream` (one per conversation session, plus one
+ * per shared system prompt), and position `i` of a stream always denotes
+ * the same token. Two spans therefore share content exactly when they
+ * reference the same stream at the same offset — which is all a radix
+ * tree needs for prefix matching, at O(1) memory per request instead of
+ * O(context length).
+ */
+struct TokenSpan {
+  std::int64_t stream = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  // Exclusive.
+
+  std::int64_t length() const { return end - begin; }
+
+  friend bool operator==(const TokenSpan&, const TokenSpan&) = default;
+};
+
+/** A token sequence: concatenation of spans (normalized, no empties). */
+using TokenSeq = std::vector<TokenSpan>;
+
+/** Total tokens in a sequence. */
+std::int64_t SeqLength(const TokenSeq& seq);
+
+/** Appends a span, merging with the tail when contiguous. */
+void AppendSpan(TokenSeq& seq, TokenSpan span);
+
+/** Returns the first `len` tokens of `seq` as a new sequence. */
+TokenSeq SeqPrefix(const TokenSeq& seq, std::int64_t len);
+
+/** Returns tokens [from, end) of `seq` as a new sequence. */
+TokenSeq SeqSuffix(const TokenSeq& seq, std::int64_t from);
+
+/** Length of the longest common prefix of two sequences, in tokens. */
+std::int64_t CommonPrefixLength(const TokenSeq& a, const TokenSeq& b);
+
+}  // namespace muxwise::kv
+
+#endif  // MUXWISE_KV_TOKEN_SEQ_H_

@@ -1,0 +1,60 @@
+#include "llm/least_squares.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "sim/logging.h"
+
+namespace muxwise::llm {
+
+std::vector<double> SolveLeastSquares(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets, const std::vector<double>& weights) {
+  MUX_CHECK(!rows.empty());
+  MUX_CHECK(rows.size() == targets.size());
+  const std::size_t dim = rows.front().size();
+  MUX_CHECK(dim > 0);
+
+  // Accumulate the normal equations A = X^T W X, b = X^T W y.
+  std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> b(dim, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    MUX_CHECK(rows[i].size() == dim);
+    const double w = weights.empty() ? 1.0 : weights[i] * weights[i];
+    for (std::size_t j = 0; j < dim; ++j) {
+      b[j] += w * rows[i][j] * targets[i];
+      for (std::size_t k = 0; k < dim; ++k) {
+        a[j][k] += w * rows[i][j] * rows[i][k];
+      }
+    }
+  }
+  // Tikhonov damping keeps near-collinear designs solvable.
+  for (std::size_t j = 0; j < dim; ++j) a[j][j] += 1e-12 * (a[j][j] + 1.0);
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < dim; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-300) {
+      sim::Panic("SolveLeastSquares: singular normal equations");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < dim; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < dim; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> theta(dim, 0.0);
+  for (std::size_t col = dim; col-- > 0;) {
+    double sum = b[col];
+    for (std::size_t k = col + 1; k < dim; ++k) sum -= a[col][k] * theta[k];
+    theta[col] = sum / a[col][col];
+  }
+  return theta;
+}
+
+}  // namespace muxwise::llm

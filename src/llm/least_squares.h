@@ -1,0 +1,24 @@
+#ifndef MUXWISE_LLM_LEAST_SQUARES_H_
+#define MUXWISE_LLM_LEAST_SQUARES_H_
+
+#include <vector>
+
+namespace muxwise::llm {
+
+/**
+ * Solves min ||X theta - y||^2 via the normal equations with partial-
+ * pivot Gaussian elimination. Rows may carry weights (row i scaled by
+ * w[i]); pass an empty weight vector for uniform weighting.
+ *
+ * Returns the coefficient vector (size = number of columns). Fatal if
+ * the system is singular beyond repair (callers control the design
+ * matrix, so this indicates a programming error).
+ */
+std::vector<double> SolveLeastSquares(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const std::vector<double>& weights = {});
+
+}  // namespace muxwise::llm
+
+#endif  // MUXWISE_LLM_LEAST_SQUARES_H_

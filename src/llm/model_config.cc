@@ -1,0 +1,109 @@
+#include "llm/model_config.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace muxwise::llm {
+
+double ModelConfig::KvBytesPerToken() const {
+  return 2.0 * num_layers * num_kv_heads * head_dim * dtype_bytes;
+}
+
+double ModelConfig::WeightBytes() const { return total_params * dtype_bytes; }
+
+double ModelConfig::ActiveWeightBytes() const {
+  return active_params * dtype_bytes;
+}
+
+double ModelConfig::DecodeWeightBytes(int batch) const {
+  if (!IsMoe()) return WeightBytes();
+  MUX_CHECK(batch >= 1);
+  // Expert FFN weights dominate an MoE's footprint; attention and shared
+  // projections are covered by the activated-parameter estimate.
+  const double expert_params =
+      (total_params - active_params) /
+      (1.0 - static_cast<double>(experts_per_token) / num_experts);
+  const double per_expert_bytes = expert_params / num_experts * dtype_bytes;
+  const double shared_bytes = WeightBytes() - expert_params * dtype_bytes;
+  // Probability a given expert is activated by at least one of the
+  // batch * experts_per_token routed slots.
+  const double p_active =
+      1.0 - std::pow(1.0 - static_cast<double>(experts_per_token) / num_experts,
+                     batch);
+  const double expected_experts = num_experts * p_active;
+  return shared_bytes + expected_experts * per_expert_bytes;
+}
+
+ModelConfig ModelConfig::Llama8B() {
+  ModelConfig m;
+  m.name = "Llama-8B";
+  m.num_layers = 32;
+  m.hidden_dim = 4096;
+  m.num_heads = 32;
+  m.num_kv_heads = 8;
+  m.head_dim = 128;
+  m.ffn_dim = 14336;
+  m.vocab_size = 128256;
+  m.total_params = 8.0e9;
+  m.active_params = 8.0e9;
+  return m;
+}
+
+ModelConfig ModelConfig::Llama70B() {
+  ModelConfig m;
+  m.name = "Llama-70B";
+  m.num_layers = 80;
+  m.hidden_dim = 8192;
+  m.num_heads = 64;
+  m.num_kv_heads = 8;
+  m.head_dim = 128;
+  m.ffn_dim = 28672;
+  m.vocab_size = 128256;
+  m.total_params = 70.0e9;
+  m.active_params = 70.0e9;
+  return m;
+}
+
+ModelConfig ModelConfig::Qwen235B() {
+  ModelConfig m;
+  m.name = "Qwen3-235B-A22B";
+  m.num_layers = 94;
+  m.hidden_dim = 4096;
+  m.num_heads = 64;
+  m.num_kv_heads = 4;
+  m.head_dim = 128;
+  m.ffn_dim = 1536;  // Per-expert MoE intermediate size.
+  m.vocab_size = 151936;
+  m.num_experts = 128;
+  m.experts_per_token = 8;
+  m.total_params = 235.0e9;
+  m.active_params = 22.0e9;
+  return m;
+}
+
+ModelConfig ModelConfig::CodeLlama34B() {
+  ModelConfig m;
+  m.name = "CodeLlama-34B";
+  m.num_layers = 48;
+  m.hidden_dim = 8192;
+  m.num_heads = 64;
+  m.num_kv_heads = 8;
+  m.head_dim = 128;
+  m.ffn_dim = 22016;
+  m.vocab_size = 32016;
+  m.max_context = 16384;
+  m.total_params = 34.0e9;
+  m.active_params = 34.0e9;
+  return m;
+}
+
+ModelConfig ModelConfig::ByName(const std::string& name) {
+  if (name == "Llama-8B") return Llama8B();
+  if (name == "Llama-70B") return Llama70B();
+  if (name == "Qwen3-235B-A22B" || name == "Qwen-235B") return Qwen235B();
+  if (name == "CodeLlama-34B") return CodeLlama34B();
+  sim::Fatal("unknown model: " + name);
+}
+
+}  // namespace muxwise::llm

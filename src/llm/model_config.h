@@ -1,0 +1,70 @@
+#ifndef MUXWISE_LLM_MODEL_CONFIG_H_
+#define MUXWISE_LLM_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace muxwise::llm {
+
+/**
+ * Architecture description of a served transformer LLM.
+ *
+ * Only the quantities that determine compute / memory demands are kept:
+ * the simulator never touches weights or numerics. MoE models carry the
+ * expert geometry needed to model activated-parameter compute and the
+ * expected fraction of expert weights streamed per decode iteration.
+ */
+struct ModelConfig {
+  std::string name;
+
+  int num_layers = 0;
+  int hidden_dim = 0;   // d_model.
+  int num_heads = 0;
+  int num_kv_heads = 0; // GQA groups.
+  int head_dim = 0;
+  int ffn_dim = 0;      // Intermediate size (per expert for MoE).
+  int vocab_size = 0;
+  int dtype_bytes = 2;  // BF16 serving.
+  int max_context = 131072;
+
+  // Mixture-of-experts geometry (0/0 for dense models).
+  int num_experts = 0;
+  int experts_per_token = 0;
+
+  /** Total parameter count (weights resident in HBM). */
+  double total_params = 0.0;
+
+  /** Parameters activated per token (== total for dense models). */
+  double active_params = 0.0;
+
+  /** KV-cache bytes per token across all layers (K and V). */
+  double KvBytesPerToken() const;
+
+  /** Resident weight bytes. */
+  double WeightBytes() const;
+
+  /** Weight bytes touched by one token's forward pass. */
+  double ActiveWeightBytes() const;
+
+  /**
+   * Expected weight bytes streamed by one decode iteration of batch size
+   * `batch`. Dense models stream everything once; MoE models stream the
+   * expected number of distinct activated experts plus shared weights.
+   */
+  double DecodeWeightBytes(int batch) const;
+
+  /** True when the model routes through experts. */
+  bool IsMoe() const { return num_experts > 0; }
+
+  static ModelConfig Llama8B();
+  static ModelConfig Llama70B();
+  static ModelConfig Qwen235B();
+  static ModelConfig CodeLlama34B();
+
+  /** Lookup by name; fatal on unknown. */
+  static ModelConfig ByName(const std::string& name);
+};
+
+}  // namespace muxwise::llm
+
+#endif  // MUXWISE_LLM_MODEL_CONFIG_H_

@@ -1,0 +1,43 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace muxwise::serve {
+
+bool AdmitToPool(kv::KvPool& pool, Request& request, sim::Time now) {
+  MUX_CHECK(request.reserved_tokens == 0);
+  kv::KvPool::PrefixLease lease =
+      pool.AcquirePrefix(request.spec->prompt, now);
+  // Even a fully cached prompt recomputes its last token so the model
+  // can produce the next one (standard radix-cache semantics).
+  const std::int64_t cached =
+      std::min(lease.matched_tokens, request.spec->input_tokens - 1);
+  const std::int64_t need =
+      (request.spec->input_tokens - cached) + request.spec->output_tokens;
+  if (!pool.TryReserve(need)) {
+    pool.ReleasePrefix(lease);
+    return false;
+  }
+  request.lease = lease;
+  request.cached_tokens = cached;
+  request.prefill_tokens = request.spec->input_tokens - cached;
+  request.reserved_tokens = need;
+  return true;
+}
+
+void FinishInPool(kv::KvPool& pool, Request& request, sim::Time now) {
+  pool.ReleaseReserved(request.reserved_tokens);
+  request.reserved_tokens = 0;
+  pool.CommitSequence(request.spec->full_seq, now);
+  pool.ReleasePrefix(request.lease);
+}
+
+void AbandonInPool(kv::KvPool& pool, Request& request) {
+  pool.ReleaseReserved(request.reserved_tokens);
+  request.reserved_tokens = 0;
+  pool.ReleasePrefix(request.lease);
+}
+
+}  // namespace muxwise::serve

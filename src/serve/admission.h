@@ -1,0 +1,35 @@
+#ifndef MUXWISE_SERVE_ADMISSION_H_
+#define MUXWISE_SERVE_ADMISSION_H_
+
+#include "kv/kv_pool.h"
+#include "serve/request.h"
+#include "sim/time.h"
+
+namespace muxwise::serve {
+
+/**
+ * Admits a request into a pool: pins the longest cached prefix of its
+ * prompt and reserves working space for the tokens it will compute (the
+ * uncached prompt remainder plus every output token).
+ *
+ * Returns false — leaving the pool untouched — when the space cannot be
+ * found even after LRU eviction; the caller keeps the request queued.
+ */
+bool AdmitToPool(kv::KvPool& pool, Request& request, sim::Time now);
+
+/**
+ * Completes a request's pool accounting: releases its working
+ * reservation, commits the full sequence (prompt + generated tokens)
+ * into the cache for later reuse, and drops the prefix pin.
+ */
+void FinishInPool(kv::KvPool& pool, Request& request, sim::Time now);
+
+/**
+ * Aborts a request's pool accounting without caching anything (used
+ * when an engine drops or migrates a request).
+ */
+void AbandonInPool(kv::KvPool& pool, Request& request);
+
+}  // namespace muxwise::serve
+
+#endif  // MUXWISE_SERVE_ADMISSION_H_

@@ -1,0 +1,50 @@
+#include "serve/deployment.h"
+
+#include <string>
+
+#include "sim/logging.h"
+
+namespace muxwise::serve {
+
+Deployment Deployment::Make(const llm::ModelConfig& model,
+                            const gpu::GpuSpec& gpu, int num_gpus) {
+  Deployment d;
+  d.model = model;
+  d.gpu = gpu;
+  d.num_gpus = num_gpus;
+  d.slo = workload::SloTargets::ForModel(model.name);
+  return d;
+}
+
+std::int64_t Deployment::PoolTokens(int tp_degree,
+                                    double extra_graph_fraction) const {
+  MUX_CHECK(tp_degree >= 1);
+  const double total_hbm = gpu.hbm_capacity * tp_degree;
+  const double graphs =
+      total_hbm * (graph_memory_fraction + extra_graph_fraction);
+  const double available = total_hbm * (1.0 - memory_headroom) -
+                           model.WeightBytes() - graphs;
+  if (available <= 0.0) {
+    sim::Fatal("model " + model.name + " does not fit on " +
+               std::to_string(tp_degree) + "x " + gpu.name);
+  }
+  return static_cast<std::int64_t>(available / model.KvBytesPerToken());
+}
+
+std::vector<int> Deployment::SmPartitionOptions() const {
+  std::vector<int> options;
+  const int grain = gpu.partition_granularity;
+  // Multiplexed options must leave the co-resident context at least its
+  // minimum SM allocation — 6 configurations on A100, 7 on H100 (§3.3.2).
+  for (int sms = grain; sms + gpu.min_partition_sms <= gpu.sm_count;
+       sms += grain) {
+    options.push_back(sms);
+  }
+  // The full device is always a valid allocation (no multiplexing).
+  if (options.empty() || options.back() != gpu.sm_count) {
+    options.push_back(gpu.sm_count);
+  }
+  return options;
+}
+
+}  // namespace muxwise::serve

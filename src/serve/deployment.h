@@ -1,0 +1,51 @@
+#ifndef MUXWISE_SERVE_DEPLOYMENT_H_
+#define MUXWISE_SERVE_DEPLOYMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "llm/model_config.h"
+#include "workload/slo.h"
+
+namespace muxwise::serve {
+
+/**
+ * A (model, server) deployment: what the paper calls an "LLM-machine
+ * pair". Provides the derived quantities every engine needs — KV pool
+ * sizing after weights and CUDA-graph memory, and the green-context SM
+ * partition options at 16-SM granularity (6 on A100, 7 on H100, §3.3.2).
+ */
+struct Deployment {
+  llm::ModelConfig model;
+  gpu::GpuSpec gpu;
+  int num_gpus = 8;
+  workload::SloTargets slo;
+
+  /** Fraction of HBM kept free for activations / allocator slack. */
+  double memory_headroom = 0.08;
+
+  /** CUDA-graph memory as a fraction of total HBM (paper §4.5: 6.2%). */
+  double graph_memory_fraction = 0.03;
+
+  static Deployment Make(const llm::ModelConfig& model,
+                         const gpu::GpuSpec& gpu, int num_gpus = 8);
+
+  /**
+   * KV pool capacity in tokens for an instance of `tp_degree` GPUs
+   * hosting a full model replica. Fatal if the weights don't fit.
+   */
+  std::int64_t PoolTokens(int tp_degree,
+                          double extra_graph_fraction = 0.0) const;
+
+  /**
+   * SM allocations available to green-context partitioning:
+   * {granularity, 2*granularity, ...} strictly below the full device,
+   * plus the full device itself.
+   */
+  std::vector<int> SmPartitionOptions() const;
+};
+
+}  // namespace muxwise::serve
+
+#endif  // MUXWISE_SERVE_DEPLOYMENT_H_

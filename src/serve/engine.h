@@ -1,0 +1,45 @@
+#ifndef MUXWISE_SERVE_ENGINE_H_
+#define MUXWISE_SERVE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/request.h"
+
+namespace muxwise::serve {
+
+/**
+ * Abstract serving engine. A Frontend feeds requests in; the engine
+ * schedules them onto its simulated instance(s) and hands each finished
+ * request back through the completion callback.
+ */
+class Engine {
+ public:
+  using CompletionCallback = std::function<void(std::unique_ptr<Request>)>;
+
+  virtual ~Engine() = default;
+
+  virtual const char* name() const = 0;
+
+  /** Accepts a request at its (simulated) arrival time. */
+  virtual void Enqueue(std::unique_ptr<Request> request) = 0;
+
+  /** Requests accepted but not yet completed (stability diagnostics). */
+  virtual std::size_t InFlight() const = 0;
+
+  void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+ protected:
+  void NotifyComplete(std::unique_ptr<Request> request) {
+    if (on_complete_) on_complete_(std::move(request));
+  }
+
+ private:
+  CompletionCallback on_complete_;
+};
+
+}  // namespace muxwise::serve
+
+#endif  // MUXWISE_SERVE_ENGINE_H_

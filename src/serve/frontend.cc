@@ -1,0 +1,93 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::serve {
+
+Frontend::Frontend(sim::Simulator* simulator, Engine* engine,
+                   const workload::Trace* trace, MetricsCollector* metrics)
+    : sim_(simulator), engine_(engine), trace_(trace), metrics_(metrics) {
+  MUX_CHECK(sim_ != nullptr && engine_ != nullptr && trace_ != nullptr);
+  states_.assign(trace_->requests.size(), State::kPending);
+  for (std::size_t i = 0; i < trace_->requests.size(); ++i) {
+    index_by_id_[trace_->requests[i].id] = i;
+  }
+  engine_->set_on_complete(
+      [this](std::unique_ptr<Request> request) {
+        OnComplete(std::move(request));
+      });
+}
+
+void Frontend::Start() {
+  for (std::size_t i = 0; i < trace_->requests.size(); ++i) {
+    const sim::Time when =
+        sim::Seconds(trace_->requests[i].arrival_seconds);
+    sim_->ScheduleAt(std::max(sim_->Now(), when),
+                     [this, i] { OnArrival(i); });
+  }
+}
+
+bool Frontend::PredecessorDone(const workload::RequestSpec& spec) const {
+  if (spec.session_seq == 0) return true;
+  auto it = session_completed_turns_.find(spec.session);
+  const int done = it == session_completed_turns_.end() ? 0 : it->second;
+  return done >= spec.session_seq;
+}
+
+void Frontend::OnArrival(std::size_t index) {
+  MUX_CHECK(states_[index] == State::kPending);
+  states_[index] = State::kArrived;
+  const workload::RequestSpec& spec = trace_->requests[index];
+  if (PredecessorDone(spec)) {
+    Dispatch(index);
+  } else {
+    held_[spec.session].push_back(index);
+  }
+}
+
+void Frontend::Dispatch(std::size_t index) {
+  MUX_CHECK(states_[index] == State::kArrived);
+  states_[index] = State::kDispatched;
+  ++dispatched_;
+  auto request = std::make_unique<Request>(&trace_->requests[index]);
+  request->arrival = sim_->Now();
+  engine_->Enqueue(std::move(request));
+}
+
+void Frontend::OnComplete(std::unique_ptr<Request> request) {
+  const std::int64_t id = request->spec->id;
+  auto it = index_by_id_.find(id);
+  MUX_CHECK(it != index_by_id_.end());
+  const std::size_t index = it->second;
+  MUX_CHECK(states_[index] == State::kDispatched);
+  states_[index] = State::kCompleted;
+  ++completed_;
+  last_completion_ = sim_->Now();
+  if (metrics_ != nullptr) metrics_->OnRequestComplete(*request);
+
+  // Release the next held turn of this session, if its time has come.
+  const workload::RequestSpec& spec = *request->spec;
+  int& done = session_completed_turns_[spec.session];
+  done = std::max(done, spec.session_seq + 1);
+  auto held_it = held_.find(spec.session);
+  if (held_it != held_.end()) {
+    auto& queue = held_it->second;
+    // Dispatch every held request whose predecessors are now complete
+    // (normally just the next turn).
+    std::vector<std::size_t> ready;
+    for (auto qi = queue.begin(); qi != queue.end();) {
+      if (PredecessorDone(trace_->requests[*qi])) {
+        ready.push_back(*qi);
+        qi = queue.erase(qi);
+      } else {
+        ++qi;
+      }
+    }
+    for (std::size_t r : ready) Dispatch(r);
+  }
+}
+
+}  // namespace muxwise::serve

@@ -1,0 +1,72 @@
+#ifndef MUXWISE_SERVE_FRONTEND_H_
+#define MUXWISE_SERVE_FRONTEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "sim/simulator.h"
+#include "workload/request_spec.h"
+
+namespace muxwise::serve {
+
+/**
+ * Replays a workload trace into an engine.
+ *
+ * Clients in multi-turn workloads cannot send turn k+1 before reading
+ * the response to turn k, so the frontend holds a session's next request
+ * until its predecessor completes (its arrival timestamp is a lower
+ * bound). Completions are fed to a MetricsCollector and released back to
+ * the caller's bookkeeping.
+ */
+class Frontend {
+ public:
+  Frontend(sim::Simulator* simulator, Engine* engine,
+           const workload::Trace* trace, MetricsCollector* metrics);
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /** Schedules every arrival; call once before Simulator::Run(). */
+  void Start();
+
+  std::size_t dispatched() const { return dispatched_; }
+  std::size_t completed() const { return completed_; }
+  bool AllCompleted() const {
+    return completed_ == trace_->requests.size();
+  }
+
+  /** Time the last request completed (0 if none yet). */
+  sim::Time last_completion() const { return last_completion_; }
+
+ private:
+  void OnArrival(std::size_t index);
+  void Dispatch(std::size_t index);
+  void OnComplete(std::unique_ptr<Request> request);
+
+  /** True when every earlier turn of the request's session completed. */
+  bool PredecessorDone(const workload::RequestSpec& spec) const;
+
+  sim::Simulator* sim_;
+  Engine* engine_;
+  const workload::Trace* trace_;
+  MetricsCollector* metrics_;
+
+  enum class State { kPending, kArrived, kDispatched, kCompleted };
+  std::vector<State> states_;
+  std::map<std::int64_t, int> session_completed_turns_;
+  // session -> indices of arrived-but-held requests.
+  std::map<std::int64_t, std::vector<std::size_t>> held_;
+  std::map<std::int64_t, std::size_t> index_by_id_;
+
+  std::size_t dispatched_ = 0;
+  std::size_t completed_ = 0;
+  sim::Time last_completion_ = 0;
+};
+
+}  // namespace muxwise::serve
+
+#endif  // MUXWISE_SERVE_FRONTEND_H_

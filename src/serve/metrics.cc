@@ -1,0 +1,96 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.h"
+
+namespace muxwise::serve {
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  MUX_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double idx = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+namespace {
+
+LatencySummary Summarize(const std::vector<double>& samples_ms) {
+  LatencySummary s;
+  s.count = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+              static_cast<double>(samples_ms.size());
+  s.p50_ms = Percentile(samples_ms, 0.50);
+  s.p99_ms = Percentile(samples_ms, 0.99);
+  return s;
+}
+
+}  // namespace
+
+void MetricsCollector::OnRequestComplete(const Request& request) {
+  MUX_CHECK(request.completion >= 0);
+  MUX_CHECK(request.first_token >= 0);
+  ++completed_;
+  output_tokens_ += request.generated;
+  input_tokens_ += request.spec->input_tokens;
+
+  const double ttft_ms = sim::ToMilliseconds(request.Ttft());
+  ttft_ms_.push_back(ttft_ms);
+  ttft_per_token_ms_.push_back(
+      ttft_ms / std::max<std::int64_t>(1, request.spec->input_tokens));
+  e2e_ms_.push_back(sim::ToMilliseconds(request.E2e()));
+
+  // Per-token gaps after the first token are the TBT population.
+  for (std::size_t i = 1; i < request.token_times.size(); ++i) {
+    tbt_ms_.push_back(sim::ToMilliseconds(request.token_times[i] -
+                                          request.token_times[i - 1]));
+  }
+  if (request.generated > 1) {
+    tpot_ms_.push_back(
+        sim::ToMilliseconds(request.completion - request.first_token) /
+        static_cast<double>(request.generated - 1));
+  }
+}
+
+LatencySummary MetricsCollector::Ttft() const { return Summarize(ttft_ms_); }
+LatencySummary MetricsCollector::Tbt() const { return Summarize(tbt_ms_); }
+LatencySummary MetricsCollector::Tpot() const { return Summarize(tpot_ms_); }
+LatencySummary MetricsCollector::E2e() const { return Summarize(e2e_ms_); }
+
+LatencySummary MetricsCollector::TtftPerToken() const {
+  return Summarize(ttft_per_token_ms_);
+}
+
+double MetricsCollector::TbtAttainment(sim::Duration tbt_target) const {
+  if (tbt_ms_.empty()) return 1.0;
+  const double target_ms = sim::ToMilliseconds(tbt_target);
+  const std::size_t ok = static_cast<std::size_t>(std::count_if(
+      tbt_ms_.begin(), tbt_ms_.end(),
+      [target_ms](double v) { return v <= target_ms; }));
+  return static_cast<double>(ok) / static_cast<double>(tbt_ms_.size());
+}
+
+bool MetricsCollector::MeetsSlo(const workload::SloTargets& slo) const {
+  return TbtAttainment(slo.tbt) >= slo.percentile;
+}
+
+double MetricsCollector::TokenThroughput(sim::Time t0, sim::Time t1) const {
+  const double span = sim::ToSeconds(t1 - t0);
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(output_tokens_ + input_tokens_) / span;
+}
+
+double MetricsCollector::RequestThroughput(sim::Time t0, sim::Time t1) const {
+  const double span = sim::ToSeconds(t1 - t0);
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(completed_) / span;
+}
+
+}  // namespace muxwise::serve

@@ -1,0 +1,80 @@
+#ifndef MUXWISE_SERVE_METRICS_H_
+#define MUXWISE_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "sim/time.h"
+#include "workload/slo.h"
+
+namespace muxwise::serve {
+
+/** Percentile over a sample vector (p in [0,1]); 0 for empty input. */
+double Percentile(std::vector<double> samples, double p);
+
+/** Summary statistics of one latency population, milliseconds. */
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t count = 0;
+};
+
+/**
+ * Collects per-request latency stamps and derives the evaluation
+ * metrics of the paper: TTFT, TBT (per-token gaps, strict), TPOT
+ * (per-request average), E2E, token throughput, and TBT SLO attainment.
+ */
+class MetricsCollector {
+ public:
+  /** Ingests a finished request's timing record. */
+  void OnRequestComplete(const Request& request);
+
+  std::size_t completed() const { return completed_; }
+  std::int64_t output_tokens() const { return output_tokens_; }
+  std::int64_t input_tokens() const { return input_tokens_; }
+
+  LatencySummary Ttft() const;
+  LatencySummary Tbt() const;   // Pooled over every token gap.
+  LatencySummary Tpot() const;  // Per-request averages.
+  LatencySummary E2e() const;
+
+  /**
+   * TTFT normalized per prompt token (paper §4.4.3 preemption study).
+   */
+  LatencySummary TtftPerToken() const;
+
+  /** Raw per-token TTFT samples (ms) for CDF plots. */
+  const std::vector<double>& ttft_per_token_samples_ms() const {
+    return ttft_per_token_ms_;
+  }
+
+  /** Fraction of token gaps within the TBT target. */
+  double TbtAttainment(sim::Duration tbt_target) const;
+
+  /** True if P99 TBT and the attainment percentile meet `slo`. */
+  bool MeetsSlo(const workload::SloTargets& slo) const;
+
+  /** Output tokens per second over [t0, t1]. */
+  double TokenThroughput(sim::Time t0, sim::Time t1) const;
+
+  /** Completed requests per second over [t0, t1]. */
+  double RequestThroughput(sim::Time t0, sim::Time t1) const;
+
+ private:
+  std::size_t completed_ = 0;
+  std::int64_t output_tokens_ = 0;
+  std::int64_t input_tokens_ = 0;
+
+  std::vector<double> ttft_ms_;
+  std::vector<double> ttft_per_token_ms_;
+  std::vector<double> tbt_ms_;
+  std::vector<double> tpot_ms_;
+  std::vector<double> e2e_ms_;
+};
+
+}  // namespace muxwise::serve
+
+#endif  // MUXWISE_SERVE_METRICS_H_

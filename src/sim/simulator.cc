@@ -1,0 +1,92 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::sim {
+
+EventId Simulator::ScheduleAt(Time when, Callback cb) {
+  MUX_CHECK(when >= now_);
+  MUX_CHECK(cb != nullptr);
+  auto event = std::make_shared<Event>();
+  event->when = when;
+  event->id = next_id_++;
+  event->callback = std::move(cb);
+  const EventId id = event->id;
+  index_map_[id] = event;
+  queue_.push(std::move(event));
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, Callback cb) {
+  MUX_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = index_map_.find(id);
+  if (it == index_map_.end()) return false;
+  auto event = it->second.lock();
+  index_map_.erase(it);
+  if (!event || event->cancelled) return false;
+  event->cancelled = true;
+  MUX_CHECK(live_events_ > 0);
+  --live_events_;
+  return true;
+}
+
+std::shared_ptr<Simulator::Event> Simulator::PopNext() {
+  while (!queue_.empty()) {
+    auto event = queue_.top();
+    queue_.pop();
+    if (event->cancelled) continue;
+    index_map_.erase(event->id);
+    return event;
+  }
+  return nullptr;
+}
+
+bool Simulator::Step() {
+  auto event = PopNext();
+  if (!event) return false;
+  MUX_CHECK(event->when >= now_);
+  now_ = event->when;
+  MUX_CHECK(live_events_ > 0);
+  --live_events_;
+  ++executed_;
+  event->callback();
+  return true;
+}
+
+std::size_t Simulator::Run() {
+  std::size_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::RunUntil(Time until) {
+  MUX_CHECK(until >= now_);
+  std::size_t n = 0;
+  while (true) {
+    auto event = PopNext();
+    if (!event) break;
+    if (event->when > until) {
+      // Reinsert: it stays pending for a later RunUntil/Run call.
+      index_map_[event->id] = event;
+      queue_.push(std::move(event));
+      break;
+    }
+    now_ = event->when;
+    MUX_CHECK(live_events_ > 0);
+    --live_events_;
+    ++executed_;
+    ++n;
+    event->callback();
+  }
+  now_ = until;
+  return n;
+}
+
+}  // namespace muxwise::sim

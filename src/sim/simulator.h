@@ -1,0 +1,108 @@
+#ifndef MUXWISE_SIM_SIMULATOR_H_
+#define MUXWISE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace muxwise::sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Discrete-event simulator core.
+ *
+ * Single-threaded by design: all model components (GPU streams, serving
+ * engines, workload frontends) interact solely by scheduling callbacks on
+ * one Simulator, which executes them in (time, insertion-order) order.
+ * That total order makes every experiment bit-reproducible.
+ */
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /** Current simulated time. */
+  Time Now() const { return now_; }
+
+  /**
+   * Schedules `cb` to run at absolute time `when` (>= Now()).
+   * Returns a handle usable with Cancel().
+   */
+  EventId ScheduleAt(Time when, Callback cb);
+
+  /** Schedules `cb` to run `delay` after the current time. */
+  EventId ScheduleAfter(Duration delay, Callback cb);
+
+  /**
+   * Cancels a pending event. Safe to call with an id that already fired
+   * or was already cancelled (both are no-ops returning false).
+   */
+  bool Cancel(EventId id);
+
+  /** Runs until the event queue drains. Returns events executed. */
+  std::size_t Run();
+
+  /**
+   * Runs all events with timestamp <= `until`, then sets Now() to `until`
+   * (even if the queue drained earlier). Returns events executed.
+   */
+  std::size_t RunUntil(Time until);
+
+  /** Executes exactly one event if any is pending. Returns true if so. */
+  bool Step();
+
+  /** True when no live events remain. */
+  bool Empty() const { return live_events_ == 0; }
+
+  /** Number of events pending (excludes cancelled tombstones). */
+  std::size_t PendingEvents() const { return live_events_; }
+
+  /** Total events executed since construction. */
+  std::size_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when = 0;
+    EventId id = kInvalidEventId;
+    Callback callback;
+    bool cancelled = false;
+  };
+
+  struct EventOrder {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->id > b->id;  // FIFO among same-time events.
+    }
+  };
+
+  /** Pops the next live event, or nullptr if the queue is drained. */
+  std::shared_ptr<Event> PopNext();
+
+  Time now_ = kTimeZero;
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<std::shared_ptr<Event>,
+                      std::vector<std::shared_ptr<Event>>, EventOrder>
+      queue_;
+  // Cancellation needs id -> event lookup; entries self-remove on fire.
+  std::unordered_map<EventId, std::weak_ptr<Event>> index_map_;
+};
+
+}  // namespace muxwise::sim
+
+#endif  // MUXWISE_SIM_SIMULATOR_H_

@@ -1,0 +1,22 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace muxwise::sim {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / 1e9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(d) / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(d) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace muxwise::sim

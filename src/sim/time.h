@@ -1,0 +1,56 @@
+#ifndef MUXWISE_SIM_TIME_H_
+#define MUXWISE_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace muxwise::sim {
+
+/**
+ * Simulated time, measured in integer nanoseconds since simulation start.
+ *
+ * Integer nanoseconds keep the event queue deterministic across platforms
+ * (no floating-point tie-break ambiguity) while still resolving the
+ * microsecond-scale effects the model cares about (green-context
+ * reconfiguration, kernel launch latency).
+ */
+using Time = std::int64_t;
+
+/** Duration type; same representation as Time. */
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/** Constructs a duration from nanoseconds. */
+constexpr Duration Nanoseconds(std::int64_t n) { return n; }
+
+/** Constructs a duration from microseconds. */
+constexpr Duration Microseconds(double us) {
+  return static_cast<Duration>(us * 1e3);
+}
+
+/** Constructs a duration from milliseconds. */
+constexpr Duration Milliseconds(double ms) {
+  return static_cast<Duration>(ms * 1e6);
+}
+
+/** Constructs a duration from seconds. */
+constexpr Duration Seconds(double s) { return static_cast<Duration>(s * 1e9); }
+
+/** Converts a duration to fractional microseconds. */
+constexpr double ToMicroseconds(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/** Converts a duration to fractional milliseconds. */
+constexpr double ToMilliseconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/** Converts a duration to fractional seconds. */
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/** Renders a duration as a human-readable string, e.g. "12.34ms". */
+std::string FormatDuration(Duration d);
+
+}  // namespace muxwise::sim
+
+#endif  // MUXWISE_SIM_TIME_H_

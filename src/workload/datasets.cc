@@ -1,0 +1,278 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace muxwise::workload {
+
+namespace {
+
+/** Stream id 0 is reserved for shared system prompts. */
+constexpr std::int64_t kSystemStream = 0;
+
+/** Rough seconds-per-output-token used to pace multi-turn clients. */
+constexpr double kExpectedTpotSeconds = 0.03;
+
+struct SessionPlan {
+  double start_seconds = 0.0;
+  int turns = 1;
+};
+
+int SampleTurns(const DatasetParams& params, sim::Rng& rng) {
+  if (params.max_turns <= 1) return 1;
+  const double extra_mean = std::max(0.0, params.mean_turns - 1.0);
+  const int turns =
+      1 + static_cast<int>(std::floor(rng.Exponential(extra_mean)));
+  return std::clamp(turns, 1, params.max_turns);
+}
+
+/**
+ * Expands session start times into per-turn requests. Stops at
+ * `request_cap` requests when the cap is positive.
+ */
+Trace BuildFromSessions(const DatasetParams& params,
+                        const std::vector<SessionPlan>& sessions,
+                        int request_cap, sim::Rng& rng) {
+  const sim::BoundedLogNormal new_dist(params.new_min, params.new_mean,
+                                       params.new_max);
+  const sim::BoundedLogNormal out_dist(params.out_min, params.out_mean,
+                                       params.out_max);
+  Trace trace;
+  trace.name = DatasetName(params.dataset);
+
+  std::int64_t next_session_stream = kSystemStream + 1;
+  for (const SessionPlan& plan : sessions) {
+    const std::int64_t stream = next_session_stream++;
+    std::int64_t history = 0;  // Tokens already in this session's stream.
+    double arrival = plan.start_seconds;
+    for (int turn = 0; turn < plan.turns; ++turn) {
+      const std::int64_t new_tokens =
+          std::max<std::int64_t>(1, std::llround(new_dist.Sample(rng)));
+      const std::int64_t out_tokens =
+          std::max<std::int64_t>(1, std::llround(out_dist.Sample(rng)));
+      const std::int64_t total = params.system_prompt_tokens + history +
+                                 new_tokens + out_tokens;
+      if (total > params.max_context_tokens) break;
+
+      RequestSpec spec;
+      spec.session = stream;
+      spec.session_seq = turn;
+      spec.arrival_seconds = arrival;
+      if (params.system_prompt_tokens > 0) {
+        AppendSpan(spec.prompt,
+                   kv::TokenSpan{kSystemStream, 0, params.system_prompt_tokens});
+      }
+      if (history > 0) {
+        AppendSpan(spec.prompt, kv::TokenSpan{stream, 0, history});
+      }
+      AppendSpan(spec.prompt,
+                 kv::TokenSpan{stream, history, history + new_tokens});
+      spec.full_seq = spec.prompt;
+      AppendSpan(spec.full_seq,
+                 kv::TokenSpan{stream, history + new_tokens,
+                               history + new_tokens + out_tokens});
+      spec.input_tokens = kv::SeqLength(spec.prompt);
+      spec.reused_tokens = params.system_prompt_tokens + history;
+      spec.output_tokens = out_tokens;
+      trace.requests.push_back(std::move(spec));
+
+      history += new_tokens + out_tokens;
+      arrival += out_tokens * kExpectedTpotSeconds +
+                 rng.Exponential(params.think_seconds);
+      if (request_cap > 0 &&
+          trace.requests.size() >= static_cast<std::size_t>(request_cap)) {
+        break;
+      }
+    }
+    if (request_cap > 0 &&
+        trace.requests.size() >= static_cast<std::size_t>(request_cap)) {
+      break;
+    }
+  }
+
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const RequestSpec& a, const RequestSpec& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    trace.requests[i].id = static_cast<std::int64_t>(i);
+  }
+  return trace;
+}
+
+}  // namespace
+
+const char* DatasetName(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kShareGpt:
+      return "ShareGPT";
+    case Dataset::kLoogle:
+      return "LooGLE";
+    case Dataset::kOpenThoughts:
+      return "OpenThoughts";
+    case Dataset::kConversation:
+      return "Conversation";
+    case Dataset::kToolAgent:
+      return "Tool&Agent";
+  }
+  return "?";
+}
+
+DatasetParams DatasetParams::For(Dataset dataset) {
+  DatasetParams p;
+  p.dataset = dataset;
+  switch (dataset) {
+    case Dataset::kShareGpt:
+      // Table 1: input 4/226/1024, output 4/195/1838, single turn.
+      p.new_min = 4, p.new_mean = 226, p.new_max = 1024;
+      p.out_min = 4, p.out_mean = 195, p.out_max = 1838;
+      break;
+    case Dataset::kLoogle:
+      // Table 1: input 3380/30k/81k, output 2/15/326.
+      p.new_min = 3380, p.new_mean = 30000, p.new_max = 81000;
+      p.out_min = 2, p.out_mean = 15, p.out_max = 326;
+      break;
+    case Dataset::kOpenThoughts:
+      // Table 1: input 311/709/4633 including a 243-token shared system
+      // prompt; output 684/8374/32k.
+      p.system_prompt_tokens = 243;
+      p.new_min = 68, p.new_mean = 466, p.new_max = 4390;
+      p.out_min = 684, p.out_mean = 8374, p.out_max = 32000;
+      break;
+    case Dataset::kConversation:
+      // Table 1: input 891/7538/123k, output 1/342/2000, reused mean
+      // 4496. Mean turns solves (T-1)/2 * (new + out) = reused_mean.
+      p.new_min = 600, p.new_mean = 3042, p.new_max = 20000;
+      p.out_min = 1, p.out_mean = 342, p.out_max = 2000;
+      // Request-weighted reuse is length-biased (long sessions contribute
+      // more turns), so the mean turn count sits below the naive
+      // (T-1)/2 solution.
+      p.mean_turns = 2.6;
+      p.max_turns = 10;
+      break;
+    case Dataset::kToolAgent:
+      // Table 1: input 891/8596/123k, output 1/182/2000, reused mean 4905.
+      p.new_min = 600, p.new_mean = 3691, p.new_max = 20000;
+      p.out_min = 1, p.out_mean = 182, p.out_max = 2000;
+      p.mean_turns = 2.6;
+      p.max_turns = 10;
+      break;
+  }
+  return p;
+}
+
+Trace GenerateTrace(Dataset dataset, int num_requests, double rate_per_second,
+                    std::uint64_t seed) {
+  return GenerateTraceWithParams(DatasetParams::For(dataset), num_requests,
+                                 rate_per_second, seed);
+}
+
+Trace GenerateTraceWithParams(const DatasetParams& params, int num_requests,
+                              double rate_per_second, std::uint64_t seed) {
+  MUX_CHECK(num_requests > 0);
+  MUX_CHECK(rate_per_second > 0.0);
+  sim::Rng rng(seed);
+  sim::Rng arrivals = rng.Fork("arrivals");
+  sim::Rng lengths = rng.Fork("lengths");
+
+  const double session_rate =
+      rate_per_second / std::max(1.0, params.mean_turns);
+  std::vector<SessionPlan> sessions;
+  double t = 0.0;
+  // Oversubscribe sessions; BuildFromSessions trims at the cap.
+  const int session_budget = num_requests * 2 + 16;
+  for (int i = 0; i < session_budget; ++i) {
+    t += arrivals.Exponential(1.0 / session_rate);
+    sessions.push_back(SessionPlan{t, SampleTurns(params, arrivals)});
+  }
+  return BuildFromSessions(params, sessions, num_requests, lengths);
+}
+
+Trace GenerateBurstyTrace(Dataset dataset, double base_rate_per_second,
+                          double duration_seconds, double max_spike,
+                          std::uint64_t seed) {
+  MUX_CHECK(base_rate_per_second > 0.0);
+  MUX_CHECK(duration_seconds > 0.0);
+  MUX_CHECK(max_spike >= 1.0);
+  const DatasetParams params = DatasetParams::For(dataset);
+  sim::Rng rng(seed);
+  sim::Rng arrivals = rng.Fork("bursty-arrivals");
+  sim::Rng lengths = rng.Fork("bursty-lengths");
+
+  const double bucket = 10.0;  // Seconds of piecewise-constant rate.
+  const double session_rate =
+      base_rate_per_second / std::max(1.0, params.mean_turns);
+  std::vector<SessionPlan> sessions;
+  for (double t0 = 0.0; t0 < duration_seconds; t0 += bucket) {
+    double multiplier = std::exp(arrivals.Normal(0.0, 0.4));
+    if (arrivals.Bernoulli(0.05)) {
+      multiplier *= arrivals.Uniform(3.0, max_spike);
+    }
+    const double expected = session_rate * multiplier * bucket;
+    // Poisson count via sequential exponential gaps.
+    double acc = arrivals.Exponential(1.0);
+    while (acc < expected) {
+      const double start = t0 + arrivals.Uniform(0.0, bucket);
+      sessions.push_back(SessionPlan{start, SampleTurns(params, arrivals)});
+      acc += arrivals.Exponential(1.0);
+    }
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionPlan& a, const SessionPlan& b) {
+              return a.start_seconds < b.start_seconds;
+            });
+  Trace trace = BuildFromSessions(params, sessions, /*request_cap=*/-1,
+                                  lengths);
+  trace.name = std::string(DatasetName(dataset)) + "-bursty";
+  return trace;
+}
+
+Trace MergeTraces(const std::string& name, std::vector<Trace> traces) {
+  Trace merged;
+  merged.name = name;
+  // Re-map session streams so sessions from different traces never
+  // collide (stream 0 stays the shared system-prompt stream).
+  std::int64_t stream_base = 0;
+  for (Trace& trace : traces) {
+    std::int64_t max_stream = 0;
+    for (RequestSpec& spec : trace.requests) {
+      auto remap = [&](kv::TokenSeq& seq) {
+        for (kv::TokenSpan& span : seq) {
+          if (span.stream != 0) span.stream += stream_base;
+        }
+      };
+      remap(spec.prompt);
+      remap(spec.full_seq);
+      if (spec.session != 0) spec.session += stream_base;
+      max_stream = std::max(max_stream, spec.session);
+      merged.requests.push_back(std::move(spec));
+    }
+    stream_base = max_stream + 1;
+  }
+  std::stable_sort(merged.requests.begin(), merged.requests.end(),
+                   [](const RequestSpec& a, const RequestSpec& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  for (std::size_t i = 0; i < merged.requests.size(); ++i) {
+    merged.requests[i].id = static_cast<std::int64_t>(i);
+  }
+  return merged;
+}
+
+void ResampleArrivalsPoisson(Trace& trace, double rate_per_second,
+                             std::uint64_t seed) {
+  MUX_CHECK(rate_per_second > 0.0);
+  sim::Rng rng(seed);
+  double t = 0.0;
+  // Keep the existing (session-consistent) order; only respace gaps.
+  for (RequestSpec& spec : trace.requests) {
+    t += rng.Exponential(1.0 / rate_per_second);
+    spec.arrival_seconds = t;
+  }
+}
+
+}  // namespace muxwise::workload

@@ -1,0 +1,88 @@
+#ifndef MUXWISE_WORKLOAD_DATASETS_H_
+#define MUXWISE_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/request_spec.h"
+
+namespace muxwise::workload {
+
+/**
+ * Identifies one of the five workloads of paper Table 1. The generators
+ * synthesize token-length distributions (clamped log-normals) calibrated
+ * to the table's min/mean/max, plus the structural properties that
+ * matter to scheduling: multi-turn context accumulation for Conversation
+ * and Tool&Agent, and the shared system prompt of OpenThoughts.
+ */
+enum class Dataset {
+  kShareGpt,      // Chatbot: moderate input, moderate output, single turn.
+  kLoogle,        // Long-context understanding: huge input, tiny output.
+  kOpenThoughts,  // Reasoning: short input, very long output, shared sys.
+  kConversation,  // Real-world multi-turn chat (Mooncake-style).
+  kToolAgent,     // Real-world multi-turn tool/agent (Mooncake-style).
+};
+
+const char* DatasetName(Dataset dataset);
+
+/** Tunable generator parameters; defaults reproduce Table 1. */
+struct DatasetParams {
+  Dataset dataset = Dataset::kShareGpt;
+
+  // Per-turn new-token distribution (min/mean/max).
+  double new_min = 0, new_mean = 0, new_max = 0;
+  // Output-token distribution.
+  double out_min = 0, out_mean = 0, out_max = 0;
+
+  // Multi-turn structure (1 turn for single-turn datasets).
+  double mean_turns = 1.0;
+  int max_turns = 1;
+
+  /** Mean client think time between a response and the next turn, s. */
+  double think_seconds = 5.0;
+
+  /** Shared system prompt length (OpenThoughts), 0 otherwise. */
+  std::int64_t system_prompt_tokens = 0;
+
+  /** Hard cap on a session's total context. */
+  std::int64_t max_context_tokens = 123000;
+
+  static DatasetParams For(Dataset dataset);
+};
+
+/**
+ * Generates `num_requests` requests with Poisson arrivals at
+ * `rate_per_second` (session-level arrivals; turns within a session
+ * follow completion-plus-think-time pacing). Deterministic in `seed`.
+ */
+Trace GenerateTrace(Dataset dataset, int num_requests, double rate_per_second,
+                    std::uint64_t seed);
+
+/** As GenerateTrace but with explicit parameter overrides. */
+Trace GenerateTraceWithParams(const DatasetParams& params, int num_requests,
+                              double rate_per_second, std::uint64_t seed);
+
+/**
+ * Generates a bursty "real-world" trace (paper Fig. 13): the session
+ * arrival rate is modulated per 10-second bucket with occasional spikes
+ * up to `max_spike`x the base rate.
+ */
+Trace GenerateBurstyTrace(Dataset dataset, double base_rate_per_second,
+                          double duration_seconds, double max_spike,
+                          std::uint64_t seed);
+
+/**
+ * Interleaves several traces into one (re-sorting by arrival time and
+ * re-numbering ids). Used for the 50/50 ShareGPT+LooGLE preemption
+ * study (paper Fig. 20).
+ */
+Trace MergeTraces(const std::string& name, std::vector<Trace> traces);
+
+/** Replaces arrival timestamps with a fresh Poisson process (Fig. 15). */
+void ResampleArrivalsPoisson(Trace& trace, double rate_per_second,
+                             std::uint64_t seed);
+
+}  // namespace muxwise::workload
+
+#endif  // MUXWISE_WORKLOAD_DATASETS_H_

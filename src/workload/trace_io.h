@@ -1,0 +1,40 @@
+#ifndef MUXWISE_WORKLOAD_TRACE_IO_H_
+#define MUXWISE_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/request_spec.h"
+
+namespace muxwise::workload {
+
+/**
+ * Serializes a trace as JSON Lines: a header object
+ *   {"trace": <name>, "requests": <n>}
+ * followed by one object per request, e.g.
+ *   {"id":3,"arrival_s":1.25,"session":7,"turn":0,"output":120,
+ *    "prompt":[[0,0,243],[7,0,512]]}
+ * `prompt` lists [stream, begin, end) token spans; the generated
+ * continuation is implied (session stream, input..input+output).
+ *
+ * The format is stable, diff-friendly, and hand-editable, so recorded
+ * workloads can be checked in and replayed across versions.
+ */
+void WriteTrace(const Trace& trace, std::ostream& out);
+
+/** WriteTrace to a file; fatal on I/O failure. */
+void WriteTraceFile(const Trace& trace, const std::string& path);
+
+/**
+ * Parses a trace written by WriteTrace. Fatal on malformed input with
+ * a line-numbered diagnostic (the format is machine-generated; a parse
+ * failure means the file was corrupted or hand-edited incorrectly).
+ */
+Trace ReadTrace(std::istream& in);
+
+/** ReadTrace from a file; fatal if unreadable. */
+Trace ReadTraceFile(const std::string& path);
+
+}  // namespace muxwise::workload
+
+#endif  // MUXWISE_WORKLOAD_TRACE_IO_H_

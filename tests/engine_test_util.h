@@ -1,0 +1,41 @@
+#ifndef MUXWISE_TESTS_ENGINE_TEST_UTIL_H_
+#define MUXWISE_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <memory>
+#include <utility>
+
+#include "serve/deployment.h"
+#include "serve/engine.h"
+#include "serve/frontend.h"
+#include "serve/metrics.h"
+#include "sim/simulator.h"
+#include "workload/datasets.h"
+
+namespace muxwise::testutil {
+
+struct RunResult {
+  serve::MetricsCollector metrics;
+  std::size_t completed = 0;
+  bool all_completed = false;
+  sim::Time end_time = 0;
+};
+
+/**
+ * Replays `trace` through `engine` to completion and returns the
+ * collected metrics. The engine must already be wired to `simulator`.
+ */
+inline RunResult RunTrace(sim::Simulator& simulator, serve::Engine& engine,
+                          const workload::Trace& trace) {
+  RunResult result;
+  serve::Frontend frontend(&simulator, &engine, &trace, &result.metrics);
+  frontend.Start();
+  simulator.Run();
+  result.completed = frontend.completed();
+  result.all_completed = frontend.AllCompleted();
+  result.end_time = simulator.Now();
+  return result;
+}
+
+}  // namespace muxwise::testutil
+
+#endif  // MUXWISE_TESTS_ENGINE_TEST_UTIL_H_

@@ -1,0 +1,106 @@
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "kv/kv_pool.h"
+#include "serve/request.h"
+#include "workload/request_spec.h"
+
+namespace muxwise::serve {
+namespace {
+
+workload::RequestSpec MakeSpec(std::int64_t session, std::int64_t input,
+                               std::int64_t output,
+                               std::int64_t history = 0) {
+  workload::RequestSpec spec;
+  spec.session = session;
+  spec.prompt = {{session, 0, input}};
+  spec.full_seq = {{session, 0, input + output}};
+  spec.input_tokens = input;
+  spec.output_tokens = output;
+  spec.reused_tokens = history;
+  return spec;
+}
+
+TEST(AdmissionTest, ReservesUncachedInputPlusOutput) {
+  kv::KvPool pool(10000);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 1));
+  EXPECT_EQ(request.cached_tokens, 0);
+  EXPECT_EQ(request.prefill_tokens, 500);
+  EXPECT_EQ(request.reserved_tokens, 600);
+  EXPECT_EQ(pool.reserved_tokens(), 600);
+  FinishInPool(pool, request, 2);
+  EXPECT_EQ(pool.reserved_tokens(), 0);
+  EXPECT_EQ(pool.cached_tokens(), 600);  // full_seq committed.
+}
+
+TEST(AdmissionTest, CachedPrefixReducesPrefillWork) {
+  kv::KvPool pool(10000);
+  pool.CommitSequence({{1, 0, 300}}, 1);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 2));
+  EXPECT_EQ(request.cached_tokens, 300);
+  EXPECT_EQ(request.prefill_tokens, 200);
+  EXPECT_EQ(request.reserved_tokens, 300);
+  FinishInPool(pool, request, 3);
+}
+
+TEST(AdmissionTest, FullyCachedPromptStillPrefillsLastToken) {
+  kv::KvPool pool(10000);
+  pool.CommitSequence({{1, 0, 500}}, 1);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 50);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 2));
+  EXPECT_EQ(request.cached_tokens, 499);
+  EXPECT_EQ(request.prefill_tokens, 1);
+  FinishInPool(pool, request, 3);
+}
+
+TEST(AdmissionTest, FailsCleanlyWhenPoolFull) {
+  kv::KvPool pool(500);
+  const workload::RequestSpec spec = MakeSpec(1, 450, 100);
+  Request request(&spec);
+  EXPECT_FALSE(AdmitToPool(pool, request, 1));
+  EXPECT_EQ(request.reserved_tokens, 0);
+  EXPECT_EQ(pool.reserved_tokens(), 0);
+  EXPECT_EQ(pool.tree().LockedTokens(), 0);  // Lease released on failure.
+}
+
+TEST(AdmissionTest, AdmissionEvictsColdCache) {
+  kv::KvPool pool(1000);
+  pool.CommitSequence({{9, 0, 800}}, 1);  // Cold cache fills the pool.
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 2));
+  EXPECT_LE(pool.used_tokens(), 1000);
+  FinishInPool(pool, request, 3);
+}
+
+TEST(AdmissionTest, AbandonReleasesWithoutCaching) {
+  kv::KvPool pool(10000);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 1));
+  AbandonInPool(pool, request);
+  EXPECT_EQ(pool.reserved_tokens(), 0);
+  EXPECT_EQ(pool.cached_tokens(), 0);
+}
+
+TEST(AdmissionTest, PinnedPrefixSurvivesConcurrentPressure) {
+  kv::KvPool pool(2000);
+  pool.CommitSequence({{1, 0, 1000}}, 1);
+  const workload::RequestSpec spec_a = MakeSpec(1, 1000, 100);
+  Request a(&spec_a);
+  ASSERT_TRUE(AdmitToPool(pool, a, 2));  // Pins the 1000-token prefix.
+  // A second large request cannot evict the pinned prefix.
+  const workload::RequestSpec spec_b = MakeSpec(2, 1500, 400);
+  Request b(&spec_b);
+  EXPECT_FALSE(AdmitToPool(pool, b, 3));
+  FinishInPool(pool, a, 4);
+}
+
+}  // namespace
+}  // namespace muxwise::serve

@@ -1,0 +1,165 @@
+#include "baselines/chunked_prefill.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "gpu/gpu_spec.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "sim/simulator.h"
+#include "workload/datasets.h"
+
+namespace muxwise::baselines {
+namespace {
+
+serve::Deployment Llama70bA100() {
+  return serve::Deployment::Make(llm::ModelConfig::Llama70B(),
+                                 gpu::GpuSpec::A100());
+}
+
+TEST(ChunkedTuningTest, BudgetGrowsWithLooserTarget) {
+  const serve::Deployment d = Llama70bA100();
+  const int strict = ChunkedPrefillEngine::TuneTokenBudget(
+      d, sim::Milliseconds(100));
+  const int loose = ChunkedPrefillEngine::TuneTokenBudget(
+      d, sim::Milliseconds(500));
+  EXPECT_LT(strict, loose);
+  // Paper §1: ~256 budget for a 100 ms TBT on 70B / 8xA100, while
+  // saturation needs ~4K.
+  EXPECT_GE(strict, 128);
+  EXPECT_LE(strict, 512);
+  EXPECT_GE(loose, 2048);
+}
+
+TEST(ChunkedTuningTest, SmallerModelAffordsBiggerBudget) {
+  const serve::Deployment d8 = serve::Deployment::Make(
+      llm::ModelConfig::Llama8B(), gpu::GpuSpec::A100());
+  const int b8 = ChunkedPrefillEngine::TuneTokenBudget(
+      d8, sim::Milliseconds(50));
+  const int b70 = ChunkedPrefillEngine::TuneTokenBudget(
+      Llama70bA100(), sim::Milliseconds(100));
+  EXPECT_GT(b8, b70);
+}
+
+TEST(ChunkedEngineTest, CompletesShareGptTrace) {
+  sim::Simulator simulator;
+  const serve::Deployment d = Llama70bA100();
+  ChunkedPrefillEngine::Options options;
+  options.token_budget = 256;
+  ChunkedPrefillEngine engine(&simulator, d, options);
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 100, 2.0, 5);
+  const auto result = testutil::RunTrace(simulator, engine, trace);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(engine.InFlight(), 0u);
+  EXPECT_GT(engine.iterations(), 100u);
+  // Every request produced every token.
+  EXPECT_EQ(result.metrics.output_tokens(),
+            [&] {
+              std::int64_t total = 0;
+              for (const auto& r : trace.requests) total += r.output_tokens;
+              return total;
+            }());
+}
+
+TEST(ChunkedEngineTest, LowLoadMeetsTbtSlo) {
+  sim::Simulator simulator;
+  const serve::Deployment d = Llama70bA100();
+  ChunkedPrefillEngine::Options options;
+  options.token_budget = ChunkedPrefillEngine::TuneTokenBudget(d, d.slo.tbt);
+  ChunkedPrefillEngine engine(&simulator, d, options);
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 60, 0.5, 7);
+  const auto result = testutil::RunTrace(simulator, engine, trace);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_LE(result.metrics.Tbt().p99_ms, 100.0);
+}
+
+TEST(ChunkedEngineTest, SmallerBudgetLowersTbtButRaisesTtft) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kLoogle, 20, 0.4, 11);
+  auto run = [&](int budget) {
+    sim::Simulator simulator;
+    ChunkedPrefillEngine::Options options;
+    options.token_budget = budget;
+    ChunkedPrefillEngine engine(&simulator, Llama70bA100(), options);
+    return testutil::RunTrace(simulator, engine, trace);
+  };
+  const auto small = run(256);
+  const auto large = run(4096);
+  ASSERT_TRUE(small.all_completed);
+  ASSERT_TRUE(large.all_completed);
+  // The chunked-prefill dilemma (paper §2.3.2): small budgets protect
+  // TBT but stretch prefill completion; large budgets invert it.
+  EXPECT_LT(small.metrics.Tbt().p99_ms, large.metrics.Tbt().p99_ms);
+  EXPECT_GT(small.metrics.Ttft().p99_ms, large.metrics.Ttft().p99_ms);
+}
+
+TEST(ChunkedEngineTest, LongReusedContextInflatesTbt) {
+  // Paper Fig. 6-b: with the budget fixed, growing reused context in
+  // the fused chunk inflates decode TBT.
+  auto run = [&](workload::Dataset dataset) {
+    const workload::Trace trace = workload::GenerateTrace(dataset, 40, 1.0, 13);
+    sim::Simulator simulator;
+    ChunkedPrefillEngine::Options options;
+    options.token_budget = 512;
+    ChunkedPrefillEngine engine(&simulator, Llama70bA100(), options);
+    return testutil::RunTrace(simulator, engine, trace);
+  };
+  const auto short_ctx = run(workload::Dataset::kShareGpt);
+  const auto long_ctx = run(workload::Dataset::kLoogle);
+  ASSERT_TRUE(short_ctx.all_completed);
+  ASSERT_TRUE(long_ctx.all_completed);
+  EXPECT_GT(long_ctx.metrics.Tbt().p99_ms,
+            1.5 * short_ctx.metrics.Tbt().p99_ms);
+}
+
+TEST(ChunkedEngineTest, CacheReuseAcrossTurns) {
+  sim::Simulator simulator;
+  ChunkedPrefillEngine::Options options;
+  options.token_budget = 512;
+  ChunkedPrefillEngine engine(&simulator, Llama70bA100(), options);
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kConversation, 80, 1.0, 17);
+  const auto result = testutil::RunTrace(simulator, engine, trace);
+  ASSERT_TRUE(result.all_completed);
+  // Aggregated serving reuses multi-turn history: hit rate well over 0.
+  EXPECT_GT(engine.pool().HitRate(), 0.3);
+}
+
+TEST(NanoFlowEngineTest, CompletesAndReportsName) {
+  sim::Simulator simulator;
+  ChunkedPrefillEngine::Options options;
+  options.token_budget = 256;
+  options.nano_overlap = true;
+  ChunkedPrefillEngine engine(&simulator, Llama70bA100(), options);
+  EXPECT_STREQ(engine.name(), "NanoFlow");
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 60, 1.0, 19);
+  const auto result = testutil::RunTrace(simulator, engine, trace);
+  EXPECT_TRUE(result.all_completed);
+}
+
+TEST(NanoFlowEngineTest, WeightReloadHurtsMemoryBoundDecode) {
+  // Paper §4.2.1 / §4.3: NanoFlow splits iterations into nano-batches
+  // that re-stream weights; on decode-heavy workloads this inflates TBT
+  // relative to plain chunked prefill.
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kOpenThoughts, 24, 0.6, 23);
+  auto run = [&](bool nano) {
+    sim::Simulator simulator;
+    ChunkedPrefillEngine::Options options;
+    options.token_budget = 256;
+    options.nano_overlap = nano;
+    ChunkedPrefillEngine engine(&simulator, Llama70bA100(), options);
+    return testutil::RunTrace(simulator, engine, trace);
+  };
+  const auto chunked = run(false);
+  const auto nano = run(true);
+  ASSERT_TRUE(chunked.all_completed);
+  ASSERT_TRUE(nano.all_completed);
+  EXPECT_GT(nano.metrics.Tbt().mean_ms, chunked.metrics.Tbt().mean_ms);
+}
+
+}  // namespace
+}  // namespace muxwise::baselines

@@ -1,0 +1,200 @@
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "kv/token_seq.h"
+#include "workload/request_spec.h"
+
+namespace muxwise::workload {
+namespace {
+
+struct Table1Row {
+  Dataset dataset;
+  double in_min, in_mean, in_max;
+  double out_min, out_mean, out_max;
+  bool multi_turn;
+};
+
+class DatasetCalibrationTest : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(DatasetCalibrationTest, MatchesTable1Statistics) {
+  const Table1Row row = GetParam();
+  const Trace trace = GenerateTrace(row.dataset, 2000, 10.0, 1234);
+  ASSERT_EQ(trace.requests.size(), 2000u);
+
+  const LengthStats in = trace.InputStats();
+  const LengthStats out = trace.OutputStats();
+  // Means within 25% of the paper's Table 1 (synthetic reconstruction
+  // from min/mean/max can't be exact, especially for multi-turn
+  // accumulation).
+  EXPECT_NEAR(in.mean / row.in_mean, 1.0, 0.25)
+      << DatasetName(row.dataset) << " input mean " << in.mean;
+  EXPECT_NEAR(out.mean / row.out_mean, 1.0, 0.25)
+      << DatasetName(row.dataset) << " output mean " << out.mean;
+  // Hard bounds are never exceeded.
+  EXPECT_LE(in.max, static_cast<std::int64_t>(row.in_max * 1.05));
+  EXPECT_LE(out.max, static_cast<std::int64_t>(row.out_max));
+  EXPECT_GE(out.min, static_cast<std::int64_t>(row.out_min));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, DatasetCalibrationTest,
+    ::testing::Values(
+        Table1Row{Dataset::kShareGpt, 4, 226, 1024, 4, 195, 1838, false},
+        Table1Row{Dataset::kLoogle, 3380, 30000, 81000, 2, 15, 326, false},
+        Table1Row{Dataset::kOpenThoughts, 311, 709, 4633, 684, 8374, 32000,
+                  false},
+        Table1Row{Dataset::kConversation, 891, 7538, 123000, 1, 342, 2000,
+                  true},
+        Table1Row{Dataset::kToolAgent, 891, 8596, 123000, 1, 182, 2000,
+                  true}),
+    [](const ::testing::TestParamInfo<Table1Row>& info) {
+      std::string name = DatasetName(info.param.dataset);
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](char c) { return !std::isalnum(c); }),
+                 name.end());
+      return name;
+    });
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  const Trace a = GenerateTrace(Dataset::kConversation, 200, 5.0, 99);
+  const Trace b = GenerateTrace(Dataset::kConversation, 200, 5.0, 99);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].input_tokens, b.requests[i].input_tokens);
+    EXPECT_EQ(a.requests[i].output_tokens, b.requests[i].output_tokens);
+    EXPECT_DOUBLE_EQ(a.requests[i].arrival_seconds,
+                     b.requests[i].arrival_seconds);
+  }
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  const Trace a = GenerateTrace(Dataset::kShareGpt, 100, 5.0, 1);
+  const Trace b = GenerateTrace(Dataset::kShareGpt, 100, 5.0, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (a.requests[i].input_tokens != b.requests[i].input_tokens) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(DatasetsTest, ArrivalsAreSortedAndIdsSequential) {
+  const Trace trace = GenerateTrace(Dataset::kToolAgent, 500, 8.0, 7);
+  for (std::size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_LE(trace.requests[i - 1].arrival_seconds,
+              trace.requests[i].arrival_seconds);
+    EXPECT_EQ(trace.requests[i].id, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(DatasetsTest, MultiTurnPromptsExtendSessionHistory) {
+  const Trace trace = GenerateTrace(Dataset::kConversation, 1000, 5.0, 11);
+  std::map<std::int64_t, const RequestSpec*> last_turn;
+  int multi_turn_sessions = 0;
+  for (const RequestSpec& spec : trace.requests) {
+    auto it = last_turn.find(spec.session);
+    if (it != last_turn.end()) {
+      const RequestSpec& prev = *it->second;
+      EXPECT_EQ(spec.session_seq, prev.session_seq + 1);
+      // The new prompt starts with the previous full sequence.
+      EXPECT_EQ(kv::CommonPrefixLength(spec.prompt, prev.full_seq),
+                kv::SeqLength(prev.full_seq));
+      EXPECT_EQ(spec.reused_tokens, kv::SeqLength(prev.full_seq));
+      ++multi_turn_sessions;
+    } else {
+      EXPECT_EQ(spec.session_seq, 0);
+      EXPECT_EQ(spec.reused_tokens, 0);
+    }
+    last_turn[spec.session] = &spec;
+  }
+  EXPECT_GT(multi_turn_sessions, 300);  // Mean ~3.7 turns per session.
+}
+
+TEST(DatasetsTest, ConversationReusedMeanNearTable1) {
+  const Trace trace = GenerateTrace(Dataset::kConversation, 3000, 10.0, 21);
+  EXPECT_NEAR(trace.ReusedStats().mean / 4496.0, 1.0, 0.35);
+}
+
+TEST(DatasetsTest, OpenThoughtsSharesSystemPrompt) {
+  const Trace trace = GenerateTrace(Dataset::kOpenThoughts, 100, 5.0, 3);
+  for (const RequestSpec& spec : trace.requests) {
+    ASSERT_FALSE(spec.prompt.empty());
+    EXPECT_EQ(spec.prompt.front().stream, 0);  // Shared system stream.
+    EXPECT_EQ(spec.prompt.front().length(), 243);
+    EXPECT_EQ(spec.reused_tokens, 243);
+  }
+}
+
+TEST(DatasetsTest, SingleTurnDatasetsHaveUniqueSessions) {
+  const Trace trace = GenerateTrace(Dataset::kLoogle, 200, 2.0, 5);
+  std::set<std::int64_t> sessions;
+  for (const RequestSpec& spec : trace.requests) {
+    EXPECT_TRUE(sessions.insert(spec.session).second);
+    EXPECT_EQ(spec.session_seq, 0);
+  }
+}
+
+TEST(DatasetsTest, FullSeqIsPromptPlusOutput) {
+  const Trace trace = GenerateTrace(Dataset::kToolAgent, 200, 5.0, 17);
+  for (const RequestSpec& spec : trace.requests) {
+    EXPECT_EQ(kv::SeqLength(spec.full_seq),
+              spec.input_tokens + spec.output_tokens);
+    EXPECT_EQ(kv::CommonPrefixLength(spec.full_seq, spec.prompt),
+              spec.input_tokens);
+  }
+}
+
+TEST(DatasetsTest, BurstyTraceHasSpikes) {
+  const Trace trace =
+      GenerateBurstyTrace(Dataset::kConversation, 4.0, 600.0, 13.0, 77);
+  EXPECT_GT(trace.requests.size(), 500u);
+  const std::vector<double> curve = trace.RateCurve(10.0);
+  double max_rate = 0.0, sum = 0.0;
+  for (double r : curve) {
+    max_rate = std::max(max_rate, r);
+    sum += r;
+  }
+  const double mean_rate = sum / curve.size();
+  // Bursty: peak well above the mean (paper reports up to 13x spikes).
+  EXPECT_GT(max_rate, 2.5 * mean_rate);
+}
+
+TEST(DatasetsTest, MergeTracesInterleavesAndRemapsSessions) {
+  Trace a = GenerateTrace(Dataset::kShareGpt, 50, 1.0, 31);
+  Trace b = GenerateTrace(Dataset::kLoogle, 50, 1.0, 32);
+  const Trace merged = MergeTraces("mixed", {a, b});
+  EXPECT_EQ(merged.requests.size(), 100u);
+  std::set<std::int64_t> sessions;
+  for (const RequestSpec& spec : merged.requests) {
+    sessions.insert(spec.session);
+  }
+  EXPECT_EQ(sessions.size(), 100u);  // No collisions after remap.
+  for (std::size_t i = 1; i < merged.requests.size(); ++i) {
+    EXPECT_LE(merged.requests[i - 1].arrival_seconds,
+              merged.requests[i].arrival_seconds);
+  }
+}
+
+TEST(DatasetsTest, ResampleArrivalsMatchesTargetRate) {
+  Trace trace = GenerateTrace(Dataset::kToolAgent, 1000, 3.0, 51);
+  ResampleArrivalsPoisson(trace, 12.0, 99);
+  EXPECT_NEAR(trace.MeanRate(), 12.0, 1.5);
+  for (std::size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_LE(trace.requests[i - 1].arrival_seconds,
+              trace.requests[i].arrival_seconds);
+  }
+}
+
+TEST(DatasetsTest, RateCurveIntegratesToRequestCount) {
+  const Trace trace = GenerateTrace(Dataset::kShareGpt, 300, 5.0, 61);
+  const std::vector<double> curve = trace.RateCurve(10.0);
+  double total = 0.0;
+  for (double r : curve) total += r * 10.0;
+  EXPECT_NEAR(total, 300.0, 1.0);
+}
+
+}  // namespace
+}  // namespace muxwise::workload

@@ -1,0 +1,81 @@
+#include "serve/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.h"
+#include "llm/model_config.h"
+
+namespace muxwise::serve {
+namespace {
+
+TEST(DeploymentTest, MakeDerivesSloFromModel) {
+  const Deployment d8 = Deployment::Make(llm::ModelConfig::Llama8B(),
+                                         gpu::GpuSpec::A100());
+  EXPECT_EQ(d8.slo.tbt, sim::Milliseconds(50));
+  const Deployment d70 = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                          gpu::GpuSpec::A100());
+  EXPECT_EQ(d70.slo.tbt, sim::Milliseconds(100));
+  EXPECT_EQ(d70.num_gpus, 8);
+}
+
+TEST(DeploymentTest, PoolTokensAccountForWeightsAndOverheads) {
+  const Deployment d = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                        gpu::GpuSpec::A100());
+  const std::int64_t tokens = d.PoolTokens(8);
+  // 640 GB * 0.92 - 140 GB weights - 3% graphs ~= 429 GB / 320 KiB.
+  EXPECT_GT(tokens, 1000000);
+  EXPECT_LT(tokens, 1500000);
+  // Half the GPUs, same weights: much smaller pool (disaggregation tax).
+  const std::int64_t half = d.PoolTokens(4);
+  EXPECT_LT(half, tokens / 2);
+}
+
+TEST(DeploymentTest, DisaggregatedPoolsLoseCapacity) {
+  const Deployment d = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                        gpu::GpuSpec::A100());
+  // Two TP4 instances hold less total cache than one TP8 instance
+  // because weights are duplicated (paper §2.3.1).
+  EXPECT_LT(2 * d.PoolTokens(4), d.PoolTokens(8));
+}
+
+TEST(DeploymentDeathTest, ModelMustFit) {
+  const Deployment d = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                        gpu::GpuSpec::A100());
+  EXPECT_EXIT(d.PoolTokens(1), ::testing::ExitedWithCode(1),
+              "does not fit");
+}
+
+TEST(DeploymentTest, ExtraGraphFractionShrinksPool) {
+  const Deployment d = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                        gpu::GpuSpec::A100());
+  EXPECT_LT(d.PoolTokens(8, 0.032), d.PoolTokens(8));
+}
+
+TEST(DeploymentTest, PartitionOptionsMatchPaperCounts) {
+  // Paper §3.3.2: 16-SM granularity yields 6 partition configurations
+  // on A100 (108 SMs) and 7 on H100 (132 SMs), plus the full device.
+  const Deployment a100 = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                           gpu::GpuSpec::A100());
+  const std::vector<int> options = a100.SmPartitionOptions();
+  ASSERT_EQ(options.size(), 7u);  // 6 multiplexed + full device.
+  EXPECT_EQ(options.front(), 16);
+  EXPECT_EQ(options[5], 96);
+  EXPECT_EQ(options.back(), 108);
+
+  const Deployment h100 = Deployment::Make(llm::ModelConfig::Llama70B(),
+                                           gpu::GpuSpec::H100());
+  const std::vector<int> h_options = h100.SmPartitionOptions();
+  ASSERT_EQ(h_options.size(), 8u);  // 7 multiplexed + full device.
+  EXPECT_EQ(h_options[6], 112);
+  EXPECT_EQ(h_options.back(), 132);
+}
+
+TEST(DeploymentTest, MoeOnH200Fits) {
+  const Deployment d = Deployment::Make(llm::ModelConfig::Qwen235B(),
+                                        gpu::GpuSpec::H200());
+  // 1128 GB total, 470 GB weights: plenty of pool left.
+  EXPECT_GT(d.PoolTokens(8), 1000000);
+}
+
+}  // namespace
+}  // namespace muxwise::serve

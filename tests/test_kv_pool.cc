@@ -1,0 +1,120 @@
+#include "kv/kv_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace muxwise::kv {
+namespace {
+
+TokenSeq Session(std::int64_t stream, std::int64_t len) {
+  return {{stream, 0, len}};
+}
+
+TEST(KvPoolTest, StartsEmpty) {
+  KvPool pool(1000);
+  EXPECT_EQ(pool.capacity_tokens(), 1000);
+  EXPECT_EQ(pool.used_tokens(), 0);
+  EXPECT_EQ(pool.free_tokens(), 1000);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.0);
+}
+
+TEST(KvPoolTest, ReserveAndRelease) {
+  KvPool pool(1000);
+  EXPECT_TRUE(pool.TryReserve(400));
+  EXPECT_EQ(pool.reserved_tokens(), 400);
+  EXPECT_EQ(pool.free_tokens(), 600);
+  pool.ReleaseReserved(400);
+  EXPECT_EQ(pool.free_tokens(), 1000);
+}
+
+TEST(KvPoolTest, ReserveFailsBeyondCapacity) {
+  KvPool pool(1000);
+  EXPECT_FALSE(pool.TryReserve(1001));
+  EXPECT_EQ(pool.reserved_tokens(), 0);  // Nothing partially reserved.
+  EXPECT_TRUE(pool.TryReserve(1000));
+}
+
+TEST(KvPoolTest, CommitCachesSequenceForReuse) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 300), 1);
+  EXPECT_EQ(pool.cached_tokens(), 300);
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(1, 500), 2);
+  EXPECT_EQ(lease.matched_tokens, 300);
+  pool.ReleasePrefix(lease);
+}
+
+TEST(KvPoolTest, ReserveEvictsUnpinnedCacheLru) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 600), /*now=*/1);
+  pool.CommitSequence(Session(2, 300), /*now=*/2);
+  EXPECT_EQ(pool.cached_tokens(), 900);
+  // Need 500: evicts session 1 (LRU) entirely.
+  EXPECT_TRUE(pool.TryReserve(500));
+  EXPECT_EQ(pool.cached_tokens(), 300);
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(2, 300), 3);
+  EXPECT_EQ(lease.matched_tokens, 300);
+  pool.ReleasePrefix(lease);
+}
+
+TEST(KvPoolTest, PinnedPrefixSurvivesEvictionPressure) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 600), 1);
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(1, 600), 2);
+  EXPECT_EQ(lease.matched_tokens, 600);
+  // Only 400 free and the 600 cached are pinned: cannot reserve 500.
+  EXPECT_FALSE(pool.TryReserve(500));
+  pool.ReleasePrefix(lease);
+  EXPECT_TRUE(pool.TryReserve(500));
+}
+
+TEST(KvPoolTest, HitRateIsTokenWeighted) {
+  KvPool pool(10000);
+  pool.CommitSequence(Session(1, 900), 1);
+  KvPool::PrefixLease a = pool.AcquirePrefix(Session(1, 1000), 2);
+  KvPool::PrefixLease b = pool.AcquirePrefix(Session(2, 1000), 3);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 900.0 / 2000.0);
+  EXPECT_EQ(pool.lookups(), 2);
+  pool.ReleasePrefix(a);
+  pool.ReleasePrefix(b);
+}
+
+TEST(KvPoolTest, CommitOverCapacityEvictsBack) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 800), 1);
+  pool.CommitSequence(Session(2, 800), 2);
+  EXPECT_LE(pool.used_tokens(), 1000);
+  // The most recent commit survives.
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(2, 800), 3);
+  EXPECT_EQ(lease.matched_tokens, 800);
+  pool.ReleasePrefix(lease);
+}
+
+TEST(KvPoolTest, ReleasePrefixIsIdempotentAfterMove) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 100), 1);
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(1, 100), 2);
+  pool.ReleasePrefix(lease);
+  pool.ReleasePrefix(lease);  // No-op.
+  EXPECT_EQ(pool.tree().LockedTokens(), 0);
+}
+
+TEST(KvPoolTest, ClearDropsEverything) {
+  KvPool pool(1000);
+  pool.CommitSequence(Session(1, 100), 1);
+  pool.CommitSequence(Session(2, 200), 2);
+  pool.Clear();
+  EXPECT_EQ(pool.cached_tokens(), 0);
+}
+
+TEST(KvPoolTest, SessionTurnsAccumulateInCache) {
+  // Multi-turn flow: commit turn 1, turn 2's prompt extends it.
+  KvPool pool(100000);
+  pool.CommitSequence(Session(7, 1200), 1);  // Turn 1: prompt+output.
+  KvPool::PrefixLease lease = pool.AcquirePrefix(Session(7, 2000), 2);
+  EXPECT_EQ(lease.matched_tokens, 1200);
+  pool.ReleasePrefix(lease);
+  pool.CommitSequence(Session(7, 2400), 3);
+  EXPECT_EQ(pool.cached_tokens(), 2400);
+}
+
+}  // namespace
+}  // namespace muxwise::kv

@@ -1,0 +1,92 @@
+#include "llm/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace muxwise::llm {
+namespace {
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 3x1 - 2x2 + 5.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (double x1 = 0; x1 < 5; ++x1) {
+    for (double x2 = 0; x2 < 5; ++x2) {
+      rows.push_back({x1, x2, 1.0});
+      targets.push_back(3.0 * x1 - 2.0 * x2 + 5.0);
+    }
+  }
+  const std::vector<double> theta = SolveLeastSquares(rows, targets);
+  ASSERT_EQ(theta.size(), 3u);
+  EXPECT_NEAR(theta[0], 3.0, 1e-9);
+  EXPECT_NEAR(theta[1], -2.0, 1e-9);
+  EXPECT_NEAR(theta[2], 5.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualUnderNoise) {
+  sim::Rng rng(17);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    rows.push_back({x, 1.0});
+    targets.push_back(2.0 * x + 1.0 + rng.Normal(0.0, 0.1));
+  }
+  const std::vector<double> theta = SolveLeastSquares(rows, targets);
+  EXPECT_NEAR(theta[0], 2.0, 0.02);
+  EXPECT_NEAR(theta[1], 1.0, 0.1);
+}
+
+TEST(LeastSquaresTest, WeightsBiasTheFit) {
+  // Two inconsistent points; the heavier one wins.
+  const std::vector<std::vector<double>> rows = {{1.0}, {1.0}};
+  const std::vector<double> targets = {10.0, 20.0};
+  const std::vector<double> theta =
+      SolveLeastSquares(rows, targets, {10.0, 1.0});
+  EXPECT_GT(theta[0], 9.0);
+  EXPECT_LT(theta[0], 11.0);
+}
+
+TEST(LeastSquaresTest, HandlesSingleColumn) {
+  const std::vector<std::vector<double>> rows = {{2.0}, {4.0}};
+  const std::vector<double> targets = {6.0, 12.0};
+  const std::vector<double> theta = SolveLeastSquares(rows, targets);
+  EXPECT_NEAR(theta[0], 3.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, DampingSurvivesDuplicatedColumns) {
+  // x2 == x1 exactly: rank-deficient without damping.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (double x = 1; x <= 8; ++x) {
+    rows.push_back({x, x, 1.0});
+    targets.push_back(4.0 * x + 2.0);
+  }
+  const std::vector<double> theta = SolveLeastSquares(rows, targets);
+  // Any split between the duplicate columns is fine; the prediction
+  // must still be right.
+  for (double x = 1; x <= 8; ++x) {
+    const double pred = theta[0] * x + theta[1] * x + theta[2];
+    EXPECT_NEAR(pred, 4.0 * x + 2.0, 1e-3);
+  }
+}
+
+TEST(LeastSquaresTest, QuadraticFeaturesFitParabola) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (double x = 0; x <= 20; ++x) {
+    rows.push_back({x * x, x, 1.0});
+    targets.push_back(0.5 * x * x - 3.0 * x + 7.0);
+  }
+  const std::vector<double> theta = SolveLeastSquares(rows, targets);
+  EXPECT_NEAR(theta[0], 0.5, 1e-8);
+  EXPECT_NEAR(theta[1], -3.0, 1e-7);
+  EXPECT_NEAR(theta[2], 7.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace muxwise::llm

@@ -1,0 +1,123 @@
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serve/request.h"
+#include "sim/time.h"
+#include "workload/request_spec.h"
+
+namespace muxwise::serve {
+namespace {
+
+using sim::Milliseconds;
+
+TEST(PercentileTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_NEAR(Percentile({1.0, 2.0}, 0.5), 1.5, 1e-12);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  /** A request with TTFT 100 ms and three 50 ms decode gaps. */
+  std::unique_ptr<Request> MakeRequest(std::int64_t id,
+                                       sim::Duration ttft = Milliseconds(100),
+                                       sim::Duration gap = Milliseconds(50),
+                                       int extra_tokens = 3) {
+    specs_.push_back(std::make_unique<workload::RequestSpec>());
+    workload::RequestSpec* spec = specs_.back().get();
+    spec->id = id;
+    spec->input_tokens = 200;
+    spec->output_tokens = 1 + extra_tokens;
+    auto request = std::make_unique<Request>(spec);
+    request->arrival = 0;
+    sim::Time t = ttft;
+    request->EmitToken(t);
+    for (int i = 0; i < extra_tokens; ++i) {
+      t += gap;
+      request->EmitToken(t);
+    }
+    request->completion = t;
+    return request;
+  }
+
+  std::vector<std::unique_ptr<workload::RequestSpec>> specs_;
+  MetricsCollector metrics_;
+};
+
+TEST_F(MetricsTest, TtftAndTbtSummaries) {
+  metrics_.OnRequestComplete(*MakeRequest(1));
+  EXPECT_EQ(metrics_.completed(), 1u);
+  EXPECT_DOUBLE_EQ(metrics_.Ttft().mean_ms, 100.0);
+  EXPECT_DOUBLE_EQ(metrics_.Tbt().mean_ms, 50.0);
+  EXPECT_EQ(metrics_.Tbt().count, 3u);  // Gaps, not tokens.
+  EXPECT_DOUBLE_EQ(metrics_.Tpot().mean_ms, 50.0);
+  EXPECT_DOUBLE_EQ(metrics_.E2e().mean_ms, 250.0);
+}
+
+TEST_F(MetricsTest, TtftPerTokenNormalizesByInput) {
+  metrics_.OnRequestComplete(*MakeRequest(1));
+  EXPECT_DOUBLE_EQ(metrics_.TtftPerToken().mean_ms, 100.0 / 200.0);
+}
+
+TEST_F(MetricsTest, P99CapturesTail) {
+  for (int i = 0; i < 99; ++i) {
+    metrics_.OnRequestComplete(*MakeRequest(i));
+  }
+  // One straggler contributing ~9% of all gaps at 500 ms.
+  metrics_.OnRequestComplete(
+      *MakeRequest(99, Milliseconds(100), Milliseconds(500), 30));
+  EXPECT_GT(metrics_.Tbt().p99_ms, 100.0);
+  EXPECT_DOUBLE_EQ(metrics_.Tbt().p50_ms, 50.0);
+}
+
+TEST_F(MetricsTest, TbtAttainmentCountsGapsWithinTarget) {
+  metrics_.OnRequestComplete(*MakeRequest(1, Milliseconds(100),
+                                          Milliseconds(40)));
+  metrics_.OnRequestComplete(*MakeRequest(2, Milliseconds(100),
+                                          Milliseconds(120)));
+  EXPECT_DOUBLE_EQ(metrics_.TbtAttainment(Milliseconds(100)), 0.5);
+  EXPECT_DOUBLE_EQ(metrics_.TbtAttainment(Milliseconds(200)), 1.0);
+}
+
+TEST_F(MetricsTest, MeetsSloUsesPercentileThreshold) {
+  workload::SloTargets slo;
+  slo.tbt = Milliseconds(100);
+  slo.percentile = 0.99;
+  for (int i = 0; i < 100; ++i) {
+    metrics_.OnRequestComplete(*MakeRequest(i, Milliseconds(100),
+                                            Milliseconds(40), 99));
+  }
+  EXPECT_TRUE(metrics_.MeetsSlo(slo));
+  // Add a request whose gaps all violate: attainment drops below 99%.
+  for (int i = 0; i < 3; ++i) {
+    metrics_.OnRequestComplete(*MakeRequest(1000 + i, Milliseconds(100),
+                                            Milliseconds(300), 99));
+  }
+  EXPECT_FALSE(metrics_.MeetsSlo(slo));
+}
+
+TEST_F(MetricsTest, ThroughputOverWindow) {
+  metrics_.OnRequestComplete(*MakeRequest(1));  // 4 output tokens.
+  metrics_.OnRequestComplete(*MakeRequest(2));
+  const double tokens =
+      metrics_.TokenThroughput(0, sim::Seconds(2));  // (400 in + 8 out)/2s.
+  EXPECT_DOUBLE_EQ(tokens, 204.0);
+  EXPECT_DOUBLE_EQ(metrics_.RequestThroughput(0, sim::Seconds(2)), 1.0);
+}
+
+TEST_F(MetricsTest, SingleTokenOutputHasNoTbtSamples) {
+  metrics_.OnRequestComplete(*MakeRequest(1, Milliseconds(80),
+                                          Milliseconds(50), 0));
+  EXPECT_EQ(metrics_.Tbt().count, 0u);
+  EXPECT_EQ(metrics_.Tpot().count, 0u);
+  EXPECT_EQ(metrics_.Ttft().count, 1u);
+}
+
+}  // namespace
+}  // namespace muxwise::serve

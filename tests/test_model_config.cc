@@ -1,0 +1,74 @@
+#include "llm/model_config.h"
+
+#include <gtest/gtest.h>
+
+namespace muxwise::llm {
+namespace {
+
+TEST(ModelConfigTest, Llama70bGeometry) {
+  const ModelConfig m = ModelConfig::Llama70B();
+  EXPECT_EQ(m.num_layers, 80);
+  EXPECT_EQ(m.hidden_dim, 8192);
+  EXPECT_EQ(m.num_kv_heads, 8);
+  // 2 (K,V) * 80 layers * 8 heads * 128 dim * 2 bytes = 320 KiB/token.
+  EXPECT_DOUBLE_EQ(m.KvBytesPerToken(), 327680.0);
+  EXPECT_DOUBLE_EQ(m.WeightBytes(), 140e9);
+  EXPECT_FALSE(m.IsMoe());
+}
+
+TEST(ModelConfigTest, Llama8bGeometry) {
+  const ModelConfig m = ModelConfig::Llama8B();
+  EXPECT_EQ(m.num_layers, 32);
+  EXPECT_DOUBLE_EQ(m.KvBytesPerToken(), 131072.0);
+  EXPECT_DOUBLE_EQ(m.WeightBytes(), 16e9);
+}
+
+TEST(ModelConfigTest, DenseDecodeStreamsAllWeights) {
+  const ModelConfig m = ModelConfig::Llama70B();
+  EXPECT_DOUBLE_EQ(m.DecodeWeightBytes(1), m.WeightBytes());
+  EXPECT_DOUBLE_EQ(m.DecodeWeightBytes(256), m.WeightBytes());
+}
+
+TEST(ModelConfigTest, MoeGeometry) {
+  const ModelConfig m = ModelConfig::Qwen235B();
+  EXPECT_TRUE(m.IsMoe());
+  EXPECT_EQ(m.num_experts, 128);
+  EXPECT_EQ(m.experts_per_token, 8);
+  EXPECT_DOUBLE_EQ(m.total_params, 235e9);
+  EXPECT_DOUBLE_EQ(m.active_params, 22e9);
+}
+
+TEST(ModelConfigTest, MoeDecodeBytesGrowWithBatch) {
+  const ModelConfig m = ModelConfig::Qwen235B();
+  const double b1 = m.DecodeWeightBytes(1);
+  const double b8 = m.DecodeWeightBytes(8);
+  const double b64 = m.DecodeWeightBytes(64);
+  EXPECT_LT(b1, b8);
+  EXPECT_LT(b8, b64);
+  // Batch 1 touches at most 8 experts plus shared weights — far less
+  // than the full 470 GB footprint.
+  EXPECT_LT(b1, 0.25 * m.WeightBytes());
+  // Large batches asymptote to the full footprint.
+  EXPECT_LE(b64, m.WeightBytes() * 1.0001);
+  EXPECT_GT(m.DecodeWeightBytes(256), 0.9 * m.WeightBytes());
+}
+
+TEST(ModelConfigTest, MoeActiveWeightBytesUseActivatedParams) {
+  const ModelConfig m = ModelConfig::Qwen235B();
+  EXPECT_DOUBLE_EQ(m.ActiveWeightBytes(), 44e9);
+}
+
+TEST(ModelConfigTest, ByNameRoundTrips) {
+  EXPECT_EQ(ModelConfig::ByName("Llama-8B").name, "Llama-8B");
+  EXPECT_EQ(ModelConfig::ByName("Llama-70B").name, "Llama-70B");
+  EXPECT_EQ(ModelConfig::ByName("Qwen-235B").name, "Qwen3-235B-A22B");
+  EXPECT_EQ(ModelConfig::ByName("CodeLlama-34B").num_layers, 48);
+}
+
+TEST(ModelConfigDeathTest, ByNameUnknownIsFatal) {
+  EXPECT_EXIT(ModelConfig::ByName("GPT-5"), ::testing::ExitedWithCode(1),
+              "unknown model");
+}
+
+}  // namespace
+}  // namespace muxwise::llm

@@ -1,0 +1,227 @@
+#include "core/muxwise_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "engine_test_util.h"
+#include "gpu/gpu_spec.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "sim/simulator.h"
+#include "workload/datasets.h"
+
+namespace muxwise::core {
+namespace {
+
+serve::Deployment Llama70bA100() {
+  return serve::Deployment::Make(llm::ModelConfig::Llama70B(),
+                                 gpu::GpuSpec::A100());
+}
+
+class MuxWiseEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    estimator_ = new ContentionEstimator(
+        ContentionEstimator::BuildOffline(Llama70bA100()));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    estimator_ = nullptr;
+  }
+
+  testutil::RunResult Run(const workload::Trace& trace,
+                          MuxWiseEngine::Options options,
+                          MuxWiseEngine** engine_out = nullptr) {
+    simulator_ = std::make_unique<sim::Simulator>();
+    engine_ = std::make_unique<MuxWiseEngine>(simulator_.get(),
+                                              Llama70bA100(), *estimator_,
+                                              options);
+    if (engine_out != nullptr) *engine_out = engine_.get();
+    return testutil::RunTrace(*simulator_, *engine_, trace);
+  }
+
+  static ContentionEstimator* estimator_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<MuxWiseEngine> engine_;
+};
+
+ContentionEstimator* MuxWiseEngineTest::estimator_ = nullptr;
+
+TEST_F(MuxWiseEngineTest, CompletesShareGptTrace) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 100, 3.0, 5);
+  MuxWiseEngine* engine = nullptr;
+  const auto result = Run(trace, MuxWiseEngine::Options(), &engine);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(engine->InFlight(), 0u);
+  EXPECT_GT(engine->decode_iterations(), 100u);
+  EXPECT_STREQ(engine->name(), "MuxWise");
+}
+
+TEST_F(MuxWiseEngineTest, MeetsDecodeSloWhileMultiplexing) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kConversation, 120, 2.0, 7);
+  const auto result = Run(trace, MuxWiseEngine::Options());
+  ASSERT_TRUE(result.all_completed);
+  // The dispatcher reserves best-fit SMs from worst-case estimates:
+  // P99 TBT stays within the 100 ms target.
+  EXPECT_LE(result.metrics.Tbt().p99_ms, 100.0);
+}
+
+TEST_F(MuxWiseEngineTest, ReusesMultiTurnContext) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kConversation, 100, 1.5, 9);
+  MuxWiseEngine* engine = nullptr;
+  const auto result = Run(trace, MuxWiseEngine::Options(), &engine);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_GT(engine->pool().HitRate(), 0.4);
+}
+
+TEST_F(MuxWiseEngineTest, PartitionAdaptsToWorkload) {
+  // Paper Fig. 18: prefill-heavy workloads shift SMs to prefill;
+  // decode-heavy ones shift to decode.
+  const workload::Trace loogle =
+      workload::GenerateTrace(workload::Dataset::kLoogle, 30, 0.8, 11);
+  MuxWiseEngine* engine = nullptr;
+  auto result = Run(loogle, MuxWiseEngine::Options(), &engine);
+  ASSERT_TRUE(result.all_completed);
+  double prefill_share_loogle = 0.0;
+  int samples = 0;
+  for (const auto& s : engine->partition_trace()) {
+    if (s.prefill_active) {
+      prefill_share_loogle += static_cast<double>(s.prefill_sms) /
+                              (s.prefill_sms + s.decode_sms);
+      ++samples;
+    }
+  }
+  ASSERT_GT(samples, 0);
+  prefill_share_loogle /= samples;
+  EXPECT_GT(prefill_share_loogle, 0.5);
+
+  const workload::Trace thoughts = workload::GenerateTrace(
+      workload::Dataset::kOpenThoughts, 40, 1.0, 13);
+  result = Run(thoughts, MuxWiseEngine::Options(), &engine);
+  ASSERT_TRUE(result.all_completed);
+  std::set<int> decode_sms_seen;
+  for (const auto& s : engine->partition_trace()) {
+    decode_sms_seen.insert(s.decode_sms);
+  }
+  EXPECT_GE(decode_sms_seen.size(), 2u);  // Reconfigures dynamically.
+  EXPECT_GT(engine->mux().reconfigurations(), 0u);
+}
+
+TEST_F(MuxWiseEngineTest, DisablingLayerwiseIncreasesDecodeLatency) {
+  // Paper Fig. 19 variant 1: whole-phase launches block the host ~10 ms
+  // (Llama-70B piecewise graph total), inflating decode tail latency.
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kToolAgent, 80, 2.0, 15);
+  MuxWiseEngine::Options with;
+  const auto base = Run(trace, with);
+  MuxWiseEngine::Options without;
+  without.layerwise = false;
+  const auto ablated = Run(trace, without);
+  ASSERT_TRUE(base.all_completed);
+  ASSERT_TRUE(ablated.all_completed);
+  EXPECT_GT(ablated.metrics.Tbt().p99_ms, base.metrics.Tbt().p99_ms);
+}
+
+TEST_F(MuxWiseEngineTest, DisablingQuerySyncStallsDecode) {
+  // Paper Fig. 19 variant 2 (cumulative with variant 1): with
+  // whole-phase prefill launches and blocking merges, the decode loop
+  // stalls for the remaining prefill execution — a large TBT
+  // degradation (314/672 ms in the paper).
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kToolAgent, 80, 2.0, 15);
+  MuxWiseEngine::Options variant1;
+  variant1.layerwise = false;
+  const auto base = Run(trace, variant1);
+  MuxWiseEngine::Options variant2;
+  variant2.layerwise = false;
+  variant2.query_sync = false;
+  const auto ablated = Run(trace, variant2);
+  ASSERT_TRUE(base.all_completed);
+  ASSERT_TRUE(ablated.all_completed);
+  EXPECT_GT(ablated.metrics.Tbt().p99_ms,
+            2.0 * base.metrics.Tbt().p99_ms);
+}
+
+TEST_F(MuxWiseEngineTest, PreemptionImprovesShortRequestTtft) {
+  // Paper Fig. 20: 50/50 ShareGPT + LooGLE; preemption lets short
+  // requests jump long prefills.
+  workload::Trace mixed = workload::MergeTraces(
+      "mixed",
+      {workload::GenerateTrace(workload::Dataset::kShareGpt, 40, 0.15, 17),
+       workload::GenerateTrace(workload::Dataset::kLoogle, 40, 0.15, 18)});
+  MuxWiseEngine::Options with;
+  MuxWiseEngine* engine = nullptr;
+  const auto on = Run(mixed, with, &engine);
+  const std::size_t preemptions = engine->preemptions();
+  MuxWiseEngine::Options off;
+  off.dispatch.preemption = false;
+  const auto no = Run(mixed, off, &engine);
+  ASSERT_TRUE(on.all_completed);
+  ASSERT_TRUE(no.all_completed);
+  EXPECT_GT(preemptions, 0u);
+  EXPECT_EQ(engine->preemptions(), 0u);
+  EXPECT_LT(on.metrics.TtftPerToken().p99_ms,
+            no.metrics.TtftPerToken().p99_ms);
+}
+
+TEST_F(MuxWiseEngineTest, OnlineRefinementObservesContention) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kConversation, 80, 2.0, 19);
+  MuxWiseEngine* engine = nullptr;
+  const auto result = Run(trace, MuxWiseEngine::Options(), &engine);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_GT(engine->estimator().observations(), 0u);
+}
+
+TEST_F(MuxWiseEngineTest, UnmanagedModeRunsButContendsMore) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kConversation, 120, 3.0, 21);
+  MuxWiseEngine::Options unmanaged;
+  unmanaged.mux.mode = MultiplexEngine::Mode::kUnmanaged;
+  MuxWiseEngine* engine = nullptr;
+  const auto wind = Run(trace, unmanaged, &engine);
+  EXPECT_STREQ(engine->name(), "WindServe*");
+  const auto spatial = Run(trace, MuxWiseEngine::Options());
+  ASSERT_TRUE(wind.all_completed);
+  ASSERT_TRUE(spatial.all_completed);
+  // Oversubscribed streams thrash: prefill loses the dedicated SMs a
+  // managed partition would give it, so tail TTFT suffers — the
+  // goodput-limiting direction behind the paper's 1.61x gap (§6).
+  EXPECT_GT(wind.metrics.Ttft().p99_ms, spatial.metrics.Ttft().p99_ms);
+}
+
+TEST_F(MuxWiseEngineTest, TemporalModeCompletesButUnderperforms) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kShareGpt, 60, 2.0, 23);
+  MuxWiseEngine::Options temporal;
+  temporal.mux.mode = MultiplexEngine::Mode::kTemporal;
+  MuxWiseEngine* engine = nullptr;
+  const auto t = Run(trace, temporal, &engine);
+  EXPECT_STREQ(engine->name(), "Temporal*");
+  const auto s = Run(trace, MuxWiseEngine::Options());
+  ASSERT_TRUE(t.all_completed);
+  ASSERT_TRUE(s.all_completed);
+  // Temporal-only multiplexing cannot exploit leftover SMs during
+  // decode: prefill waits, TTFT suffers (paper §6: >= 20% worse).
+  EXPECT_GT(t.metrics.Ttft().p99_ms, s.metrics.Ttft().p99_ms);
+}
+
+TEST_F(MuxWiseEngineTest, BubbleRatioStaysModest) {
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kToolAgent, 100, 2.0, 25);
+  MuxWiseEngine* engine = nullptr;
+  const auto result = Run(trace, MuxWiseEngine::Options(), &engine);
+  ASSERT_TRUE(result.all_completed);
+  // Paper §4.4.2 reports ~7.7% under goodput-level load; at this more
+  // moderate load the prefill stream idles between batches, so allow a
+  // generous envelope (the Fig. 19 bench measures the loaded case).
+  EXPECT_LT(engine->mux().AverageBubbleRatio(), 0.55);
+}
+
+}  // namespace
+}  // namespace muxwise::core

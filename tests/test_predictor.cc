@@ -1,0 +1,93 @@
+#include "llm/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/gpu.h"
+#include "gpu/gpu_spec.h"
+#include "llm/cost_model.h"
+#include "llm/model_config.h"
+#include "sim/simulator.h"
+
+namespace muxwise::llm {
+namespace {
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    predictor_ = SoloRunPredictor::Train(device_, cost_, {16, 48, 96, 108});
+  }
+
+  sim::Simulator simulator_;
+  gpu::Gpu device_{&simulator_, gpu::GpuSpec::A100()};
+  CostModel cost_{ModelConfig::Llama70B(), 8, gpu::GpuSpec::A100()};
+  SoloRunPredictor predictor_;
+};
+
+TEST_F(PredictorTest, TrainedOptionsAreRecorded) {
+  EXPECT_EQ(predictor_.TrainedSmOptions(),
+            (std::vector<int>{16, 48, 96, 108}));
+}
+
+TEST_F(PredictorTest, FitErrorWithinPaperBallpark) {
+  // Paper §3.3.2: max deviation 8.16% (prefill) / 8.84% (decode). Our
+  // analytic ground truth has the same roofline nonlinearity; allow a
+  // slightly wider envelope.
+  for (int sms : predictor_.TrainedSmOptions()) {
+    EXPECT_LT(predictor_.PrefillMaxError(sms), 0.20) << "sms=" << sms;
+    EXPECT_LT(predictor_.DecodeMaxError(sms), 0.20) << "sms=" << sms;
+  }
+}
+
+TEST_F(PredictorTest, PrefillPredictionTracksGroundTruth) {
+  const std::vector<SeqWork> batch = {SeqWork{3000, 6000}};
+  for (int sms : {16, 48, 96}) {
+    const double truth =
+        device_.SoloDurationSeconds(cost_.PrefillPhase(batch), sms);
+    const double pred = sim::ToSeconds(predictor_.PredictPrefill(batch, sms));
+    EXPECT_NEAR(pred / truth, 1.0, 0.25) << "sms=" << sms;
+  }
+}
+
+TEST_F(PredictorTest, DecodePredictionTracksGroundTruth) {
+  const std::vector<std::int64_t> ctx(24, 3000);
+  for (int sms : {16, 48, 96}) {
+    const double truth =
+        device_.SoloDurationSeconds(cost_.DecodeIteration(ctx), sms);
+    const double pred = sim::ToSeconds(predictor_.PredictDecode(ctx, sms));
+    EXPECT_NEAR(pred / truth, 1.0, 0.25) << "sms=" << sms;
+  }
+}
+
+TEST_F(PredictorTest, MoreSmsNeverSlowerForPrefill) {
+  const std::vector<SeqWork> batch = {SeqWork{8192, 0}};
+  const sim::Duration t16 = predictor_.PredictPrefill(batch, 16);
+  const sim::Duration t96 = predictor_.PredictPrefill(batch, 96);
+  EXPECT_GT(t16, t96);
+}
+
+TEST_F(PredictorTest, LongerContextSlowerDecode) {
+  const std::vector<std::int64_t> short_ctx(32, 1024);
+  const std::vector<std::int64_t> long_ctx(32, 65536);
+  EXPECT_GT(predictor_.PredictDecode(long_ctx, 48),
+            predictor_.PredictDecode(short_ctx, 48));
+}
+
+TEST_F(PredictorTest, UnknownSmsFallsBackToNearestLowerFit) {
+  const std::vector<std::int64_t> ctx(8, 2048);
+  // 64 is untrained; should use the 48-SM fit.
+  EXPECT_EQ(predictor_.PredictDecode(ctx, 64),
+            predictor_.PredictDecode(ctx, 48));
+  // Below the smallest option: clamps to the smallest.
+  EXPECT_EQ(predictor_.PredictDecode(ctx, 8),
+            predictor_.PredictDecode(ctx, 16));
+}
+
+TEST_F(PredictorTest, PredictionsAreNonNegative) {
+  EXPECT_GE(predictor_.PredictPrefill({SeqWork{1, 0}}, 16), 0);
+  EXPECT_GE(predictor_.PredictDecode({1}, 16), 0);
+}
+
+}  // namespace
+}  // namespace muxwise::llm

@@ -1,0 +1,237 @@
+#include "kv/radix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace muxwise::kv {
+namespace {
+
+TokenSeq Session(std::int64_t stream, std::int64_t len) {
+  return {{stream, 0, len}};
+}
+
+TEST(RadixTreeTest, EmptyTreeMatchesNothing) {
+  RadixTree tree;
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 100), 0), 0);
+  EXPECT_EQ(tree.total_tokens(), 0);
+}
+
+TEST(RadixTreeTest, InsertThenMatchFull) {
+  RadixTree tree;
+  auto [added, lock] = tree.InsertAndLock(Session(1, 100), 1);
+  EXPECT_EQ(added, 100);
+  EXPECT_EQ(tree.total_tokens(), 100);
+  tree.Unlock(lock);
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 100), 2), 100);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, MatchShorterPrefix) {
+  RadixTree tree;
+  auto [added, lock] = tree.InsertAndLock(Session(1, 100), 1);
+  tree.Unlock(lock);
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 40), 2), 40);
+}
+
+TEST(RadixTreeTest, MatchLongerQueryStopsAtCachedLength) {
+  RadixTree tree;
+  auto [added, lock] = tree.InsertAndLock(Session(1, 100), 1);
+  tree.Unlock(lock);
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 250), 2), 100);
+}
+
+TEST(RadixTreeTest, ExtensionAddsOnlyNewTokens) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 100), 1);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(Session(1, 300), 2);
+  tree.Unlock(l2);
+  EXPECT_EQ(a1, 100);
+  EXPECT_EQ(a2, 200);
+  EXPECT_EQ(tree.total_tokens(), 300);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, ShorterInsertSplitsNode) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 300), 1);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(Session(1, 100), 2);
+  tree.Unlock(l2);
+  EXPECT_EQ(a2, 0);  // Fully cached already.
+  EXPECT_EQ(tree.total_tokens(), 300);
+  EXPECT_EQ(tree.node_count(), 2u);  // Split into 100 + 200.
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, SharedSystemPromptSharesOneNode) {
+  RadixTree tree;
+  // Two sessions with the same 50-token system prompt.
+  TokenSeq a = {{0, 0, 50}, {1, 0, 100}};
+  TokenSeq b = {{0, 0, 50}, {2, 0, 100}};
+  auto [a1, l1] = tree.InsertAndLock(a, 1);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(b, 2);
+  tree.Unlock(l2);
+  EXPECT_EQ(a1, 150);
+  EXPECT_EQ(a2, 100);  // System prompt reused.
+  EXPECT_EQ(tree.total_tokens(), 250);
+  EXPECT_EQ(tree.MatchedPrefix({{0, 0, 50}, {3, 0, 10}}, 3), 50);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, LockPreventsEviction) {
+  RadixTree tree;
+  auto [added, lock] = tree.InsertAndLock(Session(1, 100), 1);
+  EXPECT_EQ(tree.EvictLru(100), 0);  // Pinned: nothing evictable.
+  tree.Unlock(lock);
+  EXPECT_EQ(tree.EvictLru(100), 100);
+  EXPECT_EQ(tree.total_tokens(), 0);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, LockOnPrefixPinsWholePath) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 300), 1);
+  tree.Unlock(l1);
+  // Lock only the first 100 tokens (splits or partially covers nodes).
+  RadixTree::MatchResult match = tree.MatchAndLock(Session(1, 100), 2);
+  EXPECT_EQ(match.matched_tokens, 100);
+  // The partially-covered 300-token node is pinned entirely, so nothing
+  // can be evicted.
+  EXPECT_EQ(tree.EvictLru(1000), 0);
+  tree.Unlock(match.lock);
+  EXPECT_EQ(tree.EvictLru(1000), 300);
+}
+
+TEST(RadixTreeTest, EvictsLeastRecentlyUsedFirst) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 100), /*now=*/10);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(Session(2, 100), /*now=*/20);
+  tree.Unlock(l2);
+  // Touch session 1 so session 2 becomes LRU.
+  tree.MatchedPrefix(Session(1, 100), /*now=*/30);
+  EXPECT_EQ(tree.EvictLru(50), 100);  // Whole leaf evicted.
+  EXPECT_EQ(tree.MatchedPrefix(Session(2, 100), 40), 0);
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 100), 41), 100);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, EvictionCascadesToParents) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 100), 1);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(Session(1, 200), 2);
+  tree.Unlock(l2);
+  // Two nodes (100 + 100 extension); evicting 200 requires both.
+  EXPECT_EQ(tree.EvictLru(200), 200);
+  EXPECT_EQ(tree.node_count(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(RadixTreeTest, SplitPreservesLocks) {
+  RadixTree tree;
+  auto [a1, lock] = tree.InsertAndLock(Session(1, 300), 1);
+  // While locked, a shorter insert splits the node.
+  auto [a2, l2] = tree.InsertAndLock(Session(1, 100), 2);
+  tree.Unlock(l2);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.EvictLru(1000), 0);  // Still fully pinned.
+  tree.Unlock(lock);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.EvictLru(1000), 300);
+}
+
+TEST(RadixTreeTest, LockedTokensReportsPinnedAmount) {
+  RadixTree tree;
+  auto [a1, lock] = tree.InsertAndLock(Session(1, 120), 1);
+  EXPECT_EQ(tree.LockedTokens(), 120);
+  tree.Unlock(lock);
+  EXPECT_EQ(tree.LockedTokens(), 0);
+}
+
+TEST(RadixTreeTest, DivergentSessionsDontCrossMatch) {
+  RadixTree tree;
+  auto [a1, l1] = tree.InsertAndLock(Session(1, 100), 1);
+  tree.Unlock(l1);
+  auto [a2, l2] = tree.InsertAndLock(Session(2, 150), 2);
+  tree.Unlock(l2);
+  EXPECT_EQ(tree.total_tokens(), 250);
+  EXPECT_EQ(tree.MatchedPrefix(Session(1, 100), 3), 100);
+  EXPECT_EQ(tree.MatchedPrefix(Session(2, 100), 4), 100);
+}
+
+/**
+ * Property test: random insert/match/evict against a reference model
+ * that stores whole sequences. The tree's matched prefix must equal the
+ * reference's best (when nothing was evicted), and totals stay
+ * consistent with CheckInvariants throughout.
+ */
+TEST(RadixTreePropertyTest, MatchesReferenceWithoutEviction) {
+  sim::Rng rng(7);
+  RadixTree tree;
+  // Reference: per (stream), the longest inserted length; plus shared
+  // prefix streams handled by construction below.
+  std::map<std::int64_t, std::int64_t> longest;
+  sim::Time now = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t stream = rng.UniformInt(1, 20);
+    const std::int64_t len = rng.UniformInt(1, 400);
+    ++now;
+    if (rng.Bernoulli(0.6)) {
+      auto [added, lock] = tree.InsertAndLock(Session(stream, len), now);
+      tree.Unlock(lock);
+      longest[stream] = std::max(longest[stream], len);
+    } else {
+      const std::int64_t matched =
+          tree.MatchedPrefix(Session(stream, len), now);
+      const std::int64_t expected = std::min(len, longest[stream]);
+      ASSERT_EQ(matched, expected) << "iter " << i;
+    }
+    if (i % 50 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  std::int64_t expected_total = 0;
+  for (const auto& [stream, len] : longest) expected_total += len;
+  EXPECT_EQ(tree.total_tokens(), expected_total);
+}
+
+TEST(RadixTreePropertyTest, EvictionNeverBreaksInvariants) {
+  sim::Rng rng(13);
+  RadixTree tree;
+  std::vector<RadixTree::Lock> locks;
+  sim::Time now = 0;
+  for (int i = 0; i < 300; ++i) {
+    ++now;
+    const double action = rng.Uniform();
+    if (action < 0.5) {
+      auto [added, lock] = tree.InsertAndLock(
+          Session(rng.UniformInt(1, 10), rng.UniformInt(1, 300)), now);
+      if (rng.Bernoulli(0.3) && locks.size() < 5) {
+        locks.push_back(lock);
+      } else {
+        tree.Unlock(lock);
+      }
+    } else if (action < 0.8) {
+      tree.EvictLru(rng.UniformInt(1, 500));
+    } else if (!locks.empty()) {
+      tree.Unlock(locks.back());
+      locks.pop_back();
+    }
+    tree.CheckInvariants();
+  }
+  for (RadixTree::Lock& lock : locks) tree.Unlock(lock);
+  // Everything unpinned: full eviction must be possible.
+  tree.EvictLru(tree.total_tokens());
+  EXPECT_EQ(tree.total_tokens(), 0);
+  tree.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace muxwise::kv

@@ -1,0 +1,141 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace muxwise::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.Fork("workload");
+  Rng c2 = Rng(42).Fork("workload");
+  Rng other = parent.Fork("arrivals");
+  EXPECT_DOUBLE_EQ(c1.Uniform(), c2.Uniform());
+  EXPECT_NE(c1.Uniform(), other.Uniform());
+}
+
+TEST(RngTest, ForkLabelsAvalanche) {
+  Rng parent(42);
+  Rng a = parent.Fork("a");
+  Rng b = parent.Fork("b");
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.UniformInt(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliProbabilityApproximatelyCorrect) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+class BoundedLogNormalTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(BoundedLogNormalTest, CalibratedMeanAndBounds) {
+  const auto [min, mean, max] = GetParam();
+  BoundedLogNormal dist(min, mean, max);
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, min);
+    ASSERT_LE(x, max);
+    sum += x;
+  }
+  const double realized = sum / kN;
+  // Calibration targets the clamped mean within a few percent.
+  EXPECT_NEAR(realized / mean, 1.0, 0.06)
+      << "min=" << min << " mean=" << mean << " max=" << max;
+}
+
+// Parameters straight from the paper's Table 1 length columns.
+INSTANTIATE_TEST_SUITE_P(
+    Table1Distributions, BoundedLogNormalTest,
+    ::testing::Values(
+        std::make_tuple(4.0, 226.0, 1024.0),      // ShareGPT input.
+        std::make_tuple(4.0, 195.0, 1838.0),      // ShareGPT output.
+        std::make_tuple(3380.0, 30000.0, 81000.0),  // LooGLE input.
+        std::make_tuple(2.0, 15.0, 326.0),        // LooGLE output.
+        std::make_tuple(684.0, 8374.0, 32000.0),  // OpenThoughts output.
+        std::make_tuple(1.0, 342.0, 2000.0),      // Conversation output.
+        std::make_tuple(1.0, 182.0, 2000.0)));    // Tool&Agent output.
+
+TEST(BoundedLogNormalTest, DegenerateRangeReturnsConstant) {
+  BoundedLogNormal dist(100.0, 100.0, 100.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(dist.Sample(rng), 100.0);
+}
+
+TEST(BoundedLogNormalTest, ConstructionIsDeterministic) {
+  BoundedLogNormal a(4.0, 226.0, 1024.0);
+  BoundedLogNormal b(4.0, 226.0, 1024.0);
+  EXPECT_DOUBLE_EQ(a.mu(), b.mu());
+  EXPECT_DOUBLE_EQ(a.sigma(), b.sigma());
+}
+
+}  // namespace
+}  // namespace muxwise::sim
