@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_resource_demand.dir/bench_fig03_resource_demand.cc.o"
+  "CMakeFiles/bench_fig03_resource_demand.dir/bench_fig03_resource_demand.cc.o.d"
+  "bench_fig03_resource_demand"
+  "bench_fig03_resource_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_resource_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cache_hit_rate.dir/bench_fig05_cache_hit_rate.cc.o"
+  "CMakeFiles/bench_fig05_cache_hit_rate.dir/bench_fig05_cache_hit_rate.cc.o.d"
+  "bench_fig05_cache_hit_rate"
+  "bench_fig05_cache_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cache_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

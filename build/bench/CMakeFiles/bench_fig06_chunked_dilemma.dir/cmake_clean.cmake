@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_chunked_dilemma.dir/bench_fig06_chunked_dilemma.cc.o"
+  "CMakeFiles/bench_fig06_chunked_dilemma.dir/bench_fig06_chunked_dilemma.cc.o.d"
+  "bench_fig06_chunked_dilemma"
+  "bench_fig06_chunked_dilemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_chunked_dilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_realworld.dir/bench_fig14_realworld.cc.o"
+  "CMakeFiles/bench_fig14_realworld.dir/bench_fig14_realworld.cc.o.d"
+  "bench_fig14_realworld"
+  "bench_fig14_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

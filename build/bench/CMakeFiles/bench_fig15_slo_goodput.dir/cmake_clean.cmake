@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_slo_goodput.dir/bench_fig15_slo_goodput.cc.o"
+  "CMakeFiles/bench_fig15_slo_goodput.dir/bench_fig15_slo_goodput.cc.o.d"
+  "bench_fig15_slo_goodput"
+  "bench_fig15_slo_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_slo_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

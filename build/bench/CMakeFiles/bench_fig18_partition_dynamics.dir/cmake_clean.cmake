@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_partition_dynamics.dir/bench_fig18_partition_dynamics.cc.o"
+  "CMakeFiles/bench_fig18_partition_dynamics.dir/bench_fig18_partition_dynamics.cc.o.d"
+  "bench_fig18_partition_dynamics"
+  "bench_fig18_partition_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_partition_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec45_overheads.dir/bench_sec45_overheads.cc.o"
+  "CMakeFiles/bench_sec45_overheads.dir/bench_sec45_overheads.cc.o.d"
+  "bench_sec45_overheads"
+  "bench_sec45_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_variants.dir/bench_sec6_variants.cc.o"
+  "CMakeFiles/bench_sec6_variants.dir/bench_sec6_variants.cc.o.d"
+  "bench_sec6_variants"
+  "bench_sec6_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodput_explorer.dir/goodput_explorer.cpp.o"
+  "CMakeFiles/goodput_explorer.dir/goodput_explorer.cpp.o.d"
+  "goodput_explorer"
+  "goodput_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodput_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_mix.dir/long_context_mix.cpp.o"
+  "CMakeFiles/long_context_mix.dir/long_context_mix.cpp.o.d"
+  "long_context_mix"
+  "long_context_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

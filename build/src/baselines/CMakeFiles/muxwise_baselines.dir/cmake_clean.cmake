@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_baselines.dir/chunked_prefill.cc.o"
+  "CMakeFiles/muxwise_baselines.dir/chunked_prefill.cc.o.d"
+  "CMakeFiles/muxwise_baselines.dir/loongserve.cc.o"
+  "CMakeFiles/muxwise_baselines.dir/loongserve.cc.o.d"
+  "CMakeFiles/muxwise_baselines.dir/static_disagg.cc.o"
+  "CMakeFiles/muxwise_baselines.dir/static_disagg.cc.o.d"
+  "libmuxwise_baselines.a"
+  "libmuxwise_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

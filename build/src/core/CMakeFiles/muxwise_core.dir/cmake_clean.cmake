@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_core.dir/dispatcher.cc.o"
+  "CMakeFiles/muxwise_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/muxwise_core.dir/estimator.cc.o"
+  "CMakeFiles/muxwise_core.dir/estimator.cc.o.d"
+  "CMakeFiles/muxwise_core.dir/multiplex_engine.cc.o"
+  "CMakeFiles/muxwise_core.dir/multiplex_engine.cc.o.d"
+  "CMakeFiles/muxwise_core.dir/muxwise_engine.cc.o"
+  "CMakeFiles/muxwise_core.dir/muxwise_engine.cc.o.d"
+  "libmuxwise_core.a"
+  "libmuxwise_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

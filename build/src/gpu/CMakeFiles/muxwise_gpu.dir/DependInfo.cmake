@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cluster.cc" "src/gpu/CMakeFiles/muxwise_gpu.dir/cluster.cc.o" "gcc" "src/gpu/CMakeFiles/muxwise_gpu.dir/cluster.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/gpu/CMakeFiles/muxwise_gpu.dir/gpu.cc.o" "gcc" "src/gpu/CMakeFiles/muxwise_gpu.dir/gpu.cc.o.d"
+  "/root/repo/src/gpu/gpu_spec.cc" "src/gpu/CMakeFiles/muxwise_gpu.dir/gpu_spec.cc.o" "gcc" "src/gpu/CMakeFiles/muxwise_gpu.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/gpu/CMakeFiles/muxwise_gpu.dir/kernel.cc.o" "gcc" "src/gpu/CMakeFiles/muxwise_gpu.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muxwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

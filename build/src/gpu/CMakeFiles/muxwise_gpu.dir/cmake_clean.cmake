@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_gpu.dir/cluster.cc.o"
+  "CMakeFiles/muxwise_gpu.dir/cluster.cc.o.d"
+  "CMakeFiles/muxwise_gpu.dir/gpu.cc.o"
+  "CMakeFiles/muxwise_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/muxwise_gpu.dir/gpu_spec.cc.o"
+  "CMakeFiles/muxwise_gpu.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/muxwise_gpu.dir/kernel.cc.o"
+  "CMakeFiles/muxwise_gpu.dir/kernel.cc.o.d"
+  "libmuxwise_gpu.a"
+  "libmuxwise_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_harness.dir/runner.cc.o"
+  "CMakeFiles/muxwise_harness.dir/runner.cc.o.d"
+  "libmuxwise_harness.a"
+  "libmuxwise_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

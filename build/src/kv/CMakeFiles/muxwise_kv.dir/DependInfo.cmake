@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/kv_pool.cc" "src/kv/CMakeFiles/muxwise_kv.dir/kv_pool.cc.o" "gcc" "src/kv/CMakeFiles/muxwise_kv.dir/kv_pool.cc.o.d"
+  "/root/repo/src/kv/radix_tree.cc" "src/kv/CMakeFiles/muxwise_kv.dir/radix_tree.cc.o" "gcc" "src/kv/CMakeFiles/muxwise_kv.dir/radix_tree.cc.o.d"
+  "/root/repo/src/kv/token_seq.cc" "src/kv/CMakeFiles/muxwise_kv.dir/token_seq.cc.o" "gcc" "src/kv/CMakeFiles/muxwise_kv.dir/token_seq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muxwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_kv.dir/kv_pool.cc.o"
+  "CMakeFiles/muxwise_kv.dir/kv_pool.cc.o.d"
+  "CMakeFiles/muxwise_kv.dir/radix_tree.cc.o"
+  "CMakeFiles/muxwise_kv.dir/radix_tree.cc.o.d"
+  "CMakeFiles/muxwise_kv.dir/token_seq.cc.o"
+  "CMakeFiles/muxwise_kv.dir/token_seq.cc.o.d"
+  "libmuxwise_kv.a"
+  "libmuxwise_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_llm.dir/cost_model.cc.o"
+  "CMakeFiles/muxwise_llm.dir/cost_model.cc.o.d"
+  "CMakeFiles/muxwise_llm.dir/least_squares.cc.o"
+  "CMakeFiles/muxwise_llm.dir/least_squares.cc.o.d"
+  "CMakeFiles/muxwise_llm.dir/model_config.cc.o"
+  "CMakeFiles/muxwise_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/muxwise_llm.dir/predictor.cc.o"
+  "CMakeFiles/muxwise_llm.dir/predictor.cc.o.d"
+  "libmuxwise_llm.a"
+  "libmuxwise_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

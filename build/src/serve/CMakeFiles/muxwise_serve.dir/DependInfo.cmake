@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/admission.cc" "src/serve/CMakeFiles/muxwise_serve.dir/admission.cc.o" "gcc" "src/serve/CMakeFiles/muxwise_serve.dir/admission.cc.o.d"
+  "/root/repo/src/serve/deployment.cc" "src/serve/CMakeFiles/muxwise_serve.dir/deployment.cc.o" "gcc" "src/serve/CMakeFiles/muxwise_serve.dir/deployment.cc.o.d"
+  "/root/repo/src/serve/frontend.cc" "src/serve/CMakeFiles/muxwise_serve.dir/frontend.cc.o" "gcc" "src/serve/CMakeFiles/muxwise_serve.dir/frontend.cc.o.d"
+  "/root/repo/src/serve/metrics.cc" "src/serve/CMakeFiles/muxwise_serve.dir/metrics.cc.o" "gcc" "src/serve/CMakeFiles/muxwise_serve.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muxwise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/muxwise_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/muxwise_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/muxwise_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/muxwise_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

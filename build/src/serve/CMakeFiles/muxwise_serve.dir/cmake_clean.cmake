@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_serve.dir/admission.cc.o"
+  "CMakeFiles/muxwise_serve.dir/admission.cc.o.d"
+  "CMakeFiles/muxwise_serve.dir/deployment.cc.o"
+  "CMakeFiles/muxwise_serve.dir/deployment.cc.o.d"
+  "CMakeFiles/muxwise_serve.dir/frontend.cc.o"
+  "CMakeFiles/muxwise_serve.dir/frontend.cc.o.d"
+  "CMakeFiles/muxwise_serve.dir/metrics.cc.o"
+  "CMakeFiles/muxwise_serve.dir/metrics.cc.o.d"
+  "libmuxwise_serve.a"
+  "libmuxwise_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

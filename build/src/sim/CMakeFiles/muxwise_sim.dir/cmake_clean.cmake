@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_sim.dir/logging.cc.o"
+  "CMakeFiles/muxwise_sim.dir/logging.cc.o.d"
+  "CMakeFiles/muxwise_sim.dir/rng.cc.o"
+  "CMakeFiles/muxwise_sim.dir/rng.cc.o.d"
+  "CMakeFiles/muxwise_sim.dir/simulator.cc.o"
+  "CMakeFiles/muxwise_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/muxwise_sim.dir/time.cc.o"
+  "CMakeFiles/muxwise_sim.dir/time.cc.o.d"
+  "libmuxwise_sim.a"
+  "libmuxwise_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/muxwise_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/muxwise_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/request_spec.cc" "src/workload/CMakeFiles/muxwise_workload.dir/request_spec.cc.o" "gcc" "src/workload/CMakeFiles/muxwise_workload.dir/request_spec.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/muxwise_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/muxwise_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/muxwise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/muxwise_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxwise_workload.dir/datasets.cc.o"
+  "CMakeFiles/muxwise_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/muxwise_workload.dir/request_spec.cc.o"
+  "CMakeFiles/muxwise_workload.dir/request_spec.cc.o.d"
+  "CMakeFiles/muxwise_workload.dir/trace_io.cc.o"
+  "CMakeFiles/muxwise_workload.dir/trace_io.cc.o.d"
+  "libmuxwise_workload.a"
+  "libmuxwise_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxwise_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admission.cc" "tests/CMakeFiles/test_admission.dir/test_admission.cc.o" "gcc" "tests/CMakeFiles/test_admission.dir/test_admission.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/muxwise_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/muxwise_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/muxwise_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/muxwise_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/muxwise_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/muxwise_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/muxwise_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/muxwise_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muxwise_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loongserve.dir/test_loongserve.cc.o"
+  "CMakeFiles/test_loongserve.dir/test_loongserve.cc.o.d"
+  "test_loongserve"
+  "test_loongserve.pdb"
+  "test_loongserve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loongserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiplex_engine.dir/test_multiplex_engine.cc.o"
+  "CMakeFiles/test_multiplex_engine.dir/test_multiplex_engine.cc.o.d"
+  "test_multiplex_engine"
+  "test_multiplex_engine.pdb"
+  "test_multiplex_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiplex_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

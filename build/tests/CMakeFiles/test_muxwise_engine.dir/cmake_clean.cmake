@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_muxwise_engine.dir/test_muxwise_engine.cc.o"
+  "CMakeFiles/test_muxwise_engine.dir/test_muxwise_engine.cc.o.d"
+  "test_muxwise_engine"
+  "test_muxwise_engine.pdb"
+  "test_muxwise_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_muxwise_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_disagg.dir/test_static_disagg.cc.o"
+  "CMakeFiles/test_static_disagg.dir/test_static_disagg.cc.o.d"
+  "test_static_disagg"
+  "test_static_disagg.pdb"
+  "test_static_disagg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_seq.dir/test_token_seq.cc.o"
+  "CMakeFiles/test_token_seq.dir/test_token_seq.cc.o.d"
+  "test_token_seq"
+  "test_token_seq.pdb"
+  "test_token_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

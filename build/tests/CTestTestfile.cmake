@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_model_config[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_least_squares[1]_include.cmake")
+include("/root/repo/build/tests/test_token_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_radix_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_admission[1]_include.cmake")
+include("/root/repo/build/tests/test_deployment[1]_include.cmake")
+include("/root/repo/build/tests/test_chunked[1]_include.cmake")
+include("/root/repo/build/tests/test_static_disagg[1]_include.cmake")
+include("/root/repo/build/tests/test_loongserve[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_dispatcher[1]_include.cmake")
+include("/root/repo/build/tests/test_muxwise_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_multiplex_engine[1]_include.cmake")
