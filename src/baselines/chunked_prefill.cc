@@ -206,4 +206,23 @@ int ChunkedPrefillEngine::TuneTokenBudget(const serve::Deployment& deployment,
   return best;
 }
 
+void ChunkedPrefillEngine::RegisterAudits(
+    check::InvariantRegistry& registry) const {
+  registry.Register(
+      "ChunkedPrefillEngine", "quiescent-scheduler",
+      [this](check::AuditContext& ctx) {
+        ctx.Check(in_flight_ == 0, std::to_string(in_flight_) +
+                                       " requests still in flight");
+        ctx.Check(waiting_.empty(), "waiting queue not drained");
+        ctx.Check(prefilling_.empty(), "prefill queue not drained");
+        ctx.Check(decoding_.empty(), "decode batch not drained");
+        ctx.Check(!iteration_in_flight_, "iteration still outstanding");
+        ctx.Check(nano_outstanding_ == 0,
+                  "nano-batches still outstanding");
+        ctx.Check(inflight_chunks_.empty(), "chunks of a dead iteration");
+      });
+  pool_->RegisterAudits(registry);
+  device_->RegisterAudits(registry);
+}
+
 }  // namespace muxwise::baselines

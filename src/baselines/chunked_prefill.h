@@ -49,6 +49,7 @@ class ChunkedPrefillEngine : public serve::Engine {
   }
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
+  void RegisterAudits(check::InvariantRegistry& registry) const override;
 
   /**
    * Offline token-budget tuning following SARATHI-Serve: the largest

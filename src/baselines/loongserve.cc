@@ -204,4 +204,30 @@ void LoongServeEngine::OnDecodeIterationDone() {
   PumpPrefill();
 }
 
+void LoongServeEngine::RegisterAudits(
+    check::InvariantRegistry& registry) const {
+  registry.Register(
+      "LoongServeEngine", "quiescent-scheduler",
+      [this](check::AuditContext& ctx) {
+        ctx.Check(in_flight_ == 0, std::to_string(in_flight_) +
+                                       " requests still in flight");
+        ctx.Check(waiting_.empty(), "waiting queue not drained");
+        ctx.Check(prefill_batch_.empty(), "prefill batch not drained");
+        ctx.Check(decoding_.empty(), "decode batch not drained");
+        ctx.Check(!prefill_in_flight_ && !decode_in_flight_,
+                  "phase iteration still outstanding");
+      });
+  registry.Register(
+      "LoongServeEngine", "token-pool", [this](check::AuditContext& ctx) {
+        ctx.Check(pool_used_ >= 0, "negative pool usage");
+        ctx.Check(pool_used_ <= pool_capacity_,
+                  "pool used " + std::to_string(pool_used_) +
+                      " exceeds capacity " + std::to_string(pool_capacity_));
+        ctx.Check(pool_used_ == 0,
+                  "leaked " + std::to_string(pool_used_) +
+                      " pool tokens at quiescence");
+      });
+  device_->RegisterAudits(registry);
+}
+
 }  // namespace muxwise::baselines

@@ -47,6 +47,7 @@ class LoongServeEngine : public serve::Engine {
   const char* name() const override { return "LoongServe"; }
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
+  void RegisterAudits(check::InvariantRegistry& registry) const override;
 
   gpu::Gpu& device() { return *device_; }
   int decode_gpus() const { return decode_gpus_; }

@@ -235,4 +235,23 @@ void StaticDisaggEngine::Finish(Job* job) {
   --in_flight_;
 }
 
+void StaticDisaggEngine::RegisterAudits(
+    check::InvariantRegistry& registry) const {
+  registry.Register(
+      "StaticDisaggEngine", "quiescent-scheduler",
+      [this](check::AuditContext& ctx) {
+        ctx.Check(in_flight_ == 0, std::to_string(in_flight_) +
+                                       " requests still in flight");
+        ctx.Check(waiting_.empty(), "waiting queue not drained");
+        ctx.Check(migrating_.empty(), "jobs stuck migrating P -> D");
+        ctx.Check(decoding_.empty(), "decode batch not drained");
+        ctx.Check(prefill_batch_.empty(), "prefill batch not drained");
+        ctx.Check(!prefill_in_flight_ && !decode_in_flight_,
+                  "phase iteration still outstanding");
+      });
+  prefill_pool_->RegisterAudits(registry);
+  decode_pool_->RegisterAudits(registry);
+  cluster_->RegisterAudits(registry);
+}
+
 }  // namespace muxwise::baselines

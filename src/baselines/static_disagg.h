@@ -46,6 +46,7 @@ class StaticDisaggEngine : public serve::Engine {
   const char* name() const override { return "SGLang-PD"; }
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
+  void RegisterAudits(check::InvariantRegistry& registry) const override;
 
   const kv::KvPool& prefill_pool() const { return *prefill_pool_; }
   const kv::KvPool& decode_pool() const { return *decode_pool_; }

@@ -1,0 +1,37 @@
+#include "check/invariant_registry.h"
+
+namespace muxwise::check {
+
+std::string Violation::Format() const {
+  return component + "/" + audit + ": " + message;
+}
+
+void AuditContext::Violate(const std::string& message) {
+  sink_->push_back(Violation{component_, audit_, message});
+}
+
+void InvariantRegistry::Register(std::string component, std::string audit,
+                                 AuditFn fn) {
+  audits_.push_back(
+      Entry{std::move(component), std::move(audit), std::move(fn)});
+}
+
+std::vector<Violation> InvariantRegistry::RunAll() const {
+  std::vector<Violation> violations;
+  for (const Entry& entry : audits_) {
+    AuditContext ctx(entry.component, entry.audit, &violations);
+    entry.fn(ctx);
+  }
+  return violations;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += v.Format();
+  }
+  return out;
+}
+
+}  // namespace muxwise::check

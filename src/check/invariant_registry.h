@@ -1,0 +1,92 @@
+#ifndef MUXWISE_CHECK_INVARIANT_REGISTRY_H_
+#define MUXWISE_CHECK_INVARIANT_REGISTRY_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muxwise::check {
+
+/** One failed invariant, as reported by an audit callback. */
+struct Violation {
+  std::string component;  // e.g. "KvPool".
+  std::string audit;      // e.g. "token-conservation".
+  std::string message;    // Human-readable diagnostic.
+
+  /** Renders as "component/audit: message". */
+  std::string Format() const;
+};
+
+/**
+ * Sink handed to audit callbacks while they run. Check() is the usual
+ * entry point; a failing check records a Violation and keeps going, so
+ * one broken invariant never masks the others.
+ */
+class AuditContext {
+ public:
+  /** Records `message` as a violation when `ok` is false. Returns ok. */
+  bool Check(bool ok, const std::string& message) {
+    if (!ok) Violate(message);
+    return ok;
+  }
+
+  /** Records a violation unconditionally. */
+  void Violate(const std::string& message);
+
+ private:
+  friend class InvariantRegistry;
+  AuditContext(std::string component, std::string audit,
+               std::vector<Violation>* sink)
+      : component_(std::move(component)),
+        audit_(std::move(audit)),
+        sink_(sink) {}
+
+  std::string component_;
+  std::string audit_;
+  std::vector<Violation>* sink_;
+};
+
+/**
+ * Registry of invariant audits.
+ *
+ * Components expose a `RegisterAudits(InvariantRegistry&)` method that
+ * registers named callbacks inspecting their internal state; the test
+ * harness collects every component of a scenario into one registry and
+ * runs all audits when the simulation has quiesced (no in-flight work),
+ * aborting the run on any violation. Audits therefore may assume
+ * quiescence: e.g. a KvPool audit checks that all working-set
+ * reservations and prefix pins have been returned.
+ *
+ * The registry borrows the audited components; it must not outlive
+ * them. Callbacks must be read-only and must not throw.
+ */
+class InvariantRegistry {
+ public:
+  using AuditFn = std::function<void(AuditContext&)>;
+
+  /** Registers one named audit for `component`. */
+  void Register(std::string component, std::string audit, AuditFn fn);
+
+  /** Runs every audit; returns all violations (empty when healthy). */
+  std::vector<Violation> RunAll() const;
+
+  /** Number of registered audits. */
+  std::size_t size() const { return audits_.size(); }
+
+ private:
+  struct Entry {
+    std::string component;
+    std::string audit;
+    AuditFn fn;
+  };
+  std::vector<Entry> audits_;
+};
+
+/** Formats violations one per line (for logs and Panic messages). */
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+}  // namespace muxwise::check
+
+#endif  // MUXWISE_CHECK_INVARIANT_REGISTRY_H_

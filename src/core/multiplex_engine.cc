@@ -64,4 +64,33 @@ double MultiplexEngine::AverageBubbleRatio() const {
   return (d + p) / 2.0;
 }
 
+void MultiplexEngine::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "MultiplexEngine", "partition-conservation",
+      [this](check::AuditContext& ctx) {
+        if (options_.mode != Mode::kSpatial) return;
+        const int total = device_->spec().sm_count;
+        ctx.Check(decode_sms_ > 0 && prefill_sms_ > 0,
+                  "spatial partition with an empty green context");
+        // When no prefill is runnable the scheduler parks decode on the
+        // full device and the prefill context keeps a minimum-size mask
+        // it never launches on (green-context masks may overlap while
+        // one context is idle). Conservation must hold whenever the
+        // prefill context could actually execute.
+        const bool prefill_parked =
+            decode_sms_ == total && device_->StreamIdle(prefill_stream_);
+        ctx.Check(decode_sms_ + prefill_sms_ <= total || prefill_parked,
+                  "partition " + std::to_string(decode_sms_) + "+" +
+                      std::to_string(prefill_sms_) + " oversubscribes " +
+                      std::to_string(total) + " SMs with prefill runnable");
+        // The streams must still carry exactly the partition the engine
+        // believes it configured (reconfigurations are not lost).
+        ctx.Check(device_->StreamSms(decode_stream_) == decode_sms_,
+                  "decode stream grant drifted from configured partition");
+        ctx.Check(device_->StreamSms(prefill_stream_) == prefill_sms_,
+                  "prefill stream grant drifted from configured partition");
+      });
+  device_->RegisterAudits(registry);
+}
+
 }  // namespace muxwise::core

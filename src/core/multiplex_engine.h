@@ -70,6 +70,13 @@ class MultiplexEngine {
   /** Number of partition reconfigurations performed. */
   std::size_t reconfigurations() const { return reconfigurations_; }
 
+  /**
+   * Registers partition-conservation audits (in kSpatial mode the
+   * decode + prefill green contexts never oversubscribe the device,
+   * across every reconfiguration) plus the device's own audits.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
+
  private:
   sim::Simulator* sim_;
   serve::Deployment deployment_;

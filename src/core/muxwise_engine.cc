@@ -395,4 +395,23 @@ void MuxWiseEngine::MaybePreemptFor(const serve::Request& incoming) {
   }
 }
 
+void MuxWiseEngine::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "MuxWiseEngine", "quiescent-scheduler",
+      [this](check::AuditContext& ctx) {
+        ctx.Check(in_flight_ == 0, std::to_string(in_flight_) +
+                                       " requests still in flight");
+        ctx.Check(waiting_.empty(), "waiting queue not drained");
+        ctx.Check(active_ == nullptr, "prefill batch still active");
+        ctx.Check(preempted_ == nullptr, "preempted batch never resumed");
+        ctx.Check(merge_ready_.empty(), "merge-ready requests abandoned");
+        ctx.Check(decoding_.empty(), "decode batch not drained");
+        ctx.Check(pending_completions_.empty(),
+                  "completions never handed back");
+        ctx.Check(!decode_in_flight_, "decode iteration still outstanding");
+      });
+  mux_->RegisterAudits(registry);
+  pool_->RegisterAudits(registry);
+}
+
 }  // namespace muxwise::core

@@ -65,6 +65,7 @@ class MuxWiseEngine : public serve::Engine {
   const char* name() const override;
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
+  void RegisterAudits(check::InvariantRegistry& registry) const override;
 
   MultiplexEngine& mux() { return *mux_; }
   const ContentionEstimator& estimator() const { return estimator_; }

@@ -53,4 +53,26 @@ Instance& Cluster::AddInstance(int tp_degree) {
   return *instances_.back();
 }
 
+void Cluster::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "Cluster", "gpu-conservation", [this](check::AuditContext& ctx) {
+        ctx.Check(allocated_gpus_ <= total_gpus_,
+                  "allocated " + std::to_string(allocated_gpus_) +
+                      " GPUs of " + std::to_string(total_gpus_));
+        int sum = 0;
+        for (const auto& instance : instances_) {
+          ctx.Check(instance->tp_degree >= 1,
+                    "instance with non-positive TP degree");
+          sum += instance->tp_degree;
+        }
+        ctx.Check(sum == allocated_gpus_,
+                  "instance TP degrees sum to " + std::to_string(sum) +
+                      ", allocation bookkeeping says " +
+                      std::to_string(allocated_gpus_));
+      });
+  for (const auto& instance : instances_) {
+    instance->device->RegisterAudits(registry);
+  }
+}
+
 }  // namespace muxwise::gpu

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_registry.h"
 #include "gpu/gpu.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/host.h"
@@ -86,6 +87,13 @@ class Cluster {
 
   /** NVLink fabric used for inter-instance KV migration. */
   Interconnect& link() { return *link_; }
+
+  /**
+   * Registers GPU-conservation audits (instances never over-allocate
+   * the server, allocation bookkeeping adds up) and every instance
+   * device's own audits.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
   sim::Simulator* sim_;

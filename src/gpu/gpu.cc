@@ -360,4 +360,37 @@ void Gpu::Rerate() {
   }
 }
 
+void Gpu::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "Gpu", "stream-partitions", [this](check::AuditContext& ctx) {
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+          const Stream& s = streams_[i];
+          ctx.Check(s.sms >= 1 && s.sms <= spec_.sm_count,
+                    "stream " + std::to_string(i) + " SM grant " +
+                        std::to_string(s.sms) + " outside [1, " +
+                        std::to_string(spec_.sm_count) + "]");
+        }
+      });
+  registry.Register(
+      "Gpu", "stream-accounting", [this](check::AuditContext& ctx) {
+        std::size_t completed = 0;
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+          const StreamStats& stats = streams_[i].stats;
+          const std::string label = "stream " + std::to_string(i) + " ";
+          ctx.Check(stats.busy_time >= 0, label + "negative busy time");
+          completed += stats.kernels_completed;
+          if (stats.kernels_completed == 0) continue;
+          ctx.Check(stats.first_activity <= stats.last_activity,
+                    label + "activity window inverted");
+          ctx.Check(stats.busy_time <=
+                        stats.last_activity - stats.first_activity,
+                    label + "busy time exceeds its activity window");
+        }
+        ctx.Check(completed == kernels_completed_,
+                  "per-stream kernel counts sum to " +
+                      std::to_string(completed) + ", device counted " +
+                      std::to_string(kernels_completed_));
+      });
+}
+
 }  // namespace muxwise::gpu

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariant_registry.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/kernel.h"
 #include "sim/simulator.h"
@@ -116,6 +117,13 @@ class Gpu {
 
   /** Total kernels completed on this device. */
   std::size_t kernels_completed() const { return kernels_completed_; }
+
+  /**
+   * Registers per-stream accounting audits: SM grants within device
+   * bounds, busy-time accounting inside each stream's activity window,
+   * and kernel-completion counters in agreement.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
   struct QueuedKernel {

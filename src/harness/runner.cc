@@ -1,10 +1,12 @@
 #include "harness/runner.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <utility>
 
 #include "baselines/chunked_prefill.h"
+#include "check/invariant_registry.h"
 #include "baselines/loongserve.h"
 #include "baselines/static_disagg.h"
 #include "serve/frontend.h"
@@ -24,6 +26,39 @@ bool IsMuxWiseFamily(EngineKind kind) {
 double UtilPercent(const gpu::Gpu& device, sim::Time end) {
   if (end <= 0) return 0.0;
   return 100.0 * device.SmUtilizationIntegral() / static_cast<double>(end);
+}
+
+std::uint64_t MixDigest(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+std::uint64_t MixDigest(std::uint64_t h, double v) {
+  return MixDigest(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t MixSummary(std::uint64_t h, const serve::LatencySummary& s) {
+  h = MixDigest(h, s.mean_ms);
+  h = MixDigest(h, s.p50_ms);
+  h = MixDigest(h, s.p99_ms);
+  return MixDigest(h, static_cast<std::uint64_t>(s.count));
+}
+
+/**
+ * Runs every audit the scenario's components registered; aborts on any
+ * violation. Called at scenario end, once the event queue has quiesced.
+ */
+void RunScenarioAudits(const sim::Simulator& simulator,
+                       const serve::Engine& engine,
+                       const serve::MetricsCollector& metrics) {
+  check::InvariantRegistry registry;
+  simulator.RegisterAudits(registry);
+  engine.RegisterAudits(registry);
+  metrics.RegisterAudits(registry);
+  const std::vector<check::Violation> violations = registry.RunAll();
+  if (!violations.empty()) {
+    sim::Panic("invariant audit failed at scenario end:\n" +
+               check::FormatViolations(violations));
+  }
 }
 
 }  // namespace
@@ -152,7 +187,61 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   } else if (loong != nullptr) {
     outcome.gpu_utilization = {UtilPercent(loong->device(), end)};
   }
+  outcome.event_digest = simulator.EventDigest();
+  outcome.executed_events = simulator.ExecutedEvents();
+  RunScenarioAudits(simulator, *engine, metrics);
   return outcome;
+}
+
+std::uint64_t OutcomeDigest(const RunOutcome& outcome) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for a fixed seed.
+  h = MixDigest(h, outcome.event_digest);
+  h = MixDigest(h, static_cast<std::uint64_t>(outcome.executed_events));
+  h = MixDigest(h, static_cast<std::uint64_t>(outcome.completed));
+  h = MixDigest(h, static_cast<std::uint64_t>(outcome.total));
+  h = MixDigest(h, static_cast<std::uint64_t>(outcome.stable ? 1 : 0));
+  h = MixSummary(h, outcome.ttft);
+  h = MixSummary(h, outcome.tbt);
+  h = MixSummary(h, outcome.tpot);
+  h = MixSummary(h, outcome.e2e);
+  h = MixDigest(h, outcome.tbt_attainment);
+  h = MixDigest(h, outcome.token_throughput);
+  h = MixDigest(h, outcome.request_throughput);
+  for (double util : outcome.gpu_utilization) h = MixDigest(h, util);
+  h = MixDigest(h, outcome.bubble_ratio);
+  h = MixDigest(h, outcome.cache_hit_rate);
+  h = MixDigest(h, static_cast<std::uint64_t>(outcome.preemptions));
+  for (const auto& sample : outcome.partition_trace) {
+    h = MixDigest(h, static_cast<std::uint64_t>(sample.time));
+    h = MixDigest(h, static_cast<std::uint64_t>(sample.decode_sms));
+  }
+  return h;
+}
+
+DeterminismReport VerifyDeterminism(
+    EngineKind kind, const serve::Deployment& deployment,
+    const workload::Trace& trace,
+    const core::ContentionEstimator* shared_estimator,
+    const RunConfig& config) {
+  const RunOutcome first =
+      RunWorkload(kind, deployment, trace, shared_estimator, config);
+  const RunOutcome second =
+      RunWorkload(kind, deployment, trace, shared_estimator, config);
+
+  DeterminismReport report;
+  report.first_digest = OutcomeDigest(first);
+  report.second_digest = OutcomeDigest(second);
+  report.first_events = first.executed_events;
+  report.second_events = second.executed_events;
+  if (first.event_digest != second.event_digest) {
+    report.mismatch = "event-stream digests diverged";
+  } else if (first.executed_events != second.executed_events) {
+    report.mismatch = "executed-event counts diverged";
+  } else if (report.first_digest != report.second_digest) {
+    report.mismatch = "event streams agree but reported outcomes diverged";
+  }
+  report.deterministic = report.mismatch.empty();
+  return report;
 }
 
 GoodputResult SweepGoodput(EngineKind kind,

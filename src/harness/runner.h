@@ -77,7 +77,23 @@ struct RunOutcome {
   double cache_hit_rate = 0.0;  // Token-weighted, where applicable.
   std::size_t preemptions = 0;
   std::vector<core::MuxWiseEngine::PartitionSample> partition_trace;
+
+  /**
+   * Order-sensitive digest of the simulator's executed event stream
+   * (sim::Simulator::EventDigest) and its length. Two runs of the same
+   * scenario must agree on both — the reproducibility witness that
+   * VerifyDeterminism compares.
+   */
+  std::uint64_t event_digest = 0;
+  std::size_t executed_events = 0;
 };
+
+/**
+ * Hashes the observable results of a run (completion counts, latency
+ * summaries, throughputs, and the event-stream digest) into one value
+ * for cheap equality comparison across repeated runs.
+ */
+std::uint64_t OutcomeDigest(const RunOutcome& outcome);
 
 /**
  * Replays `trace` through the chosen engine on a fresh simulator.
@@ -113,6 +129,28 @@ GoodputResult SweepGoodput(EngineKind kind,
                            const core::ContentionEstimator* shared_estimator,
                            const RunConfig& config = RunConfig(),
                            std::uint64_t arrival_seed = 2024);
+
+/** Result of replaying one scenario twice (see VerifyDeterminism). */
+struct DeterminismReport {
+  bool deterministic = false;
+  std::uint64_t first_digest = 0;   // OutcomeDigest of run 1.
+  std::uint64_t second_digest = 0;  // OutcomeDigest of run 2.
+  std::size_t first_events = 0;
+  std::size_t second_events = 0;
+  std::string mismatch;  // Empty when deterministic.
+};
+
+/**
+ * Runs the scenario back-to-back on two fresh simulators and compares
+ * the event-stream digests, executed-event counts, and outcome digests.
+ * Bit-reproducibility is the property that lets scheduler conclusions
+ * transfer from this simulator to real hardware; this is its enforcer.
+ */
+DeterminismReport VerifyDeterminism(
+    EngineKind kind, const serve::Deployment& deployment,
+    const workload::Trace& trace,
+    const core::ContentionEstimator* shared_estimator,
+    const RunConfig& config = RunConfig());
 
 }  // namespace muxwise::harness
 

@@ -66,6 +66,37 @@ void KvPool::Clear() {
   tree_.EvictLru(tree_.total_tokens());
 }
 
+void KvPool::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "KvPool", "token-conservation", [this](check::AuditContext& ctx) {
+        ctx.Check(reserved_ >= 0,
+                  "negative reserved " + std::to_string(reserved_));
+        ctx.Check(cached_tokens() >= 0,
+                  "negative cached " + std::to_string(cached_tokens()));
+        ctx.Check(used_tokens() == cached_tokens() + reserved_,
+                  "used != cached + reserved");
+        ctx.Check(used_tokens() <= capacity_,
+                  "used " + std::to_string(used_tokens()) +
+                      " exceeds capacity " + std::to_string(capacity_) +
+                      " at quiescence");
+        ctx.Check(hit_tokens_ <= requested_tokens_,
+                  "hit tokens exceed requested tokens");
+      });
+  registry.Register(
+      "KvPool", "quiescent-working-set", [this](check::AuditContext& ctx) {
+        // At scenario end every in-flight request has finished, so its
+        // reservation and prefix pin must have been returned.
+        ctx.Check(reserved_ == 0,
+                  "leaked working-set reservation of " +
+                      std::to_string(reserved_) + " tokens");
+        ctx.Check(tree_.LockedTokens() == 0,
+                  "leaked prefix pin on " +
+                      std::to_string(tree_.LockedTokens()) + " tokens");
+      });
+  registry.Register("KvPool", "radix-refcounts",
+                    [this](check::AuditContext& ctx) { tree_.Audit(ctx); });
+}
+
 double KvPool::HitRate() const {
   if (requested_tokens_ == 0) return 0.0;
   return static_cast<double>(hit_tokens_) /

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "check/invariant_registry.h"
 #include "kv/radix_tree.h"
 #include "kv/token_seq.h"
 #include "sim/time.h"
@@ -79,6 +80,15 @@ class KvPool {
   std::int64_t requested_tokens() const { return requested_tokens_; }
 
   RadixTree& tree() { return tree_; }
+
+  /**
+   * Registers pool-accounting audits: token conservation
+   * (cached + reserved = used <= capacity), non-negative counters,
+   * radix-tree refcount consistency, and — because the harness audits
+   * at scenario quiescence — that every working-set reservation and
+   * prefix pin has been returned.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
   std::int64_t capacity_;

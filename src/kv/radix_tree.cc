@@ -223,4 +223,38 @@ void RadixTree::CheckInvariants() const {
   MUX_CHECK(nodes == node_count_);
 }
 
+void RadixTree::Audit(check::AuditContext& ctx) const {
+  std::int64_t tokens = 0;
+  std::size_t nodes = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node != root_.get()) {
+      ctx.Check(!node->edge.empty(), "non-root node with empty edge");
+      ctx.Check(node->ref_count >= 0,
+                "negative ref_count " + std::to_string(node->ref_count));
+      tokens += node->EdgeTokens();
+      ++nodes;
+    }
+    for (const auto& [key, child] : node->children) {
+      ctx.Check(child->parent == node, "child with stale parent link");
+      ctx.Check(key == KeyFor(child->edge), "child keyed under wrong edge");
+      if (node != root_.get() && child->ref_count > 0) {
+        ctx.Check(node->ref_count > 0,
+                  "pinned child under unpinned parent (locks must pin "
+                  "whole paths)");
+      }
+      stack.push_back(child.get());
+    }
+  }
+  ctx.Check(tokens == total_tokens_,
+            "edge-token sum " + std::to_string(tokens) +
+                " disagrees with total_tokens " +
+                std::to_string(total_tokens_));
+  ctx.Check(nodes == node_count_,
+            "node scan " + std::to_string(nodes) +
+                " disagrees with node_count " + std::to_string(node_count_));
+}
+
 }  // namespace muxwise::kv

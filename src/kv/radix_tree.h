@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/invariant_registry.h"
 #include "kv/token_seq.h"
 #include "sim/time.h"
 
@@ -76,6 +77,13 @@ class RadixTree {
 
   /** Internal consistency check used by tests; aborts on violation. */
   void CheckInvariants() const;
+
+  /**
+   * Non-aborting variant of CheckInvariants for the invariant-audit
+   * registry: records every broken structural invariant (negative
+   * refcounts, token/node miscounts, orphaned parent links) on `ctx`.
+   */
+  void Audit(check::AuditContext& ctx) const;
 
  private:
   using ChildKey = std::pair<std::int64_t, std::int64_t>;  // (stream, begin).

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "check/invariant_registry.h"
 #include "serve/request.h"
 
 namespace muxwise::serve {
@@ -28,6 +29,16 @@ class Engine {
 
   /** Requests accepted but not yet completed (stability diagnostics). */
   virtual std::size_t InFlight() const = 0;
+
+  /**
+   * Registers this engine's invariant audits (its pools, devices, and
+   * scheduler bookkeeping) with the harness's registry. Audits run when
+   * the scenario has quiesced — after the event queue drained — so
+   * overrides may assert end-state properties such as empty queues.
+   */
+  virtual void RegisterAudits(check::InvariantRegistry& registry) const {
+    (void)registry;
+  }
 
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
 

@@ -93,4 +93,49 @@ double MetricsCollector::RequestThroughput(sim::Time t0, sim::Time t1) const {
   return static_cast<double>(completed_) / span;
 }
 
+void MetricsCollector::RegisterAudits(
+    check::InvariantRegistry& registry) const {
+  registry.Register(
+      "Metrics", "latency-sanity", [this](check::AuditContext& ctx) {
+        auto non_negative = [&ctx](const std::vector<double>& samples,
+                                   const char* population) {
+          for (double s : samples) {
+            if (!ctx.Check(s >= 0.0, std::string("negative ") + population +
+                                         " sample")) {
+              break;  // One report per population is enough.
+            }
+          }
+        };
+        non_negative(ttft_ms_, "TTFT");
+        non_negative(ttft_per_token_ms_, "TTFT-per-token");
+        non_negative(tbt_ms_, "TBT");
+        non_negative(tpot_ms_, "TPOT");
+        non_negative(e2e_ms_, "E2E");
+        // OnRequestComplete appends one TTFT and one E2E per request,
+        // so the populations pair up elementwise.
+        for (std::size_t i = 0; i < ttft_ms_.size() && i < e2e_ms_.size();
+             ++i) {
+          if (!ctx.Check(e2e_ms_[i] >= ttft_ms_[i],
+                         "request completed before its first token "
+                         "(E2E < TTFT at index " +
+                             std::to_string(i) + ")")) {
+            break;
+          }
+        }
+      });
+  registry.Register(
+      "Metrics", "sample-counts", [this](check::AuditContext& ctx) {
+        ctx.Check(ttft_ms_.size() == completed_,
+                  "TTFT sample count disagrees with completed requests");
+        ctx.Check(e2e_ms_.size() == completed_,
+                  "E2E sample count disagrees with completed requests");
+        ctx.Check(ttft_per_token_ms_.size() == completed_,
+                  "TTFT-per-token count disagrees with completed requests");
+        ctx.Check(tpot_ms_.size() <= completed_,
+                  "more TPOT samples than completed requests");
+        ctx.Check(output_tokens_ >= 0 && input_tokens_ >= 0,
+                  "negative token counters");
+      });
+}
+
 }  // namespace muxwise::serve

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_registry.h"
 #include "serve/request.h"
 #include "sim/time.h"
 #include "workload/slo.h"
@@ -62,6 +63,14 @@ class MetricsCollector {
 
   /** Completed requests per second over [t0, t1]. */
   double RequestThroughput(sim::Time t0, sim::Time t1) const;
+
+  /**
+   * Registers latency-sanity audits: every recorded sample is
+   * non-negative, each request completed no earlier than its first
+   * token (E2E >= TTFT, recorded pairwise in completion order), and
+   * the per-population sample counts agree with `completed()`.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
   std::size_t completed_ = 0;

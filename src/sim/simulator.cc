@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.h"
@@ -48,6 +49,15 @@ std::shared_ptr<Simulator::Event> Simulator::PopNext() {
   return nullptr;
 }
 
+void Simulator::FoldDigest(const Event& event) {
+  // Boost-style hash fold over (when, id); order-sensitive by design.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  digest_ = mix(digest_, static_cast<std::uint64_t>(event.when));
+  digest_ = mix(digest_, event.id);
+}
+
 bool Simulator::Step() {
   auto event = PopNext();
   if (!event) return false;
@@ -56,6 +66,7 @@ bool Simulator::Step() {
   MUX_CHECK(live_events_ > 0);
   --live_events_;
   ++executed_;
+  FoldDigest(*event);
   event->callback();
   return true;
 }
@@ -83,10 +94,47 @@ std::size_t Simulator::RunUntil(Time until) {
     --live_events_;
     ++executed_;
     ++n;
+    FoldDigest(*event);
     event->callback();
   }
   now_ = until;
   return n;
+}
+
+void Simulator::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "Simulator", "event-queue-consistency",
+      [this](check::AuditContext& ctx) {
+        // Every pending (non-cancelled) event holds an index entry;
+        // entries self-remove on fire and on Cancel().
+        std::size_t live = 0;
+        Time min_when = kTimeNever;
+        for (const auto& [id, weak] : index_map_) {
+          auto event = weak.lock();
+          if (!ctx.Check(event != nullptr,
+                         "index entry " + std::to_string(id) +
+                             " outlived its event")) {
+            continue;
+          }
+          if (event->cancelled) continue;
+          ++live;
+          min_when = std::min(min_when, event->when);
+        }
+        ctx.Check(live == live_events_,
+                  "live-event count " + std::to_string(live_events_) +
+                      " disagrees with index scan " + std::to_string(live));
+        if (live > 0) {
+          ctx.Check(min_when >= now_,
+                    "pending event at t=" + std::to_string(min_when) +
+                        " precedes Now()=" + std::to_string(now_));
+        }
+      });
+  registry.Register("Simulator", "time-monotonic",
+                    [this](check::AuditContext& ctx) {
+                      ctx.Check(now_ >= kTimeZero,
+                                "Now()=" + std::to_string(now_) +
+                                    " ran backwards past simulation start");
+                    });
 }
 
 }  // namespace muxwise::sim

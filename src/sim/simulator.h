@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/invariant_registry.h"
 #include "sim/time.h"
 
 namespace muxwise::sim {
@@ -73,6 +74,21 @@ class Simulator {
   /** Total events executed since construction. */
   std::size_t ExecutedEvents() const { return executed_; }
 
+  /**
+   * Order-sensitive digest of the executed event stream: a hash folded
+   * over (when, id) of every event fired so far. Two runs of the same
+   * scenario must produce identical digests — the witness the harness's
+   * determinism verifier compares. Any reordering, dropped event, or
+   * timing change perturbs it.
+   */
+  std::uint64_t EventDigest() const { return digest_; }
+
+  /**
+   * Registers event-queue consistency audits: the live-event count
+   * matches the index, and no pending event precedes Now().
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
+
  private:
   struct Event {
     Time when = 0;
@@ -92,9 +108,13 @@ class Simulator {
   /** Pops the next live event, or nullptr if the queue is drained. */
   std::shared_ptr<Event> PopNext();
 
+  /** Folds one executed event into the stream digest. */
+  void FoldDigest(const Event& event);
+
   Time now_ = kTimeZero;
   EventId next_id_ = 1;
   std::size_t executed_ = 0;
+  std::uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
   std::size_t live_events_ = 0;
   std::priority_queue<std::shared_ptr<Event>,
                       std::vector<std::shared_ptr<Event>>, EventOrder>

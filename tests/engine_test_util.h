@@ -3,11 +3,14 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "check/invariant_registry.h"
 #include "serve/deployment.h"
 #include "serve/engine.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
+#include "sim/logging.h"
 #include "sim/simulator.h"
 #include "workload/datasets.h"
 
@@ -18,14 +21,20 @@ struct RunResult {
   std::size_t completed = 0;
   bool all_completed = false;
   sim::Time end_time = 0;
+  std::uint64_t event_digest = 0;
+  std::vector<check::Violation> audit_violations;
 };
 
 /**
  * Replays `trace` through `engine` to completion and returns the
  * collected metrics. The engine must already be wired to `simulator`.
+ * At scenario end every invariant audit registered by the simulator,
+ * engine, and metrics runs; violations abort the test unless
+ * `enforce_audits` is false (they are still returned in the result).
  */
 inline RunResult RunTrace(sim::Simulator& simulator, serve::Engine& engine,
-                          const workload::Trace& trace) {
+                          const workload::Trace& trace,
+                          bool enforce_audits = true) {
   RunResult result;
   serve::Frontend frontend(&simulator, &engine, &trace, &result.metrics);
   frontend.Start();
@@ -33,6 +42,17 @@ inline RunResult RunTrace(sim::Simulator& simulator, serve::Engine& engine,
   result.completed = frontend.completed();
   result.all_completed = frontend.AllCompleted();
   result.end_time = simulator.Now();
+  result.event_digest = simulator.EventDigest();
+
+  check::InvariantRegistry registry;
+  simulator.RegisterAudits(registry);
+  engine.RegisterAudits(registry);
+  result.metrics.RegisterAudits(registry);
+  result.audit_violations = registry.RunAll();
+  if (enforce_audits && !result.audit_violations.empty()) {
+    sim::Panic("invariant audit failed at scenario end:\n" +
+               check::FormatViolations(result.audit_violations));
+  }
   return result;
 }
 

@@ -1,0 +1,125 @@
+#include "check/invariant_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gpu/gpu.h"
+#include "gpu/gpu_spec.h"
+#include "kv/kv_pool.h"
+#include "serve/metrics.h"
+#include "sim/simulator.h"
+
+namespace muxwise {
+namespace {
+
+bool HasViolation(const std::vector<check::Violation>& violations,
+                  const std::string& component, const std::string& audit) {
+  for (const check::Violation& v : violations) {
+    if (v.component == component && v.audit == audit) return true;
+  }
+  return false;
+}
+
+TEST(InvariantRegistryTest, PassingChecksReportNothing) {
+  check::InvariantRegistry registry;
+  registry.Register("Demo", "always-fine", [](check::AuditContext& ctx) {
+    EXPECT_TRUE(ctx.Check(true, "should not be recorded"));
+  });
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+TEST(InvariantRegistryTest, FailingChecksAreCollectedNotFatal) {
+  check::InvariantRegistry registry;
+  registry.Register("Demo", "broken", [](check::AuditContext& ctx) {
+    EXPECT_FALSE(ctx.Check(false, "first"));
+    ctx.Violate("second");
+  });
+  registry.Register("Demo", "fine",
+                    [](check::AuditContext& ctx) { ctx.Check(true, "ok"); });
+  const auto violations = registry.RunAll();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].Format(), "Demo/broken: first");
+  EXPECT_EQ(violations[1].Format(), "Demo/broken: second");
+}
+
+TEST(InvariantRegistryTest, FormatViolationsJoinsLines) {
+  std::vector<check::Violation> violations = {
+      {"A", "x", "one"}, {"B", "y", "two"}};
+  EXPECT_EQ(check::FormatViolations(violations), "A/x: one\nB/y: two");
+}
+
+TEST(KvPoolAuditTest, HealthyPoolPassesAllAudits) {
+  kv::KvPool pool(1000);
+  const kv::TokenSeq seq = {{1, 0, 100}};
+  ASSERT_TRUE(pool.TryReserve(100));
+  pool.ReleaseReserved(100);
+  pool.CommitSequence(seq, 10);
+
+  check::InvariantRegistry registry;
+  pool.RegisterAudits(registry);
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+TEST(KvPoolAuditTest, LeakedReservationIsDetected) {
+  kv::KvPool pool(1000);
+  ASSERT_TRUE(pool.TryReserve(64));  // Never released: a working-set leak.
+
+  check::InvariantRegistry registry;
+  pool.RegisterAudits(registry);
+  const auto violations = registry.RunAll();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(HasViolation(violations, "KvPool", "quiescent-working-set"));
+}
+
+TEST(KvPoolAuditTest, LeakedPrefixPinIsDetected) {
+  kv::KvPool pool(1000);
+  const kv::TokenSeq seq = {{1, 0, 100}};
+  pool.CommitSequence(seq, 5);
+  kv::KvPool::PrefixLease lease = pool.AcquirePrefix(seq, 6);
+  ASSERT_EQ(lease.matched_tokens, 100);
+  // The lease is never released: eviction is now permanently blocked.
+
+  check::InvariantRegistry registry;
+  pool.RegisterAudits(registry);
+  const auto violations = registry.RunAll();
+  EXPECT_TRUE(HasViolation(violations, "KvPool", "quiescent-working-set"));
+
+  pool.ReleasePrefix(lease);  // Clean up so the pool destructs sane.
+}
+
+TEST(SimulatorAuditTest, IdleAndMidRunSimulatorPasses) {
+  sim::Simulator simulator;
+  check::InvariantRegistry registry;
+  simulator.RegisterAudits(registry);
+  EXPECT_TRUE(registry.RunAll().empty());
+
+  simulator.ScheduleAt(100, [] {});
+  simulator.ScheduleAt(200, [] {});
+  EXPECT_TRUE(registry.RunAll().empty());  // Pending events are consistent.
+
+  simulator.Run();
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+TEST(GpuAuditTest, FreshDeviceWithStreamsPasses) {
+  sim::Simulator simulator;
+  gpu::Gpu device(&simulator, gpu::GpuSpec::A100());
+  device.CreateStream(32);
+  device.CreateStream(64);
+
+  check::InvariantRegistry registry;
+  device.RegisterAudits(registry);
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+TEST(MetricsAuditTest, EmptyCollectorPasses) {
+  serve::MetricsCollector metrics;
+  check::InvariantRegistry registry;
+  metrics.RegisterAudits(registry);
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+}  // namespace
+}  // namespace muxwise

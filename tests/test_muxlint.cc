@@ -1,0 +1,192 @@
+#include "muxlint/muxlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace muxwise::muxlint {
+namespace {
+
+LintReport Lint(const std::string& path, const std::string& content) {
+  LintReport report;
+  LintContent(path, content, report);
+  return report;
+}
+
+bool HasRule(const LintReport& report, const std::string& rule) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&rule](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(MuxlintTest, FlagsWallClockUse) {
+  const LintReport r = Lint(
+      "src/foo.cc", "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "wall-clock");
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(MuxlintTest, FlagsCTimeCall) {
+  EXPECT_TRUE(HasRule(Lint("src/foo.cc", "std::int64_t t = time(nullptr);\n"),
+                      "wall-clock"));
+}
+
+TEST(MuxlintTest, DoesNotFlagIdentifiersContainingTime) {
+  const LintReport r =
+      Lint("src/foo.cc",
+           "sim::Duration busy_time(0);\nauto x = last_time(a);\n");
+  EXPECT_FALSE(HasRule(r, "wall-clock"));
+}
+
+TEST(MuxlintTest, SuppressionSilencesWallClock) {
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "auto t = std::chrono::steady_clock::now();  "
+      "// muxlint: allow(wall-clock)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(MuxlintTest, SuppressionIsRuleSpecific) {
+  // allow(raw-rand) must not silence a wall-clock finding.
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "auto t = std::chrono::steady_clock::now();  "
+      "// muxlint: allow(raw-rand)\n");
+  EXPECT_TRUE(HasRule(r, "wall-clock"));
+}
+
+TEST(MuxlintTest, FlagsRawRandOutsideRngModule) {
+  EXPECT_TRUE(HasRule(Lint("src/serve/foo.cc", "int x = rand();\n"),
+                      "raw-rand"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/foo.cc", "std::random_device rd;\n"), "raw-rand"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/foo.cc", "std::mt19937_64 engine;\n"), "raw-rand"));
+}
+
+TEST(MuxlintTest, ExemptsRngModuleFromRawRand) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/sim/rng.cc", "std::mt19937_64 engine_;\n"), "raw-rand"));
+}
+
+TEST(MuxlintTest, FlagsPointerKeyedUnorderedContainers) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/foo.h", "std::unordered_map<Node*, int> index_;\n"),
+      "ptr-key-container"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/foo.h", "std::unordered_set<const Node*> seen_;\n"),
+      "ptr-key-container"));
+}
+
+TEST(MuxlintTest, AllowsValueOrIdKeyedUnorderedContainers) {
+  const LintReport r = Lint(
+      "src/foo.h",
+      "std::unordered_map<EventId, std::weak_ptr<Event>> index_;\n"
+      "std::unordered_map<std::string, Node*> by_name_;\n");
+  EXPECT_FALSE(HasRule(r, "ptr-key-container"));
+}
+
+TEST(MuxlintTest, FlagsFloatingPointSimTime) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/foo.cc", "double completion_time = 0.0;\n"),
+      "float-sim-time"));
+  EXPECT_TRUE(HasRule(Lint("src/foo.cc", "double deadline = 1.5;\n"),
+                      "float-sim-time"));
+  EXPECT_TRUE(HasRule(Lint("src/foo.cc", "float latency_ns = 0;\n"),
+                      "float-sim-time"));
+}
+
+TEST(MuxlintTest, AllowsIntegerSimTimeAndPlainDoubles) {
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "sim::Time completion_time = 0;\n"
+      "double drain_timeout_seconds = 600.0;\n"
+      "double rate = 0.5;\n");
+  EXPECT_FALSE(HasRule(r, "float-sim-time"));
+}
+
+TEST(MuxlintTest, FlagsBareAssert) {
+  EXPECT_TRUE(HasRule(Lint("src/foo.cc", "assert(x > 0);\n"),
+                      "bare-assert"));
+}
+
+TEST(MuxlintTest, AllowsStaticAssertAndGtestMacros) {
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "static_assert(sizeof(int) == 4);\nASSERT_EQ(a, b);\n");
+  EXPECT_FALSE(HasRule(r, "bare-assert"));
+}
+
+TEST(MuxlintTest, IgnoresPatternsInCommentsAndStrings) {
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "// calls rand() internally, see std::chrono docs\n"
+      "/* assert(false) would be wrong here */\n"
+      "const char* s = \"std::random_device\";\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(MuxlintTest, TracksMultiLineBlockComments) {
+  const LintReport r = Lint(
+      "src/foo.cc",
+      "/* start of a long comment\n"
+      "   rand() inside it\n"
+      "   end */\n"
+      "int x = rand();\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 4);
+}
+
+TEST(MuxlintTest, RequiresIncludeGuardInHeaders) {
+  const LintReport missing =
+      Lint("src/foo.h", "#pragma once\nint f();\n");
+  EXPECT_TRUE(HasRule(missing, "include-guard"));
+
+  const LintReport good = Lint(
+      "src/foo.h",
+      "#ifndef MUXWISE_FOO_H_\n#define MUXWISE_FOO_H_\n"
+      "int f();\n#endif  // MUXWISE_FOO_H_\n");
+  EXPECT_FALSE(HasRule(good, "include-guard"));
+}
+
+TEST(MuxlintTest, IncludeGuardOnlyAppliesToHeaders) {
+  EXPECT_FALSE(HasRule(Lint("src/foo.cc", "int f() { return 1; }\n"),
+                       "include-guard"));
+}
+
+TEST(MuxlintTest, IncludeGuardSuppressionWorksFileWide) {
+  const LintReport r = Lint(
+      "src/foo.h",
+      "// muxlint: allow(include-guard) -- generated header\n"
+      "#pragma once\nint f();\n");
+  EXPECT_FALSE(HasRule(r, "include-guard"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(MuxlintTest, JsonReportIsWellFormedAndComplete) {
+  LintReport report;
+  LintContent("src/a.cc", "int x = rand();\n", report);
+  const std::string json = FormatJson(report);
+  EXPECT_NE(json.find("\"rule\": \"raw-rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
+  const auto rules = Rules();
+  auto named = [&rules](const std::string& name) {
+    return std::any_of(rules.begin(), rules.end(),
+                       [&name](const RuleInfo& r) { return r.name == name; });
+  };
+  EXPECT_TRUE(named("wall-clock"));
+  EXPECT_TRUE(named("raw-rand"));
+  EXPECT_TRUE(named("ptr-key-container"));
+  EXPECT_TRUE(named("float-sim-time"));
+  EXPECT_TRUE(named("bare-assert"));
+  EXPECT_TRUE(named("include-guard"));
+}
+
+}  // namespace
+}  // namespace muxwise::muxlint

@@ -1,0 +1,77 @@
+// muxlint — determinism and convention linter for the muxwise tree.
+//
+// The simulator's core claim (src/sim/simulator.h) is that every
+// experiment is bit-reproducible; a stray wall-clock read, unseeded
+// RNG, or pointer-keyed iteration anywhere in src/ silently breaks
+// that. This binary enforces the conventions statically and runs as a
+// ctest over src/ and tests/.
+//
+// Usage: muxlint [--json] [--out=FILE] [--list-rules] PATH...
+// Exits 1 when findings exist (suppressions via
+// `// muxlint: allow(<rule>)` do not count).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "muxlint/muxlint.h"
+
+int main(int argc, char** argv) {
+  using namespace muxwise::muxlint;
+
+  bool json = false;
+  bool list_rules = false;
+  std::string out_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: muxlint [--json] [--out=FILE] [--list-rules] "
+                   "PATH...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "muxlint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& rule : Rules()) {
+      std::cout << rule.name << ": " << rule.summary << "\n";
+    }
+    return 0;
+  }
+  if (roots.empty()) {
+    std::cerr << "muxlint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  LintReport report;
+  const bool io_ok = LintTree(roots, report);
+  const std::string rendered =
+      json ? FormatJson(report) : FormatText(report);
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "muxlint: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << rendered;
+  }
+  if (!io_ok) {
+    std::cerr << "muxlint: some paths were missing or unreadable\n";
+    return 2;
+  }
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,321 @@
+#include "muxlint/muxlint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace muxwise::muxlint {
+
+namespace {
+
+/** A line-scoped rule: a regex matched against comment-stripped code. */
+struct LineRule {
+  std::string name;
+  std::string summary;
+  std::regex pattern;
+  // Substring of the path that exempts a file from the rule (the one
+  // place the pattern is legitimate), empty when none.
+  std::string exempt_path;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule>* rules = new std::vector<LineRule>{
+      {"wall-clock",
+       "wall-clock time breaks bit-reproducibility; use "
+       "sim::Simulator::Now() / sim::Time",
+       std::regex(R"(std::chrono|\b(time|gettimeofday|clock_gettime|ctime|gmtime|localtime)\s*\()"),
+       ""},
+      {"raw-rand",
+       "raw/global randomness is unseeded or platform-dependent; draw "
+       "from a named sim::Rng stream",
+       std::regex(R"(\b(rand|srand|rand_r|drand48)\s*\(|std::random_device|std::mt19937|std::minstd_rand|std::default_random_engine)"),
+       "sim/rng"},
+      {"ptr-key-container",
+       "pointer-keyed unordered container iterates in address order, "
+       "which differs across runs; key by a stable id or use an ordered "
+       "container",
+       std::regex(R"(unordered_map\s*<\s*[^,<>]*\*[^,<>]*,|unordered_set\s*<\s*[^<>]*\*[^<>]*>)"),
+       ""},
+      {"float-sim-time",
+       "simulated time must use sim::Time / sim::Duration (integer "
+       "nanoseconds), not floating point",
+       std::regex(R"(\b(double|float)\s+[A-Za-z_]\w*(_ns|_time|_when|_deadline)\b|\b(double|float)\s+(when|deadline)\b)"),
+       ""},
+      {"bare-assert",
+       "use MUX_CHECK (always-on, reports through sim::Panic) instead "
+       "of assert()",
+       std::regex(R"((^|[^\w])assert\s*\()"), ""},
+  };
+  return *rules;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/** Rule names named by `// muxlint: allow(a, b)` pragmas on this line. */
+std::vector<std::string> ParseAllowances(const std::string& line) {
+  std::vector<std::string> allowed;
+  static const std::regex kAllow(R"(muxlint:\s*allow\(([^)]*)\))");
+  auto begin = std::sregex_iterator(line.begin(), line.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string names = (*it)[1].str();
+    std::stringstream ss(names);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      name.erase(0, name.find_first_not_of(" \t"));
+      name.erase(name.find_last_not_of(" \t") + 1);
+      if (!name.empty()) allowed.push_back(name);
+    }
+  }
+  return allowed;
+}
+
+bool Allows(const std::vector<std::string>& allowed, const std::string& rule) {
+  return std::find(allowed.begin(), allowed.end(), rule) != allowed.end() ||
+         std::find(allowed.begin(), allowed.end(), "all") != allowed.end();
+}
+
+/**
+ * Strips comments and blanks out string/char literal bodies from one
+ * line, so rule regexes only see live code. `in_block_comment` carries
+ * the block-comment state across lines.
+ */
+std::string CodePortion(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out.push_back(' ');  // Keep columns, hide content.
+        ++i;
+      }
+      if (i < line.size()) out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+/**
+ * Checks the file-scoped include-guard convention: a header's first two
+ * code lines are `#ifndef MUXWISE_...` / `#define MUXWISE_...` and its
+ * last code line is `#endif`.
+ */
+void CheckIncludeGuard(const std::string& path,
+                       const std::vector<std::string>& code_lines,
+                       bool suppressed, LintReport& report) {
+  std::vector<std::pair<int, std::string>> code;  // (1-based line, text).
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string trimmed = Trim(code_lines[i]);
+    if (!trimmed.empty()) code.emplace_back(static_cast<int>(i) + 1, trimmed);
+  }
+  std::string problem;
+  if (code.size() < 3) {
+    problem = "header has no include guard";
+  } else if (code[0].second.rfind("#ifndef MUXWISE_", 0) != 0) {
+    problem = "header must open with a MUXWISE_-prefixed include guard";
+  } else if (code[1].second.rfind("#define MUXWISE_", 0) != 0) {
+    problem = "#ifndef guard is not followed by its #define";
+  } else if (code.back().second.rfind("#endif", 0) != 0) {
+    problem = "include guard is never closed by a trailing #endif";
+  }
+  if (problem.empty()) return;
+  if (suppressed) {
+    ++report.suppressed;
+    return;
+  }
+  report.findings.push_back(Finding{path, 1, "include-guard", problem,
+                                    code.empty() ? "" : code[0].second});
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RuleInfo> Rules() {
+  std::vector<RuleInfo> rules;
+  for (const LineRule& rule : LineRules()) {
+    rules.push_back(RuleInfo{rule.name, rule.summary});
+  }
+  rules.push_back(RuleInfo{
+      "include-guard",
+      "headers open with #ifndef MUXWISE_... / #define and close with "
+      "#endif"});
+  return rules;
+}
+
+void LintContent(const std::string& path, const std::string& content,
+                 LintReport& report) {
+  ++report.files_scanned;
+
+  std::vector<std::string> raw_lines;
+  {
+    std::stringstream ss(content);
+    std::string line;
+    while (std::getline(ss, line)) raw_lines.push_back(line);
+  }
+
+  bool guard_suppressed = false;
+  bool in_block_comment = false;
+  std::vector<std::string> code_lines;
+  code_lines.reserve(raw_lines.size());
+
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& raw = raw_lines[i];
+    const std::vector<std::string> allowed = ParseAllowances(raw);
+    if (Allows(allowed, "include-guard")) guard_suppressed = true;
+    const std::string code = CodePortion(raw, in_block_comment);
+    code_lines.push_back(code);
+
+    for (const LineRule& rule : LineRules()) {
+      if (!rule.exempt_path.empty() &&
+          path.find(rule.exempt_path) != std::string::npos) {
+        continue;
+      }
+      if (!std::regex_search(code, rule.pattern)) continue;
+      if (Allows(allowed, rule.name)) {
+        ++report.suppressed;
+        continue;
+      }
+      report.findings.push_back(Finding{path, static_cast<int>(i) + 1,
+                                        rule.name, rule.summary, Trim(raw)});
+    }
+  }
+
+  if (IsHeader(path)) {
+    CheckIncludeGuard(path, code_lines, guard_suppressed, report);
+  }
+}
+
+bool LintFile(const std::string& path, LintReport& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  LintContent(path, buffer.str(), report);
+  return true;
+}
+
+bool LintTree(const std::vector<std::string>& roots, LintReport& report) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  bool ok = true;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      ok = false;
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::string p = it->path().string();
+      if (p.ends_with(".h") || p.ends_with(".hpp") || p.ends_with(".cc") ||
+          p.ends_with(".cpp")) {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    if (!LintFile(file, report)) ok = false;
+  }
+  return ok;
+}
+
+std::string FormatText(const LintReport& report) {
+  std::ostringstream out;
+  for (const Finding& f : report.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n    " << f.excerpt << "\n";
+  }
+  out << "muxlint: " << report.findings.size() << " finding(s), "
+      << report.suppressed << " suppressed, " << report.files_scanned
+      << " file(s) scanned\n";
+  return out.str();
+}
+
+std::string FormatJson(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+        << "\", \"message\": \"" << JsonEscape(f.message)
+        << "\", \"excerpt\": \"" << JsonEscape(f.excerpt) << "\"}";
+  }
+  if (!report.findings.empty()) out << "\n  ";
+  out << "],\n";
+  out << "  \"suppressed\": " << report.suppressed << ",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << "\n}\n";
+  return out.str();
+}
+
+}  // namespace muxwise::muxlint

@@ -1,0 +1,66 @@
+#ifndef MUXWISE_TOOLS_MUXLINT_MUXLINT_H_
+#define MUXWISE_TOOLS_MUXLINT_MUXLINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace muxwise::muxlint {
+
+/** One determinism- or convention-breaking pattern found in a file. */
+struct Finding {
+  std::string file;
+  int line = 0;          // 1-based.
+  std::string rule;      // Rule name, e.g. "wall-clock".
+  std::string message;   // Why the pattern is a problem.
+  std::string excerpt;   // The offending source line, trimmed.
+};
+
+/** Aggregate result of linting one or more files. */
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;     // Findings silenced by allow() pragmas.
+  std::size_t files_scanned = 0;
+};
+
+/** Static description of one lint rule (see Rules()). */
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/** Every rule muxlint knows, for --list-rules and the docs. */
+std::vector<RuleInfo> Rules();
+
+/**
+ * Lints one file's `content` (as if read from `path`; the path selects
+ * path-scoped exemptions such as raw RNG use inside src/sim/rng) and
+ * appends findings to `report`.
+ *
+ * A finding on a line carrying `// muxlint: allow(<rule>)` (or
+ * `allow(all)`) is counted in `report.suppressed` instead; the
+ * file-scoped rule `include-guard` is suppressed by an allow() comment
+ * anywhere in the file.
+ */
+void LintContent(const std::string& path, const std::string& content,
+                 LintReport& report);
+
+/** Reads and lints one file on disk. Returns false if unreadable. */
+bool LintFile(const std::string& path, LintReport& report);
+
+/**
+ * Lints every .h/.hpp/.cc/.cpp file under each root (files are
+ * accepted too), in sorted path order so output is deterministic.
+ * Returns false if any root is missing or a file was unreadable.
+ */
+bool LintTree(const std::vector<std::string>& roots, LintReport& report);
+
+/** Renders findings as "file:line: [rule] message" lines. */
+std::string FormatText(const LintReport& report);
+
+/** Renders the full report as a machine-readable JSON document. */
+std::string FormatJson(const LintReport& report);
+
+}  // namespace muxwise::muxlint
+
+#endif  // MUXWISE_TOOLS_MUXLINT_MUXLINT_H_
