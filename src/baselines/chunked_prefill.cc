@@ -11,7 +11,10 @@ namespace muxwise::baselines {
 ChunkedPrefillEngine::ChunkedPrefillEngine(
     sim::Simulator* simulator, const serve::Deployment& deployment,
     Options options)
-    : sim_(simulator), deployment_(deployment), options_(options) {
+    : fault::FaultAwareEngine(simulator, deployment.slo, options.recovery),
+      sim_(simulator),
+      deployment_(deployment),
+      options_(options) {
   MUX_CHECK(options_.token_budget >= 1);
   device_ = std::make_unique<gpu::Gpu>(sim_, deployment_.gpu);
   host_ = std::make_unique<gpu::HostThread>(sim_);
@@ -27,13 +30,45 @@ ChunkedPrefillEngine::ChunkedPrefillEngine(
 ChunkedPrefillEngine::~ChunkedPrefillEngine() = default;
 
 void ChunkedPrefillEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  if (FaultsEnabled()) {
+    // Shed before any bookkeeping: a rejected request never counts as
+    // in flight and never touches the queues, so the (possibly
+    // reentrant) completion notification sees consistent state.
+    if (ShedNow(waiting_demand_ + DemandTokens(*request),
+                pool_->capacity_tokens())) {
+      MarkTerminal(*request, serve::Outcome::kShed);
+      NotifyComplete(std::move(request));
+      return;
+    }
+    request->deadline = DeadlineFor(*request);
+    sim_->ScheduleAt(request->deadline,
+                     [this, id = request->spec->id] { OnDeadline(id); });
+    waiting_demand_ += DemandTokens(*request);
+  }
   ++in_flight_;
   waiting_.push_back(std::move(request));
   PumpAdmissions();
   MaybeStartIteration();
 }
 
+void ChunkedPrefillEngine::OnDeadline(std::int64_t id) {
+  // Only waiting requests are reaped: work that won admission always
+  // runs to completion (abandoning half-computed KV helps nobody).
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if ((*it)->spec->id != id) continue;
+    auto request = std::move(*it);
+    waiting_.erase(it);
+    waiting_demand_ -= DemandTokens(*request);
+    MarkTerminal(*request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(request));
+    return;
+  }
+}
+
 void ChunkedPrefillEngine::PumpAdmissions() {
+  if (DomainDown(0)) return;
   // FIFO admission: stop at the first request the pool cannot hold or
   // when the running set reaches the decode batch cap.
   while (!waiting_.empty() &&
@@ -43,12 +78,14 @@ void ChunkedPrefillEngine::PumpAdmissions() {
     if (!serve::AdmitToPool(*pool_, head, sim_->Now())) break;
     head.phase = serve::Phase::kPrefill;
     head.prefill_start = sim_->Now();
+    if (FaultsEnabled()) waiting_demand_ -= DemandTokens(head);
     prefilling_.push_back(std::move(waiting_.front()));
     waiting_.pop_front();
   }
 }
 
 void ChunkedPrefillEngine::MaybeStartIteration() {
+  if (DomainDown(0)) return;
   if (iteration_in_flight_) return;
   if (prefilling_.empty() && decoding_.empty()) return;
 
@@ -89,8 +126,14 @@ void ChunkedPrefillEngine::MaybeStartIteration() {
                                 : cost_->FusedChunk(chunks, decode_ctx);
 
   if (!options_.nano_overlap) {
-    host_->Submit(cost_->DecodeGraphLaunch(), [this, fused] {
-      device_->Launch(stream_, fused, [this] { OnIterationDone(); });
+    // The host submission cannot be cancelled; a crash bumps the epoch
+    // so callbacks from the dead device generation fall through.
+    host_->Submit(cost_->DecodeGraphLaunch(), [this, fused, e = epoch()] {
+      if (e != epoch()) return;
+      device_->Launch(stream_, fused, [this, e] {
+        if (e != epoch()) return;
+        OnIterationDone();
+      });
     });
     return;
   }
@@ -109,11 +152,14 @@ void ChunkedPrefillEngine::MaybeStartIteration() {
     nano.overlap_alpha = 0.05;  // Operator-level overlap, NanoFlow's win.
     nano.tag = "nano";
     const gpu::StreamId target = (i % 2 == 0) ? stream_ : nano_stream_;
-    host_->Submit(cost_->DecodeGraphLaunch(), [this, target, nano] {
-      device_->Launch(target, nano, [this] {
-        if (--nano_outstanding_ == 0) OnIterationDone();
-      });
-    });
+    host_->Submit(cost_->DecodeGraphLaunch(),
+                  [this, target, nano, e = epoch()] {
+                    if (e != epoch()) return;
+                    device_->Launch(target, nano, [this, e] {
+                      if (e != epoch()) return;
+                      if (--nano_outstanding_ == 0) OnIterationDone();
+                    });
+                  });
   }
 }
 
@@ -133,6 +179,7 @@ void ChunkedPrefillEngine::OnIterationDone() {
     if (req->DecodeFinished()) {
       req->phase = serve::Phase::kDone;
       req->completion = now;
+      req->outcome = serve::Outcome::kCompleted;
       serve::FinishInPool(*pool_, *req, now);
       MUX_CHECK(in_flight_ > 0);
       --in_flight_;
@@ -159,6 +206,7 @@ void ChunkedPrefillEngine::OnIterationDone() {
       // Degenerate single-token outputs finish at prefill.
       req->phase = serve::Phase::kDone;
       req->completion = now;
+      req->outcome = serve::Outcome::kCompleted;
       serve::FinishInPool(*pool_, *req, now);
       MUX_CHECK(in_flight_ > 0);
       --in_flight_;
@@ -172,6 +220,67 @@ void ChunkedPrefillEngine::OnIterationDone() {
   for (auto& req : completed) NotifyComplete(std::move(req));
   PumpAdmissions();
   MaybeStartIteration();
+}
+
+void ChunkedPrefillEngine::InjectCrash(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, true);
+  BumpEpoch();  // Invalidate every in-flight host/device callback.
+  device_->AbortAll();
+  iteration_in_flight_ = false;
+  nano_outstanding_ = 0;
+  inflight_chunks_.clear();
+
+  // Every admitted request just lost its KV. Collect them in admission
+  // order, release their pool accounting, then drop the whole pool —
+  // reused prefixes cached on the dead instance are gone too.
+  std::vector<std::unique_ptr<serve::Request>> lost;
+  for (auto& req : prefilling_) lost.push_back(std::move(req));
+  prefilling_.clear();
+  for (auto& req : decoding_) lost.push_back(std::move(req));
+  decoding_.clear();
+  for (auto& req : lost) serve::AbandonInPool(*pool_, *req);
+  pool_->Clear();
+
+  std::vector<std::unique_ptr<serve::Request>> dead;
+  std::vector<std::unique_ptr<serve::Request>> requeue;
+  for (auto& req : lost) {
+    if (!PrepareRetry(*req)) {
+      MarkTerminal(*req, serve::Outcome::kFailed);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(req));
+    } else if (DeadlinePassed(*req)) {
+      // Its deadline event already fired while it was admitted; reap at
+      // requeue instead of waiting forever.
+      MarkTerminal(*req, serve::Outcome::kTimedOut);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(req));
+    } else {
+      waiting_demand_ += DemandTokens(*req);
+      requeue.push_back(std::move(req));
+    }
+  }
+  // Requeues go ahead of fresh arrivals — they are the oldest work —
+  // preserving their relative admission order.
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    waiting_.push_front(std::move(*it));
+  }
+  for (auto& req : dead) NotifyComplete(std::move(req));
+}
+
+void ChunkedPrefillEngine::InjectRecovery(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, false);
+  PumpAdmissions();
+  MaybeStartIteration();
+}
+
+void ChunkedPrefillEngine::InjectStraggler(std::size_t domain,
+                                           double slowdown) {
+  if (domain != 0) return;
+  device_->SetSlowdown(slowdown);
 }
 
 int ChunkedPrefillEngine::TuneTokenBudget(const serve::Deployment& deployment,
@@ -220,6 +329,9 @@ void ChunkedPrefillEngine::RegisterAudits(
         ctx.Check(nano_outstanding_ == 0,
                   "nano-batches still outstanding");
         ctx.Check(inflight_chunks_.empty(), "chunks of a dead iteration");
+        ctx.Check(waiting_demand_ == 0,
+                  "queued-demand accounting leaked " +
+                      std::to_string(waiting_demand_) + " tokens");
       });
   pool_->RegisterAudits(registry);
   device_->RegisterAudits(registry);

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_aware.h"
+#include "fault/recovery.h"
 #include "gpu/cluster.h"
 #include "kv/kv_pool.h"
 #include "llm/cost_model.h"
@@ -25,8 +27,15 @@ namespace muxwise::baselines {
  * concurrent streams, improving intra-iteration compute/memory overlap
  * at the price of duplicated weight streaming per nano-batch and
  * unmanaged contention between the streams (paper §4.2.1).
+ *
+ * Failure recovery (when Options::recovery is enabled): the single
+ * instance is fault domain 0. A crash aborts the in-flight iteration,
+ * drops the KV pool, and re-enqueues every admitted request at the head
+ * of the waiting queue for recomputation; admission sheds new work when
+ * queued demand exceeds the policy factor of pool capacity; waiting
+ * requests whose SLO-derived deadline passes are abandoned.
  */
-class ChunkedPrefillEngine : public serve::Engine {
+class ChunkedPrefillEngine : public fault::FaultAwareEngine {
  public:
   struct Options {
     /** SARATHI token budget: chunk tokens + decode batch size. */
@@ -38,6 +47,9 @@ class ChunkedPrefillEngine : public serve::Engine {
     /** NanoFlow mode. */
     bool nano_overlap = false;
     int nano_batches = 2;
+
+    /** Failure recovery; disabled by default (fault-free runs). */
+    fault::RecoveryPolicy recovery;
   };
 
   ChunkedPrefillEngine(sim::Simulator* simulator,
@@ -50,6 +62,10 @@ class ChunkedPrefillEngine : public serve::Engine {
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
   void RegisterAudits(check::InvariantRegistry& registry) const override;
+
+  void InjectCrash(std::size_t domain) override;
+  void InjectRecovery(std::size_t domain) override;
+  void InjectStraggler(std::size_t domain, double slowdown) override;
 
   /**
    * Offline token-budget tuning following SARATHI-Serve: the largest
@@ -73,6 +89,9 @@ class ChunkedPrefillEngine : public serve::Engine {
   void MaybeStartIteration();
   void OnIterationDone();
 
+  /** Deadline event: reaps request `id` if it is still waiting. */
+  void OnDeadline(std::int64_t id);
+
   sim::Simulator* sim_;
   serve::Deployment deployment_;
   Options options_;
@@ -93,6 +112,9 @@ class ChunkedPrefillEngine : public serve::Engine {
   int nano_outstanding_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t iterations_ = 0;
+
+  /** KV demand (input + output tokens) of everything in waiting_. */
+  std::int64_t waiting_demand_ = 0;
 
   // Chunks included in the in-flight iteration: (request, chunk tokens).
   std::vector<std::pair<serve::Request*, std::int64_t>> inflight_chunks_;

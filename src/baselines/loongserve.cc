@@ -11,7 +11,10 @@ namespace muxwise::baselines {
 LoongServeEngine::LoongServeEngine(sim::Simulator* simulator,
                                    const serve::Deployment& deployment,
                                    Options options)
-    : sim_(simulator), deployment_(deployment), options_(options) {
+    : fault::FaultAwareEngine(simulator, deployment.slo, options.recovery),
+      sim_(simulator),
+      deployment_(deployment),
+      options_(options) {
   const gpu::GpuSpec aggregate =
       deployment_.gpu.Aggregate(deployment_.num_gpus);
   device_ = std::make_unique<gpu::Gpu>(sim_, aggregate);
@@ -42,12 +45,39 @@ gpu::Kernel LoongServeEngine::GroupKernel(const gpu::Kernel& per_gpu,
 }
 
 void LoongServeEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  if (FaultsEnabled()) {
+    if (ShedNow(waiting_demand_ + DemandTokens(*request), pool_capacity_)) {
+      MarkTerminal(*request, serve::Outcome::kShed);
+      NotifyComplete(std::move(request));
+      return;
+    }
+    request->deadline = DeadlineFor(*request);
+    sim_->ScheduleAt(request->deadline,
+                     [this, id = request->spec->id] { OnDeadline(id); });
+    waiting_demand_ += DemandTokens(*request);
+  }
   ++in_flight_;
   waiting_.push_back(std::move(request));
   PumpPrefill();
 }
 
+void LoongServeEngine::OnDeadline(std::int64_t id) {
+  // Only waiting requests are reaped; admitted work runs to completion.
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if ((*it)->spec->id != id) continue;
+    auto request = std::move(*it);
+    waiting_.erase(it);
+    waiting_demand_ -= DemandTokens(*request);
+    MarkTerminal(*request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(request));
+    return;
+  }
+}
+
 void LoongServeEngine::PumpPrefill() {
+  if (DomainDown(0)) return;
   if (prefill_in_flight_ || waiting_.empty()) return;
   const int prefill_gpus = deployment_.num_gpus - decode_gpus_;
   if (prefill_gpus <= 0) return;
@@ -69,6 +99,7 @@ void LoongServeEngine::PumpPrefill() {
     req.reserved_tokens = need;
     req.phase = serve::Phase::kPrefill;
     req.prefill_start = sim_->Now();
+    if (FaultsEnabled()) waiting_demand_ -= DemandTokens(req);
     work.push_back(llm::SeqWork{req.spec->input_tokens, 0});
     batch_tokens += req.spec->input_tokens;
     prefill_batch_.push_back(std::move(waiting_.front()));
@@ -84,9 +115,14 @@ void LoongServeEngine::PumpPrefill() {
                         prefill_gpus * deployment_.gpu.sm_count);
   const sim::Duration launch =
       cost.PrefillLayerLaunch() * deployment_.model.num_layers;
-  host_->Submit(launch, [this, kernel] {
-    device_->Launch(prefill_stream_, kernel,
-                    [this] { OnPrefillBatchDone(); });
+  // Uncancellable submissions: a crash bumps the epoch so callbacks
+  // from the dead generation fall through.
+  host_->Submit(launch, [this, kernel, e = epoch()] {
+    if (e != epoch()) return;
+    device_->Launch(prefill_stream_, kernel, [this, e] {
+      if (e != epoch()) return;
+      OnPrefillBatchDone();
+    });
   });
 }
 
@@ -104,6 +140,7 @@ void LoongServeEngine::OnPrefillBatchDone() {
     if (req->DecodeFinished()) {
       req->phase = serve::Phase::kDone;
       req->completion = now;
+      req->outcome = serve::Outcome::kCompleted;
       pool_used_ -= req->reserved_tokens;
       req->reserved_tokens = 0;
       MUX_CHECK(in_flight_ > 0);
@@ -134,6 +171,7 @@ int LoongServeEngine::ChooseDecodeGpus(
 }
 
 void LoongServeEngine::MaybeStartDecodeIteration() {
+  if (DomainDown(0)) return;
   if (decode_in_flight_ || resharding_ || decoding_.empty()) return;
 
   std::vector<std::int64_t> ctx;
@@ -159,10 +197,15 @@ void LoongServeEngine::MaybeStartDecodeIteration() {
     device_->SetStreamSms(prefill_stream_,
                           prefill_gpus * deployment_.gpu.sm_count);
     resharding_ = true;
-    link_->Transfer(moved_bytes, [this] {
+    // A permanently failed re-shard resolves the same way: the group
+    // re-derives its sharding on the next iteration, so both outcomes
+    // just release the stall (the failure already paid its retries).
+    auto resume = [this, e = epoch()] {
+      if (e != epoch()) return;
       resharding_ = false;
       MaybeStartDecodeIteration();
-    });
+    };
+    link_->Transfer(moved_bytes, resume, resume);
     return;
   }
 
@@ -171,9 +214,12 @@ void LoongServeEngine::MaybeStartDecodeIteration() {
       *cost_by_tp_[static_cast<std::size_t>(decode_gpus_)];
   const gpu::Kernel kernel =
       GroupKernel(cost.DecodeIteration(ctx), decode_gpus_);
-  host_->Submit(cost.DecodeGraphLaunch(), [this, kernel] {
-    device_->Launch(decode_stream_, kernel,
-                    [this] { OnDecodeIterationDone(); });
+  host_->Submit(cost.DecodeGraphLaunch(), [this, kernel, e = epoch()] {
+    if (e != epoch()) return;
+    device_->Launch(decode_stream_, kernel, [this, e] {
+      if (e != epoch()) return;
+      OnDecodeIterationDone();
+    });
   });
 }
 
@@ -188,6 +234,7 @@ void LoongServeEngine::OnDecodeIterationDone() {
     if (req->DecodeFinished()) {
       req->phase = serve::Phase::kDone;
       req->completion = now;
+      req->outcome = serve::Outcome::kCompleted;
       // KV released immediately — the adaptivity/reuse trade-off.
       pool_used_ -= req->reserved_tokens;
       req->reserved_tokens = 0;
@@ -204,6 +251,60 @@ void LoongServeEngine::OnDecodeIterationDone() {
   PumpPrefill();
 }
 
+void LoongServeEngine::InjectCrash(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, true);
+  BumpEpoch();  // Invalidate in-flight host/device/link callbacks.
+  device_->AbortAll();
+  prefill_in_flight_ = false;
+  decode_in_flight_ = false;
+  resharding_ = false;
+
+  // Everything admitted lost its (sequence-parallel sharded) KV.
+  std::vector<std::unique_ptr<serve::Request>> lost;
+  for (auto& req : prefill_batch_) lost.push_back(std::move(req));
+  prefill_batch_.clear();
+  for (auto& req : decoding_) lost.push_back(std::move(req));
+  decoding_.clear();
+
+  std::vector<std::unique_ptr<serve::Request>> dead;
+  std::vector<std::unique_ptr<serve::Request>> requeue;
+  for (auto& req : lost) {
+    pool_used_ -= req->reserved_tokens;
+    req->reserved_tokens = 0;
+    if (!PrepareRetry(*req)) {
+      MarkTerminal(*req, serve::Outcome::kFailed);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(req));
+    } else if (DeadlinePassed(*req)) {
+      MarkTerminal(*req, serve::Outcome::kTimedOut);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(req));
+    } else {
+      waiting_demand_ += DemandTokens(*req);
+      requeue.push_back(std::move(req));
+    }
+  }
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    waiting_.push_front(std::move(*it));
+  }
+  for (auto& req : dead) NotifyComplete(std::move(req));
+}
+
+void LoongServeEngine::InjectRecovery(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, false);
+  PumpPrefill();
+  MaybeStartDecodeIteration();
+}
+
+void LoongServeEngine::InjectStraggler(std::size_t domain, double slowdown) {
+  if (domain != 0) return;
+  device_->SetSlowdown(slowdown);
+}
+
 void LoongServeEngine::RegisterAudits(
     check::InvariantRegistry& registry) const {
   registry.Register(
@@ -216,6 +317,9 @@ void LoongServeEngine::RegisterAudits(
         ctx.Check(decoding_.empty(), "decode batch not drained");
         ctx.Check(!prefill_in_flight_ && !decode_in_flight_,
                   "phase iteration still outstanding");
+        ctx.Check(waiting_demand_ == 0,
+                  "queued-demand accounting leaked " +
+                      std::to_string(waiting_demand_) + " tokens");
       });
   registry.Register(
       "LoongServeEngine", "token-pool", [this](check::AuditContext& ctx) {

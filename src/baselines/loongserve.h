@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_aware.h"
+#include "fault/recovery.h"
 #include "gpu/cluster.h"
 #include "llm/cost_model.h"
 #include "serve/deployment.h"
@@ -28,8 +30,14 @@ namespace muxwise::baselines {
  * The structural cost the paper highlights: to stay elastic, LoongServe
  * releases KV when a request completes, so multi-turn sessions
  * recompute their entire history (no cross-request reuse).
+ *
+ * Failure recovery (when Options::recovery is enabled): the elastic
+ * group is one fault domain — a crash of any member poisons the whole
+ * sequence-parallel shard set, so everything admitted is lost and
+ * re-enqueued. Re-shard traffic rides the engine's own interconnect,
+ * which is the engine's FaultableLink().
  */
-class LoongServeEngine : public serve::Engine {
+class LoongServeEngine : public fault::FaultAwareEngine {
  public:
   struct Options {
     int max_decode_batch = 256;
@@ -38,6 +46,9 @@ class LoongServeEngine : public serve::Engine {
     /** Max new tokens packed into one prefill batch. */
     std::int64_t prefill_batch_tokens = 16384;
     int prefill_batch_requests = 8;
+
+    /** Failure recovery; disabled by default (fault-free runs). */
+    fault::RecoveryPolicy recovery;
   };
 
   LoongServeEngine(sim::Simulator* simulator,
@@ -49,11 +60,19 @@ class LoongServeEngine : public serve::Engine {
   std::size_t InFlight() const override { return in_flight_; }
   void RegisterAudits(check::InvariantRegistry& registry) const override;
 
+  void InjectCrash(std::size_t domain) override;
+  void InjectRecovery(std::size_t domain) override;
+  void InjectStraggler(std::size_t domain, double slowdown) override;
+  gpu::Interconnect* FaultableLink() override { return link_.get(); }
+
   gpu::Gpu& device() { return *device_; }
   int decode_gpus() const { return decode_gpus_; }
 
  private:
   void PumpPrefill();
+
+  /** Deadline event: reaps request `id` if it is still waiting. */
+  void OnDeadline(std::int64_t id);
   void OnPrefillBatchDone();
   void MaybeStartDecodeIteration();
   void OnDecodeIterationDone();
@@ -89,6 +108,9 @@ class LoongServeEngine : public serve::Engine {
   bool resharding_ = false;
   int decode_gpus_ = 1;
   std::size_t in_flight_ = 0;
+
+  /** KV demand (input + output tokens) of everything in waiting_. */
+  std::int64_t waiting_demand_ = 0;
 };
 
 }  // namespace muxwise::baselines

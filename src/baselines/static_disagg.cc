@@ -23,7 +23,10 @@ struct StaticDisaggEngine::Job {
 StaticDisaggEngine::StaticDisaggEngine(sim::Simulator* simulator,
                                        const serve::Deployment& deployment,
                                        Options options)
-    : sim_(simulator), deployment_(deployment), options_(options) {
+    : fault::FaultAwareEngine(simulator, deployment.slo, options.recovery),
+      sim_(simulator),
+      deployment_(deployment),
+      options_(options) {
   MUX_CHECK(options_.prefill_tp + options_.decode_tp <= deployment_.num_gpus);
   cluster_ = std::make_unique<gpu::Cluster>(sim_, deployment_.gpu,
                                             deployment_.num_gpus);
@@ -44,6 +47,18 @@ StaticDisaggEngine::StaticDisaggEngine(sim::Simulator* simulator,
 StaticDisaggEngine::~StaticDisaggEngine() = default;
 
 void StaticDisaggEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  if (FaultsEnabled()) {
+    if (ShedNow(waiting_demand_ + DemandTokens(*request),
+                prefill_pool_->capacity_tokens())) {
+      MarkTerminal(*request, serve::Outcome::kShed);
+      NotifyComplete(std::move(request));
+      return;
+    }
+    request->deadline = DeadlineFor(*request);
+    sim_->ScheduleAt(request->deadline,
+                     [this, id = request->spec->id] { OnDeadline(id); });
+    waiting_demand_ += DemandTokens(*request);
+  }
   ++in_flight_;
   auto job = std::make_unique<Job>();
   job->request = std::move(request);
@@ -51,7 +66,35 @@ void StaticDisaggEngine::Enqueue(std::unique_ptr<serve::Request> request) {
   PumpPrefill();
 }
 
+void StaticDisaggEngine::OnDeadline(std::int64_t id) {
+  // Reap from the queues that hold no instance state: waiting_ (never
+  // admitted) and migrating_ (prefill accounting already released,
+  // decode not yet acquired). Work holding KV runs to completion.
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if ((*it)->request->spec->id != id) continue;
+    auto job = std::move(*it);
+    waiting_.erase(it);
+    waiting_demand_ -= DemandTokens(*job->request);
+    MarkTerminal(*job->request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(job->request));
+    return;
+  }
+  for (auto it = migrating_.begin(); it != migrating_.end(); ++it) {
+    if ((*it)->request->spec->id != id) continue;
+    auto job = std::move(*it);
+    migrating_.erase(it);
+    MarkTerminal(*job->request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(job->request));
+    return;
+  }
+}
+
 void StaticDisaggEngine::PumpPrefill() {
+  if (DomainDown(0)) return;
   if (prefill_in_flight_ || waiting_.empty()) return;
 
   // Pack a FIFO prefill batch within token/request limits, admitting
@@ -68,7 +111,10 @@ void StaticDisaggEngine::PumpPrefill() {
         prefill_pool_->AcquirePrefix(req.spec->prompt, sim_->Now());
     const std::int64_t cached =
         std::min(lease.matched_tokens, req.spec->input_tokens - 1);
-    const std::int64_t need = req.spec->input_tokens - cached;
+    // A crash-retried request (generated > 0, KV lost) also recomputes
+    // the tokens it had already emitted.
+    const std::int64_t need =
+        (req.spec->input_tokens - cached) + req.generated;
     if (!prefill_pool_->TryReserve(need)) {
       prefill_pool_->ReleasePrefix(lease);
       break;
@@ -79,6 +125,7 @@ void StaticDisaggEngine::PumpPrefill() {
     req.prefill_tokens = need;
     req.phase = serve::Phase::kPrefill;
     req.prefill_start = sim_->Now();
+    if (FaultsEnabled()) waiting_demand_ -= DemandTokens(req);
     work.push_back(llm::SeqWork{need, cached});
     batch_tokens += need;
     prefill_batch_.push_back(std::move(waiting_.front()));
@@ -92,9 +139,15 @@ void StaticDisaggEngine::PumpPrefill() {
   // Piecewise per-layer CUDA graphs, as in modern SGLang.
   const sim::Duration launch = prefill_cost_->PrefillLayerLaunch() *
                                deployment_.model.num_layers;
-  instance.host->Submit(launch, [this, kernel] {
+  // Uncancellable submission: a prefill crash bumps p_epoch_ so
+  // callbacks from the dead generation fall through.
+  instance.host->Submit(launch, [this, kernel, pe = p_epoch_] {
+    if (pe != p_epoch_) return;
     cluster_->instance(0).device->Launch(prefill_stream_, kernel,
-                                         [this] { OnPrefillBatchDone(); });
+                                         [this, pe] {
+                                           if (pe != p_epoch_) return;
+                                           OnPrefillBatchDone();
+                                         });
   });
 }
 
@@ -119,6 +172,7 @@ void StaticDisaggEngine::OnPrefillBatchDone() {
       // Single-token output: completes without touching the decode side.
       req.phase = serve::Phase::kDone;
       req.completion = now;
+      req.outcome = serve::Outcome::kCompleted;
       MUX_CHECK(in_flight_ > 0);
       --in_flight_;
       completed.push_back(std::move(job->request));
@@ -133,6 +187,7 @@ void StaticDisaggEngine::OnPrefillBatchDone() {
 }
 
 void StaticDisaggEngine::TryMoveToDecode() {
+  if (DomainDown(1)) return;
   while (!migrating_.empty() &&
          decoding_.size() < static_cast<std::size_t>(
                                 options_.max_decode_batch)) {
@@ -155,18 +210,53 @@ void StaticDisaggEngine::TryMoveToDecode() {
     migrating_.pop_front();
 
     const double migrate_bytes =
-        static_cast<double>(req.spec->input_tokens - cached) *
+        static_cast<double>(req.spec->input_tokens + req.generated -
+                            cached) *
         deployment_.model.KvBytesPerToken();
-    Job* raw = owned.get();
+    // Identify the job by request id, not pointer: a crash on either
+    // side can retire the job (and even readmit the same request) while
+    // the transfer is in flight, so the callback re-resolves it and the
+    // captured epochs fence off dead generations.
+    const std::int64_t id = req.spec->id;
     decoding_.push_back(std::move(owned));
-    cluster_->link().Transfer(migrate_bytes, [this, raw] {
-      raw->request->progress = 1;  // Marker: KV landed, decodable.
-      MaybeStartDecodeIteration();
-    });
+    cluster_->link().Transfer(
+        migrate_bytes,
+        [this, id, pe = p_epoch_, de = d_epoch_] {
+          if (pe != p_epoch_ || de != d_epoch_) return;
+          for (auto& job : decoding_) {
+            if (job->request->spec->id == id) {
+              job->request->progress = 1;  // Marker: KV landed, decodable.
+              break;
+            }
+          }
+          MaybeStartDecodeIteration();
+        },
+        [this, id, pe = p_epoch_, de = d_epoch_] {
+          if (pe != p_epoch_ || de != d_epoch_) return;
+          OnMigrationFailed(id);
+        });
+  }
+}
+
+void StaticDisaggEngine::OnMigrationFailed(std::int64_t id) {
+  for (auto it = decoding_.begin(); it != decoding_.end(); ++it) {
+    if ((*it)->request->spec->id != id) continue;
+    auto job = std::move(*it);
+    decoding_.erase(it);
+    decode_pool_->ReleaseReserved(job->d_reserved);
+    job->d_reserved = 0;
+    decode_pool_->ReleasePrefix(job->d_lease);
+    job->d_lease = {};
+    job->d_cached = 0;
+    std::vector<std::unique_ptr<Job>> lost;
+    lost.push_back(std::move(job));
+    RecycleLost(std::move(lost));
+    return;
   }
 }
 
 void StaticDisaggEngine::MaybeStartDecodeIteration() {
+  if (DomainDown(1)) return;
   if (decode_in_flight_) return;
   std::vector<std::int64_t> ctx;
   for (const auto& job : decoding_) {
@@ -179,9 +269,13 @@ void StaticDisaggEngine::MaybeStartDecodeIteration() {
   decode_in_flight_ = true;
   const gpu::Kernel kernel = decode_cost_->DecodeIteration(ctx);
   cluster_->instance(1).host->Submit(
-      decode_cost_->DecodeGraphLaunch(), [this, kernel] {
+      decode_cost_->DecodeGraphLaunch(), [this, kernel, de = d_epoch_] {
+        if (de != d_epoch_) return;
         cluster_->instance(1).device->Launch(
-            decode_stream_, kernel, [this] { OnDecodeIterationDone(); });
+            decode_stream_, kernel, [this, de] {
+              if (de != d_epoch_) return;
+              OnDecodeIterationDone();
+            });
       });
 }
 
@@ -217,6 +311,7 @@ void StaticDisaggEngine::Finish(Job* job) {
   serve::Request& req = *job->request;
   req.phase = serve::Phase::kDone;
   req.completion = now;
+  req.outcome = serve::Outcome::kCompleted;
   decode_pool_->ReleaseReserved(job->d_reserved);
   job->d_reserved = 0;
   decode_pool_->CommitSequence(req.spec->full_seq, now);
@@ -227,12 +322,129 @@ void StaticDisaggEngine::Finish(Job* job) {
   const double back_bytes = static_cast<double>(req.generated) *
                             deployment_.model.KvBytesPerToken();
   const kv::TokenSeq full = req.spec->full_seq;
-  cluster_->link().Transfer(back_bytes, [this, full] {
+  // Losing this warm-up (prefill crash, or the link giving up) only
+  // costs a future cache hit, so the failure path is a no-op.
+  cluster_->link().Transfer(back_bytes, [this, full, pe = p_epoch_] {
+    if (pe != p_epoch_) return;
     prefill_pool_->CommitSequence(full, sim_->Now());
   });
 
   MUX_CHECK(in_flight_ > 0);
   --in_flight_;
+}
+
+void StaticDisaggEngine::RecycleLost(
+    std::vector<std::unique_ptr<Job>> lost) {
+  // Jobs arrive with their pool accounting already released; decide
+  // retry vs. terminal, push retries back in age order, then notify.
+  std::vector<std::unique_ptr<serve::Request>> dead;
+  std::vector<std::unique_ptr<Job>> requeue;
+  for (auto& job : lost) {
+    serve::Request& req = *job->request;
+    if (!PrepareRetry(req)) {
+      MarkTerminal(req, serve::Outcome::kFailed);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(job->request));
+    } else if (DeadlinePassed(req)) {
+      // Its deadline event fired while it was admitted; reap it now.
+      MarkTerminal(req, serve::Outcome::kTimedOut);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      dead.push_back(std::move(job->request));
+    } else {
+      waiting_demand_ += DemandTokens(req);
+      requeue.push_back(std::move(job));
+    }
+  }
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    waiting_.push_front(std::move(*it));
+  }
+  for (auto& req : dead) NotifyComplete(std::move(req));
+  PumpPrefill();
+}
+
+void StaticDisaggEngine::InjectCrash(std::size_t domain) {
+  if (domain == 0) {
+    MarkDown(0, true);
+    ++p_epoch_;
+    cluster_->instance(0).device->AbortAll();
+    prefill_in_flight_ = false;
+
+    // Lost to a prefill crash, oldest first: mid-migration requests
+    // (their transfer source vanished), requests parked awaiting decode
+    // admission (their KV lives only in the dead prefill cache), and
+    // the aborted prefill batch.
+    std::vector<std::unique_ptr<Job>> lost;
+    std::vector<std::unique_ptr<Job>> keep;
+    for (auto& job : decoding_) {
+      if (job->request->progress == 0) {
+        decode_pool_->ReleaseReserved(job->d_reserved);
+        job->d_reserved = 0;
+        decode_pool_->ReleasePrefix(job->d_lease);
+        job->d_lease = {};
+        job->d_cached = 0;
+        lost.push_back(std::move(job));
+      } else {
+        keep.push_back(std::move(job));
+      }
+    }
+    decoding_ = std::move(keep);
+    for (auto& job : migrating_) lost.push_back(std::move(job));
+    migrating_.clear();
+    for (auto& job : prefill_batch_) {
+      prefill_pool_->ReleaseReserved(job->p_reserved);
+      job->p_reserved = 0;
+      prefill_pool_->ReleasePrefix(job->p_lease);
+      job->p_lease = {};
+      lost.push_back(std::move(job));
+    }
+    prefill_batch_.clear();
+    prefill_pool_->Clear();
+    RecycleLost(std::move(lost));
+    return;
+  }
+  if (domain == 1) {
+    MarkDown(1, true);
+    ++d_epoch_;
+    cluster_->instance(1).device->AbortAll();
+    decode_in_flight_ = false;
+
+    // Every decoding request (migrated or mid-migration) lost its
+    // decode-side KV; migrating_ jobs hold nothing on this instance and
+    // simply wait for recovery (or their deadline).
+    std::vector<std::unique_ptr<Job>> lost;
+    for (auto& job : decoding_) {
+      decode_pool_->ReleaseReserved(job->d_reserved);
+      job->d_reserved = 0;
+      decode_pool_->ReleasePrefix(job->d_lease);
+      job->d_lease = {};
+      job->d_cached = 0;
+      job->request->progress = 0;
+      lost.push_back(std::move(job));
+    }
+    decoding_.clear();
+    decode_pool_->Clear();
+    RecycleLost(std::move(lost));
+    return;
+  }
+}
+
+void StaticDisaggEngine::InjectRecovery(std::size_t domain) {
+  if (domain == 0) {
+    MarkDown(0, false);
+    PumpPrefill();
+  } else if (domain == 1) {
+    MarkDown(1, false);
+    TryMoveToDecode();
+    MaybeStartDecodeIteration();
+  }
+}
+
+void StaticDisaggEngine::InjectStraggler(std::size_t domain,
+                                         double slowdown) {
+  if (domain >= cluster_->num_instances()) return;
+  cluster_->instance(domain).device->SetSlowdown(slowdown);
 }
 
 void StaticDisaggEngine::RegisterAudits(
@@ -248,6 +460,9 @@ void StaticDisaggEngine::RegisterAudits(
         ctx.Check(prefill_batch_.empty(), "prefill batch not drained");
         ctx.Check(!prefill_in_flight_ && !decode_in_flight_,
                   "phase iteration still outstanding");
+        ctx.Check(waiting_demand_ == 0,
+                  "queued-demand accounting leaked " +
+                      std::to_string(waiting_demand_) + " tokens");
       });
   prefill_pool_->RegisterAudits(registry);
   decode_pool_->RegisterAudits(registry);

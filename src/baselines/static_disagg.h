@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_aware.h"
+#include "fault/recovery.h"
 #include "gpu/cluster.h"
 #include "kv/kv_pool.h"
 #include "llm/cost_model.h"
@@ -27,8 +29,20 @@ namespace muxwise::baselines {
  * pool is roughly half the aggregated size (lower hit rate, Fig. 5),
  * and compute is statically split (idle decode GPUs during prefill
  * bursts and vice versa, Fig. 4-a).
+ *
+ * Failure recovery (when Options::recovery is enabled): the prefill
+ * instance is fault domain 0 and the decode instance domain 1, failing
+ * independently — the distinguishing hazard of static disaggregation.
+ * A prefill crash loses the prefill cache, the in-flight batch, and
+ * every migration in flight (the transfer source is gone); a decode
+ * crash loses every decoding request, which re-enters the pipeline from
+ * the top (usually cheap — the prefill cache still holds its prompt).
+ * P->D migrations retry with backoff on transfer loss and re-enqueue
+ * the request when the link gives up permanently. Each instance keeps
+ * its own crash epoch so a fault on one side never invalidates the
+ * other side's in-flight callbacks.
  */
-class StaticDisaggEngine : public serve::Engine {
+class StaticDisaggEngine : public fault::FaultAwareEngine {
  public:
   struct Options {
     int prefill_tp = 4;
@@ -37,6 +51,9 @@ class StaticDisaggEngine : public serve::Engine {
     /** Max new tokens packed into one prefill batch. */
     std::int64_t prefill_batch_tokens = 8192;
     int prefill_batch_requests = 8;
+
+    /** Failure recovery; disabled by default (fault-free runs). */
+    fault::RecoveryPolicy recovery;
   };
 
   StaticDisaggEngine(sim::Simulator* simulator,
@@ -47,6 +64,12 @@ class StaticDisaggEngine : public serve::Engine {
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
   void RegisterAudits(check::InvariantRegistry& registry) const override;
+
+  std::size_t NumFaultDomains() const override { return 2; }
+  void InjectCrash(std::size_t domain) override;
+  void InjectRecovery(std::size_t domain) override;
+  void InjectStraggler(std::size_t domain, double slowdown) override;
+  gpu::Interconnect* FaultableLink() override { return &cluster_->link(); }
 
   const kv::KvPool& prefill_pool() const { return *prefill_pool_; }
   const kv::KvPool& decode_pool() const { return *decode_pool_; }
@@ -62,6 +85,15 @@ class StaticDisaggEngine : public serve::Engine {
   void MaybeStartDecodeIteration();
   void OnDecodeIterationDone();
   void Finish(Job* job);
+
+  /** Deadline event: reaps `id` from waiting_ or migrating_. */
+  void OnDeadline(std::int64_t id);
+
+  /** The link gave up on `id`'s P->D migration; requeue or fail it. */
+  void OnMigrationFailed(std::int64_t id);
+
+  /** Releases a crash-lost job's accounting and requeues or kills it. */
+  void RecycleLost(std::vector<std::unique_ptr<Job>> lost);
 
   sim::Simulator* sim_;
   serve::Deployment deployment_;
@@ -84,6 +116,15 @@ class StaticDisaggEngine : public serve::Engine {
   bool prefill_in_flight_ = false;
   bool decode_in_flight_ = false;
   std::size_t in_flight_ = 0;
+
+  /** KV demand (input + output tokens) of everything in waiting_. */
+  std::int64_t waiting_demand_ = 0;
+
+  // Per-instance crash epochs (see FaultAwareEngine's epoch pattern;
+  // two instances fail independently, so one shared epoch would let a
+  // prefill crash strand the decode side's in-flight iteration).
+  std::uint64_t p_epoch_ = 0;
+  std::uint64_t d_epoch_ = 0;
 };
 
 }  // namespace muxwise::baselines

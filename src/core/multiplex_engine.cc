@@ -41,9 +41,11 @@ void MultiplexEngine::SetPartition(int decode_sms, int prefill_sms) {
 void MultiplexEngine::LaunchDecode(const gpu::Kernel& kernel,
                                    sim::Duration launch_cost,
                                    std::function<void()> done) {
-  host_->Submit(launch_cost, [this, kernel, done = std::move(done)] {
-    device_->Launch(decode_stream_, kernel, std::move(done));
-  });
+  host_->Submit(launch_cost,
+                [this, kernel, done = std::move(done), e = epoch_] {
+                  if (e != epoch_) return;
+                  device_->Launch(decode_stream_, kernel, std::move(done));
+                });
 }
 
 void MultiplexEngine::LaunchPrefillGroup(const gpu::Kernel& kernel,
@@ -52,9 +54,16 @@ void MultiplexEngine::LaunchPrefillGroup(const gpu::Kernel& kernel,
   const gpu::StreamId stream = options_.mode == Mode::kTemporal
                                    ? decode_stream_
                                    : prefill_stream_;
-  host_->Submit(launch_cost, [this, stream, kernel, done = std::move(done)] {
-    device_->Launch(stream, kernel, std::move(done));
-  });
+  host_->Submit(launch_cost,
+                [this, stream, kernel, done = std::move(done), e = epoch_] {
+                  if (e != epoch_) return;
+                  device_->Launch(stream, kernel, std::move(done));
+                });
+}
+
+void MultiplexEngine::Abort() {
+  ++epoch_;
+  device_->AbortAll();
 }
 
 double MultiplexEngine::AverageBubbleRatio() const {

@@ -1,6 +1,7 @@
 #ifndef MUXWISE_CORE_MULTIPLEX_ENGINE_H_
 #define MUXWISE_CORE_MULTIPLEX_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -64,6 +65,18 @@ class MultiplexEngine {
   int prefill_sms() const { return prefill_sms_; }
   Mode mode() const { return options_.mode; }
 
+  /**
+   * Crash support: aborts everything running or queued on the device
+   * and invalidates every launch still sitting on the host thread (host
+   * submissions cannot be cancelled, so in-flight launch lambdas carry
+   * the epoch at submission and fall through once it moves on). `done`
+   * callbacks of invalidated launches are never invoked.
+   */
+  void Abort();
+
+  /** Crash epoch; bumped by every Abort(). */
+  std::uint64_t epoch() const { return epoch_; }
+
   /** Bubble ratio averaged over the two active streams (paper §4.4.2). */
   double AverageBubbleRatio() const;
 
@@ -90,6 +103,7 @@ class MultiplexEngine {
   int decode_sms_ = 0;
   int prefill_sms_ = 0;
   std::size_t reconfigurations_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace muxwise::core

@@ -11,7 +11,8 @@ namespace muxwise::core {
 MuxWiseEngine::MuxWiseEngine(sim::Simulator* simulator,
                              const serve::Deployment& deployment,
                              ContentionEstimator estimator, Options options)
-    : sim_(simulator),
+    : fault::FaultAwareEngine(simulator, deployment.slo, options.recovery),
+      sim_(simulator),
       deployment_(deployment),
       options_(options),
       estimator_(std::move(estimator)) {
@@ -41,6 +42,18 @@ const char* MuxWiseEngine::name() const {
 }
 
 void MuxWiseEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  if (FaultsEnabled()) {
+    if (ShedNow(waiting_demand_ + DemandTokens(*request),
+                pool_->capacity_tokens())) {
+      MarkTerminal(*request, serve::Outcome::kShed);
+      NotifyComplete(std::move(request));
+      return;
+    }
+    request->deadline = DeadlineFor(*request);
+    sim_->ScheduleAt(request->deadline,
+                     [this, id = request->spec->id] { OnDeadline(id); });
+    waiting_demand_ += DemandTokens(*request);
+  }
   ++in_flight_;
   request->phase = serve::Phase::kQueued;
   const serve::Request& incoming = *request;
@@ -49,7 +62,23 @@ void MuxWiseEngine::Enqueue(std::unique_ptr<serve::Request> request) {
   PumpScheduler();
 }
 
+void MuxWiseEngine::OnDeadline(std::int64_t id) {
+  // Only waiting requests are reaped; admitted work runs to completion.
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if ((*it)->spec->id != id) continue;
+    auto request = std::move(*it);
+    waiting_.erase(it);
+    waiting_demand_ -= DemandTokens(*request);
+    MarkTerminal(*request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(request));
+    return;
+  }
+}
+
 void MuxWiseEngine::PumpScheduler() {
+  if (DomainDown(0)) return;
   if (active_ != nullptr && !waiting_.empty()) {
     // Scheduling-point preemption check against the shortest waiter.
     const serve::Request* shortest = waiting_.front().get();
@@ -122,6 +151,7 @@ void MuxWiseEngine::TryStartPrefillBatch() {
     if (!serve::AdmitToPool(*pool_, head, sim_->Now())) break;
     head.phase = serve::Phase::kPrefill;
     head.prefill_start = sim_->Now();
+    if (FaultsEnabled()) waiting_demand_ -= DemandTokens(head);
     job->work.push_back(
         llm::SeqWork{head.prefill_tokens, head.cached_tokens});
     job->new_tokens += head.prefill_tokens;
@@ -368,10 +398,78 @@ void MuxWiseEngine::OnDecodeIterationDone(sim::Time launch_time,
 void MuxWiseEngine::FinishRequest(std::unique_ptr<serve::Request> request) {
   request->phase = serve::Phase::kDone;
   request->completion = sim_->Now();
+  request->outcome = serve::Outcome::kCompleted;
   serve::FinishInPool(*pool_, *request, sim_->Now());
   MUX_CHECK(in_flight_ > 0);
   --in_flight_;
   pending_completions_.push_back(std::move(request));
+}
+
+void MuxWiseEngine::InjectCrash(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, true);
+  BumpEpoch();
+  mux_->Abort();  // Kills both green contexts and in-flight launches.
+  decode_in_flight_ = false;
+  decode_blocked_on_merge_ = false;
+  preemptor_pending_ = false;
+  last_decode_estimate_ = 0;
+
+  // Everything admitted lost its KV, oldest first: the decode batch,
+  // prefills awaiting merge, then the preempted and active batches.
+  std::vector<std::unique_ptr<serve::Request>> lost;
+  for (auto& request : decoding_) lost.push_back(std::move(request));
+  decoding_.clear();
+  for (auto& request : merge_ready_) lost.push_back(std::move(request));
+  merge_ready_.clear();
+  if (preempted_ != nullptr) {
+    for (auto& request : preempted_->requests) {
+      lost.push_back(std::move(request));
+    }
+    preempted_.reset();
+  }
+  if (active_ != nullptr) {
+    for (auto& request : active_->requests) {
+      lost.push_back(std::move(request));
+    }
+    active_.reset();
+  }
+  for (auto& request : lost) serve::AbandonInPool(*pool_, *request);
+  pool_->Clear();
+
+  std::vector<std::unique_ptr<serve::Request>> requeue;
+  for (auto& request : lost) {
+    if (!PrepareRetry(*request)) {
+      MarkTerminal(*request, serve::Outcome::kFailed);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      pending_completions_.push_back(std::move(request));
+    } else if (DeadlinePassed(*request)) {
+      // Its deadline event fired while it was admitted; reap it now.
+      MarkTerminal(*request, serve::Outcome::kTimedOut);
+      MUX_CHECK(in_flight_ > 0);
+      --in_flight_;
+      pending_completions_.push_back(std::move(request));
+    } else {
+      waiting_demand_ += DemandTokens(*request);
+      requeue.push_back(std::move(request));
+    }
+  }
+  for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+    waiting_.push_front(std::move(*it));
+  }
+  FlushCompletions();
+}
+
+void MuxWiseEngine::InjectRecovery(std::size_t domain) {
+  if (domain != 0) return;
+  MarkDown(0, false);
+  PumpScheduler();
+}
+
+void MuxWiseEngine::InjectStraggler(std::size_t domain, double slowdown) {
+  if (domain != 0) return;
+  mux_->device().SetSlowdown(slowdown);
 }
 
 void MuxWiseEngine::MaybePreemptFor(const serve::Request& incoming) {
@@ -409,6 +507,9 @@ void MuxWiseEngine::RegisterAudits(check::InvariantRegistry& registry) const {
         ctx.Check(pending_completions_.empty(),
                   "completions never handed back");
         ctx.Check(!decode_in_flight_, "decode iteration still outstanding");
+        ctx.Check(waiting_demand_ == 0,
+                  "queued-demand accounting leaked " +
+                      std::to_string(waiting_demand_) + " tokens");
       });
   mux_->RegisterAudits(registry);
   pool_->RegisterAudits(registry);

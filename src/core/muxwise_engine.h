@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/dispatcher.h"
+#include "fault/fault_aware.h"
+#include "fault/recovery.h"
 #include "core/estimator.h"
 #include "core/multiplex_engine.h"
 #include "kv/kv_pool.h"
@@ -31,8 +33,15 @@ namespace muxwise::core {
  * `dispatch.preemption` off disables preemptive scheduling (Fig. 20),
  * and MultiplexEngine modes give the WindServe / temporal-only
  * prototypes of §6.
+ *
+ * Failure recovery (when Options::recovery is enabled): the multiplexed
+ * instance is fault domain 0. A crash aborts both green contexts
+ * (MultiplexEngine::Abort), drops the KV pool, and re-enqueues every
+ * admitted request — including partially prefilled and preempted
+ * batches — for recomputation; new work is shed under overload, and
+ * waiting requests whose SLO-derived deadline passes are abandoned.
  */
-class MuxWiseEngine : public serve::Engine {
+class MuxWiseEngine : public fault::FaultAwareEngine {
  public:
   struct Options {
     MultiplexEngine::Options mux;
@@ -50,6 +59,9 @@ class MuxWiseEngine : public serve::Engine {
     int max_decode_batch = 256;
     std::int64_t prefill_batch_tokens = 16384;
     int prefill_batch_requests = 8;
+
+    /** Failure recovery; disabled by default (fault-free runs). */
+    fault::RecoveryPolicy recovery;
   };
 
   /**
@@ -66,6 +78,10 @@ class MuxWiseEngine : public serve::Engine {
   void Enqueue(std::unique_ptr<serve::Request> request) override;
   std::size_t InFlight() const override { return in_flight_; }
   void RegisterAudits(check::InvariantRegistry& registry) const override;
+
+  void InjectCrash(std::size_t domain) override;
+  void InjectRecovery(std::size_t domain) override;
+  void InjectStraggler(std::size_t domain, double slowdown) override;
 
   MultiplexEngine& mux() { return *mux_; }
   const ContentionEstimator& estimator() const { return estimator_; }
@@ -114,6 +130,9 @@ class MuxWiseEngine : public serve::Engine {
   void FinishRequest(std::unique_ptr<serve::Request> request);
   void MaybePreemptFor(const serve::Request& incoming);
 
+  /** Deadline event: reaps request `id` if it is still waiting. */
+  void OnDeadline(std::int64_t id);
+
   /** Prefill work remaining in the active job, as an estimator input. */
   PrefillDesc ActivePrefillDesc() const;
   sim::Duration ActivePrefillRemaining() const;
@@ -146,6 +165,9 @@ class MuxWiseEngine : public serve::Engine {
   bool preemptor_pending_ = false;
   sim::Duration last_decode_estimate_ = 0;
   std::size_t in_flight_ = 0;
+
+  /** KV demand (input + output tokens) of everything in waiting_. */
+  std::int64_t waiting_demand_ = 0;
   std::size_t decode_iterations_ = 0;
   std::size_t preemptions_ = 0;
   std::vector<PartitionSample> partition_trace_;

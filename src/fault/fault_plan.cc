@@ -1,0 +1,87 @@
+#include "fault/fault_plan.h"
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace muxwise::fault {
+
+FaultPlan& FaultPlan::Crash(std::size_t instance, sim::Time at,
+                            sim::Time recover_at) {
+  crashes.push_back({instance, at, recover_at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Straggle(std::size_t instance, sim::Time from,
+                               sim::Time to, double slowdown) {
+  stragglers.push_back({instance, from, to, slowdown});
+  return *this;
+}
+
+FaultPlan& FaultPlan::DropTransfers(sim::Time from, sim::Time to, double p) {
+  transfer_faults.push_back({from, to, p});
+  return *this;
+}
+
+void FaultPlan::Validate() const {
+  for (const CrashEvent& crash : crashes) {
+    if (crash.at < 0) sim::Fatal("fault plan: crash before t=0");
+    if (crash.recover_at <= crash.at) {
+      sim::Fatal("fault plan: crash at t=" + std::to_string(crash.at) +
+                 " recovers at t=" + std::to_string(crash.recover_at) +
+                 " (must be strictly later, or kTimeNever)");
+    }
+  }
+  for (const StragglerWindow& window : stragglers) {
+    if (window.from < 0 || window.to <= window.from) {
+      sim::Fatal("fault plan: inverted straggler window [" +
+                 std::to_string(window.from) + ", " +
+                 std::to_string(window.to) + ")");
+    }
+    if (window.slowdown < 1.0) {
+      sim::Fatal("fault plan: straggler slowdown " +
+                 std::to_string(window.slowdown) + " < 1");
+    }
+  }
+  for (const TransferFaultWindow& window : transfer_faults) {
+    if (window.from < 0 || window.to <= window.from) {
+      sim::Fatal("fault plan: inverted transfer-fault window [" +
+                 std::to_string(window.from) + ", " +
+                 std::to_string(window.to) + ")");
+    }
+    if (window.failure_probability < 0.0 ||
+        window.failure_probability >= 1.0) {
+      sim::Fatal("fault plan: transfer failure probability " +
+                 std::to_string(window.failure_probability) +
+                 " outside [0, 1)");
+    }
+  }
+}
+
+std::string FaultPlan::Describe() const {
+  if (Empty()) return "fault plan: (empty)\n";
+  std::ostringstream out;
+  out << "fault plan (seed " << seed << "):\n";
+  for (const CrashEvent& crash : crashes) {
+    out << "  crash instance " << crash.instance << " at "
+        << sim::FormatDuration(crash.at);
+    if (crash.recover_at == sim::kTimeNever) {
+      out << ", never recovers\n";
+    } else {
+      out << ", recovers at " << sim::FormatDuration(crash.recover_at) << "\n";
+    }
+  }
+  for (const StragglerWindow& window : stragglers) {
+    out << "  straggler instance " << window.instance << " x"
+        << window.slowdown << " during [" << sim::FormatDuration(window.from)
+        << ", " << sim::FormatDuration(window.to) << ")\n";
+  }
+  for (const TransferFaultWindow& window : transfer_faults) {
+    out << "  transfer loss p=" << window.failure_probability << " during ["
+        << sim::FormatDuration(window.from) << ", "
+        << sim::FormatDuration(window.to) << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace muxwise::fault

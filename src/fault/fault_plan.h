@@ -1,0 +1,82 @@
+#ifndef MUXWISE_FAULT_FAULT_PLAN_H_
+#define MUXWISE_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace muxwise::fault {
+
+/**
+ * One instance crash: at `at` the instance loses every in-flight kernel
+ * and its entire KV pool; at `recover_at` (kTimeNever = never) it
+ * rejoins cold. Instance indices are mapped onto an engine's fault
+ * domains modulo Engine::NumFaultDomains(), so the same plan drives
+ * aggregated (one domain) and disaggregated (two domains) engines.
+ */
+struct CrashEvent {
+  std::size_t instance = 0;
+  sim::Time at = 0;
+  sim::Time recover_at = sim::kTimeNever;
+};
+
+/** Kernels on `instance` run `slowdown`x slower during [from, to). */
+struct StragglerWindow {
+  std::size_t instance = 0;
+  sim::Time from = 0;
+  sim::Time to = 0;
+  double slowdown = 2.0;
+};
+
+/**
+ * During [from, to), each interconnect transfer attempt is lost with
+ * `failure_probability` (the link retries with backoff; see
+ * gpu::Interconnect::FaultModel).
+ */
+struct TransferFaultWindow {
+  sim::Time from = 0;
+  sim::Time to = 0;
+  double failure_probability = 0.01;
+};
+
+/**
+ * A deterministic chaos schedule. All times are simulator times — the
+ * injector schedules plan entries as ordinary events, so a plan is as
+ * reproducible as the workload trace it runs against; `seed` forks the
+ * stream used for per-attempt transfer-loss draws.
+ *
+ * Built fluently:
+ *
+ *   FaultPlan plan;
+ *   plan.Crash(0, sim::Seconds(30), sim::Seconds(45))
+ *       .Straggle(0, sim::Seconds(50), sim::Seconds(60), 2.0)
+ *       .DropTransfers(sim::Seconds(0), sim::Seconds(120), 0.01);
+ */
+struct FaultPlan {
+  std::uint64_t seed = 0x101u;
+  std::vector<CrashEvent> crashes;
+  std::vector<StragglerWindow> stragglers;
+  std::vector<TransferFaultWindow> transfer_faults;
+
+  bool Empty() const {
+    return crashes.empty() && stragglers.empty() && transfer_faults.empty();
+  }
+
+  FaultPlan& Crash(std::size_t instance, sim::Time at,
+                   sim::Time recover_at = sim::kTimeNever);
+  FaultPlan& Straggle(std::size_t instance, sim::Time from, sim::Time to,
+                      double slowdown);
+  FaultPlan& DropTransfers(sim::Time from, sim::Time to, double p);
+
+  /** Fatal on malformed entries (inverted windows, slowdown < 1, ...). */
+  void Validate() const;
+
+  /** Human-readable one-line-per-entry schedule (logs, diagnostics). */
+  std::string Describe() const;
+};
+
+}  // namespace muxwise::fault
+
+#endif  // MUXWISE_FAULT_FAULT_PLAN_H_

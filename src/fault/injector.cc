@@ -1,0 +1,97 @@
+#include "fault/injector.h"
+
+#include <string>
+
+#include "gpu/cluster.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace muxwise::fault {
+
+FaultInjector::FaultInjector(sim::Simulator* simulator, FaultPlan plan,
+                             RecoveryPolicy policy)
+    : sim_(simulator), plan_(std::move(plan)), policy_(policy) {
+  MUX_CHECK(sim_ != nullptr);
+}
+
+void FaultInjector::Arm(serve::Engine& engine) {
+  MUX_CHECK(!armed_);
+  armed_ = true;
+  plan_.Validate();
+  const std::size_t domains = engine.NumFaultDomains();
+  MUX_CHECK(domains >= 1);
+
+  for (const CrashEvent& crash : plan_.crashes) {
+    const std::size_t domain = crash.instance % domains;
+    sim_->ScheduleAt(crash.at, [this, &engine, domain] {
+      ++events_fired_;
+      ++crashes_injected_;
+      engine.InjectCrash(domain);
+    });
+    ++events_scheduled_;
+    if (crash.recover_at != sim::kTimeNever) {
+      sim_->ScheduleAt(crash.recover_at, [this, &engine, domain] {
+        ++events_fired_;
+        ++recoveries_injected_;
+        engine.InjectRecovery(domain);
+      });
+      ++events_scheduled_;
+    }
+  }
+
+  for (const StragglerWindow& window : plan_.stragglers) {
+    const std::size_t domain = window.instance % domains;
+    const double slowdown = window.slowdown;
+    sim_->ScheduleAt(window.from, [this, &engine, domain, slowdown] {
+      ++events_fired_;
+      ++straggler_edges_injected_;
+      engine.InjectStraggler(domain, slowdown);
+    });
+    sim_->ScheduleAt(window.to, [this, &engine, domain] {
+      ++events_fired_;
+      ++straggler_edges_injected_;
+      engine.InjectStraggler(domain, 1.0);
+    });
+    events_scheduled_ += 2;
+  }
+
+  if (!plan_.transfer_faults.empty()) {
+    gpu::Interconnect* link = engine.FaultableLink();
+    if (link == nullptr) {
+      windows_skipped_ += plan_.transfer_faults.size();
+    } else {
+      gpu::Interconnect::FaultModel model;
+      model.failure_probability = 0.0;  // Armed but inert until a window.
+      model.max_attempts = policy_.max_transfer_attempts;
+      model.initial_backoff = policy_.transfer_retry_backoff;
+      link->EnableFaults(model,
+                         sim::Rng(plan_.seed).Fork("interconnect-loss"));
+      for (const TransferFaultWindow& window : plan_.transfer_faults) {
+        const double p = window.failure_probability;
+        sim_->ScheduleAt(window.from, [this, link, p] {
+          ++events_fired_;
+          ++transfer_edges_injected_;
+          link->SetFailureProbability(p);
+        });
+        sim_->ScheduleAt(window.to, [this, link] {
+          ++events_fired_;
+          ++transfer_edges_injected_;
+          link->SetFailureProbability(0.0);
+        });
+        events_scheduled_ += 2;
+      }
+    }
+  }
+}
+
+void FaultInjector::RegisterAudits(check::InvariantRegistry& registry) const {
+  registry.Register(
+      "FaultInjector", "plan-delivered", [this](check::AuditContext& ctx) {
+        ctx.Check(events_fired_ == events_scheduled_,
+                  "only " + std::to_string(events_fired_) + " of " +
+                      std::to_string(events_scheduled_) +
+                      " planned fault events fired before quiescence");
+      });
+}
+
+}  // namespace muxwise::fault

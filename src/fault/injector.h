@@ -1,0 +1,83 @@
+#ifndef MUXWISE_FAULT_INJECTOR_H_
+#define MUXWISE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+
+#include "check/invariant_registry.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
+#include "serve/engine.h"
+#include "sim/simulator.h"
+
+namespace muxwise::fault {
+
+/**
+ * Turns a FaultPlan into ordinary simulator events against one engine.
+ *
+ * Everything rides the simulated clock: crashes, recoveries, straggler
+ * window edges and transfer-fault window edges are ScheduleAt() events,
+ * and transfer losses draw from an Rng forked off the plan seed — so a
+ * chaos run is exactly as deterministic as a fault-free one, and
+ * VerifyDeterminism applies unchanged.
+ *
+ * Plan instance indices map onto the engine's fault domains modulo
+ * Engine::NumFaultDomains(); transfer-fault windows arm the engine's
+ * FaultableLink() (and are dropped, counted in `windows_skipped`, for
+ * engines with no inter-instance link).
+ *
+ * The injector must outlive the simulation and is bound to a single
+ * engine per instance.
+ */
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator* simulator, FaultPlan plan,
+                RecoveryPolicy policy);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /**
+   * Validates the plan and schedules its events against `engine`
+   * (which must outlive the simulation). Call exactly once, before
+   * running the simulator past the plan's first event.
+   */
+  void Arm(serve::Engine& engine);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  std::size_t crashes_injected() const { return crashes_injected_; }
+  std::size_t recoveries_injected() const { return recoveries_injected_; }
+  std::size_t straggler_edges_injected() const {
+    return straggler_edges_injected_;
+  }
+  std::size_t transfer_edges_injected() const {
+    return transfer_edges_injected_;
+  }
+
+  /** Transfer-fault windows dropped because the engine has no link. */
+  std::size_t windows_skipped() const { return windows_skipped_; }
+
+  /**
+   * Registers the delivery audit: at quiescence every scheduled
+   * injection event has fired — the plan the scenario claims to have
+   * survived is the plan it actually received.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
+
+ private:
+  sim::Simulator* sim_;
+  FaultPlan plan_;
+  RecoveryPolicy policy_;
+  bool armed_ = false;
+  std::size_t events_scheduled_ = 0;
+  std::size_t events_fired_ = 0;
+  std::size_t crashes_injected_ = 0;
+  std::size_t recoveries_injected_ = 0;
+  std::size_t straggler_edges_injected_ = 0;
+  std::size_t transfer_edges_injected_ = 0;
+  std::size_t windows_skipped_ = 0;
+};
+
+}  // namespace muxwise::fault
+
+#endif  // MUXWISE_FAULT_INJECTOR_H_

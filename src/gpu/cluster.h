@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "gpu/gpu.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/host.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 
 namespace muxwise::gpu {
@@ -18,29 +20,80 @@ namespace muxwise::gpu {
 /**
  * A FIFO point-to-point link used for KV-cache migration between
  * disaggregated instances. Transfers queue behind each other; duration
- * is latency + bytes / bandwidth.
+ * is latency + bytes / bandwidth. The idle marker is clamped to Now()
+ * at enqueue time, so a transfer issued long after the link went idle
+ * starts immediately instead of inheriting stale serialization state,
+ * and bytes/completion counters advance only when the bytes actually
+ * land (never at enqueue).
+ *
+ * With EnableFaults() armed, each attempt may be lost with the model's
+ * probability (drawn from a seeded sim::Rng — deterministic). Lost
+ * attempts retry with exponential backoff, re-occupying the wire, up to
+ * max_attempts; after that the transfer permanently fails and the
+ * caller's `failed` callback fires instead of `done`.
  */
 class Interconnect {
  public:
+  /** Deterministic per-attempt failure model for an armed link. */
+  struct FaultModel {
+    /** Per-attempt loss probability; retuned live by the injector. */
+    double failure_probability = 0.0;
+
+    /** Total attempts per transfer (first try included), >= 1. */
+    int max_attempts = 4;
+
+    /** Backoff before attempt k+1: initial_backoff * 2^(k-1). */
+    sim::Duration initial_backoff = sim::Milliseconds(2);
+  };
+
   Interconnect(sim::Simulator* simulator, double bandwidth_bytes_per_s,
                sim::Duration latency);
 
-  /** Enqueues a transfer; `done` fires when the bytes have landed. */
-  void Transfer(double bytes, std::function<void()> done);
+  /**
+   * Arms the link's failure model with a seeded stream. Unarmed links
+   * (the default) draw no randomness and schedule no retry events, so
+   * fault-free runs stay bit-identical to a build without this feature.
+   */
+  void EnableFaults(FaultModel model, sim::Rng rng);
 
-  /** Total bytes moved so far. */
+  /** Retunes the armed per-attempt loss probability (fault windows). */
+  void SetFailureProbability(double p);
+
+  /**
+   * Enqueues a transfer; `done` fires when the bytes have landed. If the
+   * armed fault model exhausts its attempts, `failed` (when provided)
+   * fires instead — the permanent-failure path.
+   */
+  void Transfer(double bytes, std::function<void()> done,
+                std::function<void()> failed = {});
+
+  /** Total bytes that actually landed (retries count once, on success). */
   double bytes_transferred() const { return bytes_transferred_; }
 
   /** Number of completed transfers. */
   std::size_t transfers_completed() const { return transfers_completed_; }
 
+  /** Attempts lost and retried (transient failures). */
+  std::size_t attempts_failed() const { return attempts_failed_; }
+
+  /** Transfers that exhausted their attempts (permanent failures). */
+  std::size_t transfers_failed() const { return transfers_failed_; }
+
  private:
+  /** Occupies the wire for one attempt and schedules its landing. */
+  void StartAttempt(double bytes, int attempt, std::function<void()> done,
+                    std::function<void()> failed);
+
   sim::Simulator* sim_;
   double bandwidth_;
   sim::Duration latency_;
   sim::Time free_at_ = 0;
   double bytes_transferred_ = 0.0;
   std::size_t transfers_completed_ = 0;
+  std::size_t attempts_failed_ = 0;
+  std::size_t transfers_failed_ = 0;
+  FaultModel fault_model_;
+  std::optional<sim::Rng> fault_rng_;
 };
 
 /**

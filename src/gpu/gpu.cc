@@ -345,9 +345,11 @@ void Gpu::Rerate() {
             ? run.kernel.bytes / r.alloc
             : (run.kernel.bytes > 0.0 ? 1e9 : 0.0);
     const double seconds =
-        std::max(r.compute_seconds, memory_seconds) +
-        run.kernel.overlap_alpha * std::min(r.compute_seconds, memory_seconds) +
-        sim::ToSeconds(run.kernel.fixed_time);
+        (std::max(r.compute_seconds, memory_seconds) +
+         run.kernel.overlap_alpha *
+             std::min(r.compute_seconds, memory_seconds) +
+         sim::ToSeconds(run.kernel.fixed_time)) *
+        slowdown_;
     run.current_total =
         std::max(kMinKernelTime, static_cast<sim::Duration>(seconds * 1e9));
     const double left = std::max(0.0, 1.0 - run.fraction_done);
@@ -358,6 +360,35 @@ void Gpu::Rerate() {
     run.completion =
         sim_->ScheduleAfter(time_left, [this, id] { Complete(id); });
   }
+}
+
+void Gpu::SetSlowdown(double factor) {
+  MUX_CHECK(factor >= 1.0);
+  if (factor == slowdown_) return;
+  slowdown_ = factor;
+  Rerate();  // Running kernels stretch (or recover) immediately.
+}
+
+std::size_t Gpu::AbortAll() {
+  AdvanceIntegrals();
+  const sim::Time now = sim_->Now();
+  std::size_t aborted = 0;
+  for (Stream& s : streams_) {
+    if (s.running.has_value()) {
+      if (s.running->completion != sim::kInvalidEventId) {
+        sim_->Cancel(s.running->completion);
+      }
+      // The partial execution still occupied the stream.
+      s.stats.busy_time += now - s.running->last_update;
+      s.stats.last_activity = now;
+      s.running.reset();
+      ++aborted;
+    }
+    aborted += s.queue.size();
+    s.queue.clear();
+  }
+  kernels_aborted_ += aborted;
+  return aborted;
 }
 
 void Gpu::RegisterAudits(check::InvariantRegistry& registry) const {

@@ -119,6 +119,29 @@ class Gpu {
   std::size_t kernels_completed() const { return kernels_completed_; }
 
   /**
+   * Straggler injection: stretches every running and future kernel by
+   * `factor` (>= 1). Running kernels are re-rated immediately, keeping
+   * the progress they already made. Predictions (SoloDurationSeconds)
+   * are deliberately unaffected — a straggler is precisely the gap
+   * between the planner's model and the device's reality.
+   */
+  void SetSlowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
+  /**
+   * Crash injection: aborts every running and queued kernel on every
+   * stream. Completion events are cancelled and their callbacks dropped
+   * — exactly the dangling-callback hazard engines must guard against
+   * (see tools/muxlint's dangling-callback rule). Busy-time accounting
+   * accrues up to now; aborted kernels never count as completed.
+   * Returns the number of kernels aborted.
+   */
+  std::size_t AbortAll();
+
+  /** Total kernels aborted by AbortAll() (diagnostics). */
+  std::size_t kernels_aborted() const { return kernels_aborted_; }
+
+  /**
    * Registers per-stream accounting audits: SM grants within device
    * bounds, busy-time accounting inside each stream's activity window,
    * and kernel-completion counters in agreement.
@@ -175,6 +198,8 @@ class Gpu {
   GpuSpec spec_;
   std::vector<Stream> streams_;
   std::size_t kernels_completed_ = 0;
+  std::size_t kernels_aborted_ = 0;
+  double slowdown_ = 1.0;  // Straggler stretch factor (>= 1).
 
   // Utilization accounting.
   sim::Time integral_updated_at_ = 0;

@@ -9,6 +9,7 @@
 #include "check/invariant_registry.h"
 #include "baselines/loongserve.h"
 #include "baselines/static_disagg.h"
+#include "fault/injector.h"
 #include "serve/frontend.h"
 #include "sim/logging.h"
 #include "sim/simulator.h"
@@ -49,11 +50,13 @@ std::uint64_t MixSummary(std::uint64_t h, const serve::LatencySummary& s) {
  */
 void RunScenarioAudits(const sim::Simulator& simulator,
                        const serve::Engine& engine,
-                       const serve::MetricsCollector& metrics) {
+                       const serve::MetricsCollector& metrics,
+                       const fault::FaultInjector* injector) {
   check::InvariantRegistry registry;
   simulator.RegisterAudits(registry);
   engine.RegisterAudits(registry);
   metrics.RegisterAudits(registry);
+  if (injector != nullptr) injector->RegisterAudits(registry);
   const std::vector<check::Violation> violations = registry.RunAll();
   if (!violations.empty()) {
     sim::Panic("invariant audit failed at scenario end:\n" +
@@ -83,6 +86,56 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
+DriveResult DriveScenario(sim::Simulator& simulator,
+                          const serve::Frontend& frontend,
+                          const workload::Trace& trace,
+                          const RunConfig& config) {
+  DriveResult result;
+  const double last_arrival =
+      trace.requests.empty() ? 0.0
+                             : trace.requests.back().arrival_seconds;
+  double drain = config.drain_timeout_seconds;
+  if (config.steady_state) {
+    drain = std::min(drain, std::max(30.0, 0.35 * trace.SpanSeconds()));
+  }
+  const sim::Time horizon = sim::Seconds(last_arrival + drain);
+  const std::size_t executed =
+      simulator.RunUntil(horizon, config.event_budget);
+  if (executed >= config.event_budget && !simulator.Empty()) {
+    result.diagnostic =
+        "event budget of " + std::to_string(config.event_budget) +
+        " exhausted at " + sim::FormatDuration(simulator.Now()) + " with " +
+        std::to_string(simulator.PendingEvents()) +
+        " events still pending before the drain horizon; livelocked "
+        "scheduler?";
+    return result;
+  }
+  result.stable = frontend.AllCompleted();
+  if (result.stable) return result;
+
+  // Drain overran the timeout: let the backlog finish for partial
+  // statistics (the run is already unstable), but keep the event budget
+  // as the livelock guard for this phase too.
+  std::size_t backlog_events = 0;
+  while (!simulator.Empty() && backlog_events < config.event_budget) {
+    simulator.Step();
+    ++backlog_events;
+  }
+  if (!frontend.AllCompleted()) {
+    const std::size_t total = trace.requests.size();
+    const std::size_t stuck = total - frontend.completed();
+    result.diagnostic =
+        (simulator.Empty()
+             ? std::string("scenario stalled: ")
+             : std::string("event budget exhausted while draining: ")) +
+        std::to_string(stuck) + " of " + std::to_string(total) +
+        " requests never reached a terminal state (drain timeout " +
+        std::to_string(static_cast<long long>(drain)) +
+        " s past the last arrival)";
+  }
+  return result;
+}
+
 RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
                        const workload::Trace& trace,
                        const core::ContentionEstimator* shared_estimator,
@@ -91,6 +144,9 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   RunOutcome outcome;
   outcome.engine = EngineKindName(kind);
   outcome.total = trace.requests.size();
+
+  fault::RecoveryPolicy policy = config.recovery;
+  if (config.fault_plan.has_value()) policy.enabled = true;
 
   std::unique_ptr<serve::Engine> engine;
   core::MuxWiseEngine* muxwise = nullptr;
@@ -107,6 +163,7 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
     } else if (kind == EngineKind::kTemporal) {
       options.mux.mode = core::MultiplexEngine::Mode::kTemporal;
     }
+    options.recovery = policy;
     auto owned = std::make_unique<core::MuxWiseEngine>(
         &simulator, deployment, *shared_estimator, options);
     muxwise = owned.get();
@@ -119,43 +176,43 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
             : baselines::ChunkedPrefillEngine::TuneTokenBudget(
                   deployment, deployment.slo.tbt);
     options.nano_overlap = (kind == EngineKind::kNanoFlow);
+    options.recovery = policy;
     auto owned = std::make_unique<baselines::ChunkedPrefillEngine>(
         &simulator, deployment, options);
     chunked = owned.get();
     engine = std::move(owned);
   } else if (kind == EngineKind::kSglangPd) {
+    baselines::StaticDisaggEngine::Options options;
+    options.recovery = policy;
     auto owned = std::make_unique<baselines::StaticDisaggEngine>(
-        &simulator, deployment, baselines::StaticDisaggEngine::Options());
+        &simulator, deployment, options);
     disagg = owned.get();
     engine = std::move(owned);
   } else {
+    baselines::LoongServeEngine::Options options;
+    options.recovery = policy;
     auto owned = std::make_unique<baselines::LoongServeEngine>(
-        &simulator, deployment, baselines::LoongServeEngine::Options());
+        &simulator, deployment, options);
     loong = owned.get();
     engine = std::move(owned);
+  }
+
+  std::optional<fault::FaultInjector> injector;
+  if (config.fault_plan.has_value()) {
+    injector.emplace(&simulator, *config.fault_plan, policy);
+    injector->Arm(*engine);
   }
 
   serve::MetricsCollector metrics;
   serve::Frontend frontend(&simulator, engine.get(), &trace, &metrics);
   frontend.Start();
 
-  const double last_arrival =
-      trace.requests.empty() ? 0.0
-                             : trace.requests.back().arrival_seconds;
-  double drain = config.drain_timeout_seconds;
-  if (config.steady_state) {
-    drain = std::min(drain, std::max(30.0, 0.35 * trace.SpanSeconds()));
-  }
-  const sim::Time horizon = sim::Seconds(last_arrival + drain);
-  simulator.RunUntil(horizon);
-  outcome.stable = frontend.AllCompleted();
-  if (!outcome.stable) {
-    // Let whatever is still queued finish for partial statistics, but
-    // report the run as unstable.
-    simulator.Run();
-  }
+  const DriveResult drive = DriveScenario(simulator, frontend, trace, config);
+  outcome.stable = drive.stable;
+  outcome.diagnostic = drive.diagnostic;
 
   outcome.completed = frontend.completed();
+  outcome.split = metrics.Split();
   outcome.ttft = metrics.Ttft();
   outcome.tbt = metrics.Tbt();
   outcome.tpot = metrics.Tpot();
@@ -189,7 +246,10 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   }
   outcome.event_digest = simulator.EventDigest();
   outcome.executed_events = simulator.ExecutedEvents();
-  RunScenarioAudits(simulator, *engine, metrics);
+  if (outcome.diagnostic.empty()) {
+    RunScenarioAudits(simulator, *engine, metrics,
+                      injector ? &*injector : nullptr);
+  }
   return outcome;
 }
 
@@ -214,6 +274,18 @@ std::uint64_t OutcomeDigest(const RunOutcome& outcome) {
   for (const auto& sample : outcome.partition_trace) {
     h = MixDigest(h, static_cast<std::uint64_t>(sample.time));
     h = MixDigest(h, static_cast<std::uint64_t>(sample.decode_sms));
+  }
+  // Fault-era fields fold in only when active, so fault-free digests stay
+  // comparable with pre-fault baselines.
+  if (outcome.split.timed_out + outcome.split.shed + outcome.split.failed >
+      0) {
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.attained));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.timed_out));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.shed));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.failed));
+  }
+  for (unsigned char c : outcome.diagnostic) {
+    h = MixDigest(h, static_cast<std::uint64_t>(c));
   }
   return h;
 }

@@ -8,8 +8,12 @@
 
 #include "core/estimator.h"
 #include "core/muxwise_engine.h"
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
 #include "serve/deployment.h"
+#include "serve/frontend.h"
 #include "serve/metrics.h"
+#include "sim/simulator.h"
 #include "workload/request_spec.h"
 
 namespace muxwise::harness {
@@ -48,6 +52,27 @@ struct RunConfig {
    * work and drains it long after arrivals stop counts as unstable.
    */
   bool steady_state = false;
+
+  /**
+   * Hard cap on executed events per drive phase — the guard that turns a
+   * livelocked scenario (zero-delay event loop that never advances time)
+   * into a diagnosed, terminating run instead of a hang. Generously above
+   * any legitimate scenario in the suite.
+   */
+  std::size_t event_budget = 100'000'000;
+
+  /**
+   * Chaos schedule; when set, recovery is forced on and a FaultInjector
+   * delivers the plan against the engine's fault domains.
+   */
+  std::optional<fault::FaultPlan> fault_plan;
+
+  /**
+   * Engine-side recovery knobs (deadlines, shed factor, retry budgets).
+   * `recovery.enabled` is implied by `fault_plan`; set it explicitly to
+   * exercise recovery paths (shedding, deadlines) without any fault.
+   */
+  fault::RecoveryPolicy recovery;
 };
 
 /** Everything the paper's tables/figures report about one run. */
@@ -79,6 +104,22 @@ struct RunOutcome {
   std::vector<core::MuxWiseEngine::PartitionSample> partition_trace;
 
   /**
+   * Terminal disposition of every request: attained goodput plus the
+   * degraded outcomes (timed-out / shed / crash-failed). In fault-free
+   * runs `split.attained == completed` and the rest are zero.
+   */
+  serve::GoodputSplit split;
+
+  /**
+   * Empty on a run that terminated normally. Non-empty when the drive
+   * loop had to cut the scenario off (drain timeout with work still
+   * stuck, or event budget exhausted on a livelocked scheduler); the
+   * end-of-run invariant audits are skipped for such runs because the
+   * engine was interrupted mid-flight.
+   */
+  std::string diagnostic;
+
+  /**
    * Order-sensitive digest of the simulator's executed event stream
    * (sim::Simulator::EventDigest) and its length. Two runs of the same
    * scenario must agree on both — the reproducibility witness that
@@ -94,6 +135,29 @@ struct RunOutcome {
  * for cheap equality comparison across repeated runs.
  */
 std::uint64_t OutcomeDigest(const RunOutcome& outcome);
+
+/** What DriveScenario observed while running a scenario to its end. */
+struct DriveResult {
+  /** All requests reached a terminal state within the drain horizon. */
+  bool stable = false;
+
+  /** Empty on termination; else why the run was cut off (see RunOutcome). */
+  std::string diagnostic;
+};
+
+/**
+ * Drives an already-started scenario (frontend arrivals scheduled)
+ * under `config`'s bounds: events run until the drain horizon after the
+ * last arrival, then — if work remains — through one bounded backlog
+ * drain so partial statistics survive. Both phases respect
+ * `config.event_budget`, so a livelocked engine terminates with a
+ * diagnostic rather than hanging the process (the enforcement behind
+ * RunConfig::drain_timeout_seconds).
+ */
+DriveResult DriveScenario(sim::Simulator& simulator,
+                          const serve::Frontend& frontend,
+                          const workload::Trace& trace,
+                          const RunConfig& config = RunConfig());
 
 /**
  * Replays `trace` through the chosen engine on a fresh simulator.

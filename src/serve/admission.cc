@@ -22,7 +22,11 @@ bool AdmitToPool(kv::KvPool& pool, Request& request, sim::Time now) {
   }
   request.lease = lease;
   request.cached_tokens = cached;
-  request.prefill_tokens = request.spec->input_tokens - cached;
+  // Crash recovery: tokens generated before the KV was lost must be
+  // recomputed by the recovery prefill (generated == 0 for the common
+  // first admission, leaving the span at the uncached prompt).
+  request.prefill_tokens =
+      (request.spec->input_tokens - cached) + request.generated;
   request.reserved_tokens = need;
   return true;
 }

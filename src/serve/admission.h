@@ -12,6 +12,12 @@ namespace muxwise::serve {
  * prompt and reserves working space for the tokens it will compute (the
  * uncached prompt remainder plus every output token).
  *
+ * A request re-admitted after an instance crash (generated > 0 with its
+ * KV state lost) must also recompute the tokens it had already emitted,
+ * so its prefill span grows to (uncached prompt + generated); the
+ * reservation is unchanged since output_tokens bounds the regenerated
+ * plus remaining output working set.
+ *
  * Returns false — leaving the pool untouched — when the space cannot be
  * found even after LRU eviction; the caller keeps the request queued.
  */

@@ -9,6 +9,10 @@
 #include "check/invariant_registry.h"
 #include "serve/request.h"
 
+namespace muxwise::gpu {
+class Interconnect;
+}  // namespace muxwise::gpu
+
 namespace muxwise::serve {
 
 /**
@@ -39,6 +43,31 @@ class Engine {
   virtual void RegisterAudits(check::InvariantRegistry& registry) const {
     (void)registry;
   }
+
+  // --- Fault-injection surface (see src/fault/injector.h) ---
+  //
+  // A fault domain is an independently failing unit: one instance for
+  // aggregated engines, the prefill/decode instances for disaggregated
+  // ones. The FaultInjector maps a plan's instance indices onto domains
+  // modulo NumFaultDomains() so one plan drives heterogeneous engines.
+  // The defaults make every engine fault-oblivious (injections no-op).
+
+  virtual std::size_t NumFaultDomains() const { return 1; }
+
+  /** Instance `domain` crashes: in-flight work aborts, its KV is lost. */
+  virtual void InjectCrash(std::size_t domain) { (void)domain; }
+
+  /** Instance `domain` rejoins with an empty KV pool. */
+  virtual void InjectRecovery(std::size_t domain) { (void)domain; }
+
+  /** Kernels on `domain` run `slowdown`x slower (1.0 ends the window). */
+  virtual void InjectStraggler(std::size_t domain, double slowdown) {
+    (void)domain;
+    (void)slowdown;
+  }
+
+  /** The link transfer faults apply to; nullptr when the engine has none. */
+  virtual gpu::Interconnect* FaultableLink() { return nullptr; }
 
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
 

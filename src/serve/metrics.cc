@@ -35,6 +35,22 @@ LatencySummary Summarize(const std::vector<double>& samples_ms) {
 }  // namespace
 
 void MetricsCollector::OnRequestComplete(const Request& request) {
+  // A request must reach a terminal state before it is reported; a
+  // kRetrying request is still owned by its engine's recovery path.
+  MUX_CHECK(request.outcome != Outcome::kRetrying);
+  switch (request.outcome) {
+    case Outcome::kTimedOut:
+      ++timed_out_;
+      return;
+    case Outcome::kShed:
+      ++shed_;
+      return;
+    case Outcome::kFailed:
+      ++failed_;
+      return;
+    default:
+      break;  // kCompleted — and kRunning, for fault-oblivious engines.
+  }
   MUX_CHECK(request.completion >= 0);
   MUX_CHECK(request.first_token >= 0);
   ++completed_;
@@ -57,6 +73,15 @@ void MetricsCollector::OnRequestComplete(const Request& request) {
         sim::ToMilliseconds(request.completion - request.first_token) /
         static_cast<double>(request.generated - 1));
   }
+}
+
+GoodputSplit MetricsCollector::Split() const {
+  GoodputSplit split;
+  split.attained = completed_;
+  split.timed_out = timed_out_;
+  split.shed = shed_;
+  split.failed = failed_;
+  return split;
 }
 
 LatencySummary MetricsCollector::Ttft() const { return Summarize(ttft_ms_); }
@@ -135,6 +160,18 @@ void MetricsCollector::RegisterAudits(
                   "more TPOT samples than completed requests");
         ctx.Check(output_tokens_ >= 0 && input_tokens_ >= 0,
                   "negative token counters");
+      });
+  registry.Register(
+      "Metrics", "terminal-accounting", [this](check::AuditContext& ctx) {
+        // Degraded outcomes never contribute latency samples, so the
+        // split's attained slice alone must carry every sample.
+        const GoodputSplit split = Split();
+        ctx.Check(split.attained == completed_,
+                  "attained slice disagrees with completed counter");
+        ctx.Check(split.total() == notified(),
+                  "goodput split loses requests: " +
+                      std::to_string(split.total()) + " split vs " +
+                      std::to_string(notified()) + " notified");
       });
 }
 

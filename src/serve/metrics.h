@@ -24,14 +24,41 @@ struct LatencySummary {
 };
 
 /**
+ * Goodput split by terminal disposition (paper's goodput, degraded by
+ * faults): only `attained` requests carry latency samples and count
+ * toward throughput; the other three are the failure-recovery layer's
+ * degraded outcomes.
+ */
+struct GoodputSplit {
+  std::size_t attained = 0;
+  std::size_t timed_out = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+
+  std::size_t total() const { return attained + timed_out + shed + failed; }
+};
+
+/**
  * Collects per-request latency stamps and derives the evaluation
  * metrics of the paper: TTFT, TBT (per-token gaps, strict), TPOT
  * (per-request average), E2E, token throughput, and TBT SLO attainment.
+ *
+ * Requests arriving with a degraded Outcome (timed-out / shed / failed)
+ * are tallied in the goodput split but contribute no latency samples:
+ * they never produced the tokens the SLO populations measure.
  */
 class MetricsCollector {
  public:
   /** Ingests a finished request's timing record. */
   void OnRequestComplete(const Request& request);
+
+  /** Attained requests (== completed()) plus the degraded outcomes. */
+  GoodputSplit Split() const;
+
+  /** Every OnRequestComplete call, over all terminal outcomes. */
+  std::size_t notified() const {
+    return completed_ + timed_out_ + shed_ + failed_;
+  }
 
   std::size_t completed() const { return completed_; }
   std::int64_t output_tokens() const { return output_tokens_; }
@@ -74,6 +101,9 @@ class MetricsCollector {
 
  private:
   std::size_t completed_ = 0;
+  std::size_t timed_out_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t failed_ = 0;
   std::int64_t output_tokens_ = 0;
   std::int64_t input_tokens_ = 0;
 

@@ -19,6 +19,43 @@ enum class Phase {
 };
 
 /**
+ * Terminal (or recovery) disposition of a request. Engines without
+ * fault handling leave the default; the metrics layer treats kRunning
+ * at completion as attained, so legacy engines keep their accounting.
+ */
+enum class Outcome {
+  kRunning,    // In flight; no fault has touched it.
+  kRetrying,   // Re-enqueued after losing KV state to an instance crash.
+  kCompleted,  // Every output token delivered (attained).
+  kTimedOut,   // Abandoned: its TTFT/TPOT-derived deadline passed.
+  kShed,       // Rejected at admission under overload or outage.
+  kFailed,     // Permanently failed (crash-retry budget spent).
+};
+
+inline bool IsTerminalOutcome(Outcome outcome) {
+  return outcome == Outcome::kCompleted || outcome == Outcome::kTimedOut ||
+         outcome == Outcome::kShed || outcome == Outcome::kFailed;
+}
+
+inline const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kRunning:
+      return "running";
+    case Outcome::kRetrying:
+      return "retrying";
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kTimedOut:
+      return "timed-out";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+/**
  * Runtime state of one request inside a serving engine, wrapping its
  * immutable workload::RequestSpec and collecting the latency stamps the
  * evaluation reports (TTFT, per-token TBT, E2E, TPOT).
@@ -50,6 +87,15 @@ struct Request {
 
   /** Pin on the reused prefix (held until completion). */
   kv::KvPool::PrefixLease lease;
+
+  // --- Failure-recovery state (see src/fault/) ---
+  Outcome outcome = Outcome::kRunning;
+
+  /** Absolute give-up time; kTimeNever when no recovery policy is set. */
+  sim::Time deadline = sim::kTimeNever;
+
+  /** Times this request was re-enqueued after an instance crash. */
+  int crash_retries = 0;
 
   // --- Engine scratch (meaning is engine-specific) ---
   std::int64_t progress = 0;  // Prefill tokens or layers completed.

@@ -101,6 +101,35 @@ std::size_t Simulator::RunUntil(Time until) {
   return n;
 }
 
+std::size_t Simulator::RunUntil(Time until, std::size_t max_events) {
+  MUX_CHECK(until >= now_);
+  std::size_t n = 0;
+  while (n < max_events) {
+    auto event = PopNext();
+    if (!event) {
+      now_ = until;
+      return n;
+    }
+    if (event->when > until) {
+      // Reinsert: it stays pending for a later RunUntil/Run call.
+      index_map_[event->id] = event;
+      queue_.push(std::move(event));
+      now_ = until;
+      return n;
+    }
+    now_ = event->when;
+    MUX_CHECK(live_events_ > 0);
+    --live_events_;
+    ++executed_;
+    ++n;
+    FoldDigest(*event);
+    event->callback();
+  }
+  // Budget exhausted mid-stream: Now() stays at the last event's time so
+  // the caller can see where the scenario stalled.
+  return n;
+}
+
 void Simulator::RegisterAudits(check::InvariantRegistry& registry) const {
   registry.Register(
       "Simulator", "event-queue-consistency",

@@ -62,6 +62,16 @@ class Simulator {
    */
   std::size_t RunUntil(Time until);
 
+  /**
+   * Like RunUntil(until), but executes at most `max_events` events — the
+   * guard that lets a driver terminate a livelocked scenario (e.g. a
+   * zero-delay event loop that never advances time) with a diagnostic
+   * instead of spinning forever. When the budget ends the run early,
+   * Now() stays at the last executed event's time rather than advancing
+   * to `until`. Returns events executed.
+   */
+  std::size_t RunUntil(Time until, std::size_t max_events);
+
   /** Executes exactly one event if any is pending. Returns true if so. */
   bool Step();
 

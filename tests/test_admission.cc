@@ -89,6 +89,61 @@ TEST(AdmissionTest, AbandonReleasesWithoutCaching) {
   EXPECT_EQ(pool.cached_tokens(), 0);
 }
 
+TEST(AdmissionTest, AbortAfterPartialPrefillReleasesEverything) {
+  // A crash can abort a request halfway through prefill; abandoning it
+  // must return the pool to a pristine state — no reservation, no
+  // cached residue of the partial computation, no leaked prefix lock.
+  kv::KvPool pool(10000);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 1));
+  request.progress = 250;  // Mid-prefill when the instance dies.
+  AbandonInPool(pool, request);
+  EXPECT_EQ(pool.reserved_tokens(), 0);
+  EXPECT_EQ(pool.cached_tokens(), 0);
+  EXPECT_EQ(pool.tree().LockedTokens(), 0);
+}
+
+TEST(AdmissionTest, AbortWithSharedPrefixKeepsSurvivorsLease) {
+  // Two requests pin the same cached radix prefix; aborting one must
+  // decrement the shared lock without freeing the survivor's lease.
+  kv::KvPool pool(10000);
+  pool.CommitSequence({{1, 0, 300}}, 1);
+  const workload::RequestSpec spec_a = MakeSpec(1, 500, 100);
+  const workload::RequestSpec spec_b = MakeSpec(1, 400, 50);
+  Request a(&spec_a);
+  Request b(&spec_b);
+  ASSERT_TRUE(AdmitToPool(pool, a, 2));
+  ASSERT_TRUE(AdmitToPool(pool, b, 2));
+  EXPECT_EQ(a.cached_tokens, 300);
+  EXPECT_EQ(b.cached_tokens, 300);
+  AbandonInPool(pool, a);
+  // b still holds the prefix; the shared lock survives a's abort.
+  EXPECT_EQ(pool.tree().LockedTokens(), 300);
+  FinishInPool(pool, b, 3);
+  EXPECT_EQ(pool.tree().LockedTokens(), 0);
+}
+
+TEST(AdmissionTest, CrashReadmissionRecomputesGeneratedTokens) {
+  // A request re-admitted after losing its KV to a crash has already
+  // streamed `generated` tokens; its new prefill span must cover them
+  // (they get recomputed) while the reservation bound is unchanged.
+  kv::KvPool pool(10000);
+  const workload::RequestSpec spec = MakeSpec(1, 500, 100);
+  Request request(&spec);
+  ASSERT_TRUE(AdmitToPool(pool, request, 1));
+  request.generated = 40;  // Tokens streamed before the crash.
+  AbandonInPool(pool, request);
+  request.progress = 0;
+  request.cached_tokens = 0;
+  request.prefill_tokens = 0;
+  request.reserved_tokens = 0;
+  ASSERT_TRUE(AdmitToPool(pool, request, 2));
+  EXPECT_EQ(request.prefill_tokens, 540);   // uncached input + generated.
+  EXPECT_EQ(request.reserved_tokens, 600);  // Same working-set bound.
+  FinishInPool(pool, request, 3);
+}
+
 TEST(AdmissionTest, PinnedPrefixSurvivesConcurrentPressure) {
   kv::KvPool pool(2000);
   pool.CommitSequence({{1, 0, 1000}}, 1);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "gpu/gpu_spec.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -31,6 +33,41 @@ TEST(InterconnectTest, TransfersQueueFifo) {
   simulator.Run();
   EXPECT_NEAR(sim::ToMilliseconds(first), 1.0, 0.01);
   EXPECT_NEAR(sim::ToMilliseconds(second), 3.0, 0.01);
+}
+
+TEST(InterconnectTest, IdleLinkDoesNotInheritStaleSerialization) {
+  // Regression: free_at_ used to advance monotonically without being
+  // clamped to Now(), so a transfer issued long after the link went idle
+  // inherited the stale serialization point instead of starting fresh.
+  sim::Simulator simulator;
+  Interconnect link(&simulator, 600e9, 0);
+  Time first = -1, second = -1;
+  link.Transfer(600e6, [&] { first = simulator.Now(); });  // 1 ms of wire.
+  simulator.ScheduleAt(sim::Seconds(1), [&] {
+    link.Transfer(600e6, [&] { second = simulator.Now(); });
+  });
+  simulator.Run();
+  EXPECT_NEAR(sim::ToMilliseconds(first), 1.0, 0.001);
+  // The second transfer starts at t=1 s on an idle wire: one more 1 ms
+  // of wire time, not queued behind the long-past first transfer.
+  EXPECT_NEAR(sim::ToMilliseconds(second), 1001.0, 0.001);
+}
+
+TEST(InterconnectTest, BackToBackTransfersStillSerialize) {
+  // Companion to the clamp regression: when the wire genuinely is busy,
+  // serialization must be preserved exactly as before.
+  sim::Simulator simulator;
+  Interconnect link(&simulator, 600e9, 0);
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i) {
+    link.Transfer(600e6, [&] { done.push_back(simulator.Now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(sim::ToMilliseconds(done[0]), 1.0, 0.001);
+  EXPECT_NEAR(sim::ToMilliseconds(done[1]), 2.0, 0.001);
+  EXPECT_NEAR(sim::ToMilliseconds(done[2]), 3.0, 0.001);
+  EXPECT_DOUBLE_EQ(link.bytes_transferred(), 1800e6);
 }
 
 TEST(InterconnectTest, ZeroByteTransferStillHasLatency) {

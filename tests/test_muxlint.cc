@@ -174,6 +174,46 @@ TEST(MuxlintTest, JsonReportIsWellFormedAndComplete) {
   EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
 }
 
+TEST(MuxlintTest, FlagsEpochlessCallbackInFaultCapableLayers) {
+  const LintReport r = Lint(
+      "src/baselines/foo.cc",
+      "host_->Submit(delay, [this, id] { OnDone(id); });\n");
+  ASSERT_TRUE(HasRule(r, "dangling-callback"));
+}
+
+TEST(MuxlintTest, AcceptsEpochGuardedCallback) {
+  const LintReport r = Lint(
+      "src/core/foo.cc",
+      "host_->Submit(delay, [this, id, e = epoch()] { OnDone(id); });\n"
+      "link_->Transfer(bytes, [this, pe = p_epoch_] { Resume(); });\n");
+  EXPECT_FALSE(HasRule(r, "dangling-callback"));
+}
+
+TEST(MuxlintTest, DanglingCallbackScopedToFaultCapableLayers) {
+  // The same pattern outside src/baselines and src/core (layers without
+  // crash epochs) is not a finding.
+  const LintReport r = Lint(
+      "src/serve/foo.cc",
+      "host_->Submit(delay, [this, id] { OnDone(id); });\n");
+  EXPECT_FALSE(HasRule(r, "dangling-callback"));
+}
+
+TEST(MuxlintTest, DanglingCallbackIgnoresThislessLambdas) {
+  const LintReport r = Lint(
+      "src/baselines/foo.cc",
+      "link_->Transfer(bytes, [&done] { done = true; });\n");
+  EXPECT_FALSE(HasRule(r, "dangling-callback"));
+}
+
+TEST(MuxlintTest, DanglingCallbackSuppressible) {
+  const LintReport r = Lint(
+      "src/baselines/foo.cc",
+      "host_->Submit(d, [this] { F(); });  "
+      "// muxlint: allow(dangling-callback)\n");
+  EXPECT_FALSE(HasRule(r, "dangling-callback"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   const auto rules = Rules();
   auto named = [&rules](const std::string& name) {
@@ -185,6 +225,7 @@ TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   EXPECT_TRUE(named("ptr-key-container"));
   EXPECT_TRUE(named("float-sim-time"));
   EXPECT_TRUE(named("bare-assert"));
+  EXPECT_TRUE(named("dangling-callback"));
   EXPECT_TRUE(named("include-guard"));
 }
 

@@ -18,6 +18,9 @@ struct LineRule {
   // Substring of the path that exempts a file from the rule (the one
   // place the pattern is legitimate), empty when none.
   std::string exempt_path;
+  // When non-empty the rule only applies to paths containing one of
+  // these substrings — for conventions local to one layer.
+  std::vector<std::string> apply_paths;
 };
 
 const std::vector<LineRule>& LineRules() {
@@ -47,6 +50,19 @@ const std::vector<LineRule>& LineRules() {
        "use MUX_CHECK (always-on, reports through sim::Panic) instead "
        "of assert()",
        std::regex(R"((^|[^\w])assert\s*\()"), ""},
+      // HostThread::Submit / Interconnect::Transfer completions cannot be
+      // cancelled, so in fault-capable engine layers a lambda that
+      // captures raw `this` without also capturing the crash epoch will
+      // fire against post-crash state. Heuristic: the capture list must
+      // sit on the call's line (multi-line captures escape the rule).
+      {"dangling-callback",
+       "completion callback captures raw `this` with no epoch guard; a "
+       "crash cannot revoke it — capture `e = epoch()` and bail when "
+       "stale",
+       std::regex(
+           R"(\b(Submit|Transfer)\s*\(.*\[(?=[^\]]*\bthis\b)(?![^\]]*epoch)[^\]]*\])"),
+       "",
+       {"src/baselines", "src/core"}},
   };
   return *rules;
 }
@@ -231,6 +247,13 @@ void LintContent(const std::string& path, const std::string& content,
     for (const LineRule& rule : LineRules()) {
       if (!rule.exempt_path.empty() &&
           path.find(rule.exempt_path) != std::string::npos) {
+        continue;
+      }
+      if (!rule.apply_paths.empty() &&
+          std::none_of(rule.apply_paths.begin(), rule.apply_paths.end(),
+                       [&path](const std::string& scope) {
+                         return path.find(scope) != std::string::npos;
+                       })) {
         continue;
       }
       if (!std::regex_search(code, rule.pattern)) continue;
