@@ -118,6 +118,9 @@ void ChunkedPrefillEngine::MaybeStartIteration() {
   if (chunks.empty() && decode_ctx.empty()) return;
   iteration_in_flight_ = true;
   ++iterations_;
+  tracer_.SpanBegin("engine/iteration", "iteration",
+                    static_cast<std::int64_t>(iterations_),
+                    static_cast<double>(chunks.size() + decode_ctx.size()));
 
   // Pure-decode iterations take the efficient CUDA-graph decode path;
   // only iterations carrying a chunk pay the fused-GEMM execution.
@@ -165,6 +168,10 @@ void ChunkedPrefillEngine::MaybeStartIteration() {
 
 void ChunkedPrefillEngine::OnIterationDone() {
   iteration_in_flight_ = false;
+  // One fused iteration in flight at a time: the live serial is the
+  // last one started.
+  tracer_.SpanEnd("engine/iteration", "iteration",
+                  static_cast<std::int64_t>(iterations_));
   const sim::Time now = sim_->Now();
   // Completions are only handed back once engine state is consistent:
   // NotifyComplete can synchronously re-enter Enqueue with the next
@@ -189,6 +196,8 @@ void ChunkedPrefillEngine::OnIterationDone() {
     }
   }
   decoding_ = std::move(still_decoding);
+  tracer_.Counter("engine/decode", "decode-pending",
+                  static_cast<double>(decoding_.size()));
 
   // Prefill side: advance chunk progress; completed prefills produce
   // their first token now and join the decode batch.
@@ -281,6 +290,12 @@ void ChunkedPrefillEngine::InjectStraggler(std::size_t domain,
                                            double slowdown) {
   if (domain != 0) return;
   device_->SetSlowdown(slowdown);
+}
+
+void ChunkedPrefillEngine::AttachTracer(obs::Tracer tracer) {
+  fault::FaultAwareEngine::AttachTracer(tracer);
+  device_->SetTracer(tracer, "gpu/");
+  pool_->set_tracer(tracer, "kv");
 }
 
 int ChunkedPrefillEngine::TuneTokenBudget(const serve::Deployment& deployment,

@@ -68,6 +68,12 @@ class ChunkedPrefillEngine : public fault::FaultAwareEngine {
   void InjectStraggler(std::size_t domain, double slowdown) override;
 
   /**
+   * Forwards the tracer to the device ("gpu/") and pool ("kv"); fused
+   * iterations become "iteration" spans on "engine/iteration".
+   */
+  void AttachTracer(obs::Tracer tracer) override;
+
+  /**
    * Offline token-budget tuning following SARATHI-Serve: the largest
    * budget whose fused iteration (with a representative decode batch of
    * `decode_batch` sequences at `decode_context` tokens and the chunk

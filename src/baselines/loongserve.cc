@@ -108,6 +108,10 @@ void LoongServeEngine::PumpPrefill() {
   if (prefill_batch_.empty()) return;
 
   prefill_in_flight_ = true;
+  ++prefill_batch_serial_;
+  tracer_.SpanBegin("engine/prefill", "prefill-chunk",
+                    static_cast<std::int64_t>(prefill_batch_serial_),
+                    static_cast<double>(work.size()));
   const llm::CostModel& cost =
       *cost_by_tp_[static_cast<std::size_t>(prefill_gpus)];
   gpu::Kernel kernel = GroupKernel(cost.PrefillPhase(work), prefill_gpus);
@@ -129,6 +133,9 @@ void LoongServeEngine::PumpPrefill() {
 void LoongServeEngine::OnPrefillBatchDone() {
   const sim::Time now = sim_->Now();
   prefill_in_flight_ = false;
+  // One prefill batch in flight at a time: the live serial is the last.
+  tracer_.SpanEnd("engine/prefill", "prefill-chunk",
+                  static_cast<std::int64_t>(prefill_batch_serial_));
   // Detach the batch first: NotifyComplete can re-enter Enqueue, which
   // may start refilling prefill_batch_.
   std::vector<std::unique_ptr<serve::Request>> batch =
@@ -197,6 +204,9 @@ void LoongServeEngine::MaybeStartDecodeIteration() {
     device_->SetStreamSms(prefill_stream_,
                           prefill_gpus * deployment_.gpu.sm_count);
     resharding_ = true;
+    tracer_.Instant("partition", "reshard",
+                    static_cast<std::int64_t>(++reshard_serial_),
+                    static_cast<double>(decode_gpus_));
     // A permanently failed re-shard resolves the same way: the group
     // re-derives its sharding on the next iteration, so both outcomes
     // just release the stall (the failure already paid its retries).
@@ -210,6 +220,10 @@ void LoongServeEngine::MaybeStartDecodeIteration() {
   }
 
   decode_in_flight_ = true;
+  ++decode_step_serial_;
+  tracer_.SpanBegin("engine/decode", "decode-step",
+                    static_cast<std::int64_t>(decode_step_serial_),
+                    static_cast<double>(ctx.size()));
   const llm::CostModel& cost =
       *cost_by_tp_[static_cast<std::size_t>(decode_gpus_)];
   const gpu::Kernel kernel =
@@ -225,6 +239,10 @@ void LoongServeEngine::MaybeStartDecodeIteration() {
 
 void LoongServeEngine::OnDecodeIterationDone() {
   decode_in_flight_ = false;
+  // One decode iteration in flight at a time: the live serial is the
+  // last one started.
+  tracer_.SpanEnd("engine/decode", "decode-step",
+                  static_cast<std::int64_t>(decode_step_serial_));
   const sim::Time now = sim_->Now();
   std::vector<std::unique_ptr<serve::Request>> still;
   std::vector<std::unique_ptr<serve::Request>> completed;
@@ -246,6 +264,11 @@ void LoongServeEngine::OnDecodeIterationDone() {
     }
   }
   decoding_ = std::move(still);
+  if (tracer_.enabled()) {
+    tracer_.Counter("engine/decode", "decode-pending",
+                    static_cast<double>(decoding_.size()));
+    tracer_.Counter("kv", "used-tokens", static_cast<double>(pool_used_));
+  }
   for (auto& req : completed) NotifyComplete(std::move(req));
   MaybeStartDecodeIteration();
   PumpPrefill();
@@ -303,6 +326,11 @@ void LoongServeEngine::InjectRecovery(std::size_t domain) {
 void LoongServeEngine::InjectStraggler(std::size_t domain, double slowdown) {
   if (domain != 0) return;
   device_->SetSlowdown(slowdown);
+}
+
+void LoongServeEngine::AttachTracer(obs::Tracer tracer) {
+  fault::FaultAwareEngine::AttachTracer(tracer);
+  device_->SetTracer(tracer, "gpu/");
 }
 
 void LoongServeEngine::RegisterAudits(

@@ -65,6 +65,13 @@ class LoongServeEngine : public fault::FaultAwareEngine {
   void InjectStraggler(std::size_t domain, double slowdown) override;
   gpu::Interconnect* FaultableLink() override { return link_.get(); }
 
+  /**
+   * Forwards the tracer to the aggregate device ("gpu/"); prefill
+   * batches and decode iterations become engine spans, KV usage a "kv"
+   * counter, and elastic re-shards "reshard" instants on "partition".
+   */
+  void AttachTracer(obs::Tracer tracer) override;
+
   gpu::Gpu& device() { return *device_; }
   int decode_gpus() const { return decode_gpus_; }
 
@@ -108,6 +115,9 @@ class LoongServeEngine : public fault::FaultAwareEngine {
   bool resharding_ = false;
   int decode_gpus_ = 1;
   std::size_t in_flight_ = 0;
+  std::uint64_t prefill_batch_serial_ = 0;
+  std::uint64_t decode_step_serial_ = 0;
+  std::uint64_t reshard_serial_ = 0;
 
   /** KV demand (input + output tokens) of everything in waiting_. */
   std::int64_t waiting_demand_ = 0;

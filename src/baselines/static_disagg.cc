@@ -134,6 +134,10 @@ void StaticDisaggEngine::PumpPrefill() {
   if (prefill_batch_.empty()) return;
 
   prefill_in_flight_ = true;
+  ++prefill_batch_serial_;
+  tracer_.SpanBegin("engine/prefill", "prefill-chunk",
+                    static_cast<std::int64_t>(prefill_batch_serial_),
+                    static_cast<double>(work.size()));
   const gpu::Kernel kernel = prefill_cost_->PrefillPhase(work);
   gpu::Instance& instance = cluster_->instance(0);
   // Piecewise per-layer CUDA graphs, as in modern SGLang.
@@ -152,6 +156,9 @@ void StaticDisaggEngine::PumpPrefill() {
 }
 
 void StaticDisaggEngine::OnPrefillBatchDone() {
+  // One prefill batch in flight at a time: the live serial is the last.
+  tracer_.SpanEnd("engine/prefill", "prefill-chunk",
+                  static_cast<std::int64_t>(prefill_batch_serial_));
   const sim::Time now = sim_->Now();
   std::vector<std::unique_ptr<Job>> finished_batch =
       std::move(prefill_batch_);
@@ -267,6 +274,10 @@ void StaticDisaggEngine::MaybeStartDecodeIteration() {
   }
   if (ctx.empty()) return;
   decode_in_flight_ = true;
+  ++decode_step_serial_;
+  tracer_.SpanBegin("engine/decode", "decode-step",
+                    static_cast<std::int64_t>(decode_step_serial_),
+                    static_cast<double>(ctx.size()));
   const gpu::Kernel kernel = decode_cost_->DecodeIteration(ctx);
   cluster_->instance(1).host->Submit(
       decode_cost_->DecodeGraphLaunch(), [this, kernel, de = d_epoch_] {
@@ -281,6 +292,10 @@ void StaticDisaggEngine::MaybeStartDecodeIteration() {
 
 void StaticDisaggEngine::OnDecodeIterationDone() {
   decode_in_flight_ = false;
+  // One decode iteration in flight at a time: the live serial is the
+  // last one started.
+  tracer_.SpanEnd("engine/decode", "decode-step",
+                  static_cast<std::int64_t>(decode_step_serial_));
   const sim::Time now = sim_->Now();
   std::vector<std::unique_ptr<Job>> still;
   std::vector<std::unique_ptr<serve::Request>> completed;
@@ -300,6 +315,8 @@ void StaticDisaggEngine::OnDecodeIterationDone() {
     }
   }
   decoding_ = std::move(still);
+  tracer_.Counter("engine/decode", "decode-pending",
+                  static_cast<double>(decoding_.size()));
   for (auto& req : completed) NotifyComplete(std::move(req));
   TryMoveToDecode();
   MaybeStartDecodeIteration();
@@ -445,6 +462,14 @@ void StaticDisaggEngine::InjectStraggler(std::size_t domain,
                                          double slowdown) {
   if (domain >= cluster_->num_instances()) return;
   cluster_->instance(domain).device->SetSlowdown(slowdown);
+}
+
+void StaticDisaggEngine::AttachTracer(obs::Tracer tracer) {
+  fault::FaultAwareEngine::AttachTracer(tracer);
+  cluster_->instance(0).device->SetTracer(tracer, "gpu0/");
+  cluster_->instance(1).device->SetTracer(tracer, "gpu1/");
+  prefill_pool_->set_tracer(tracer, "kv/p");
+  decode_pool_->set_tracer(tracer, "kv/d");
 }
 
 void StaticDisaggEngine::RegisterAudits(

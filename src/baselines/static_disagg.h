@@ -71,6 +71,13 @@ class StaticDisaggEngine : public fault::FaultAwareEngine {
   void InjectStraggler(std::size_t domain, double slowdown) override;
   gpu::Interconnect* FaultableLink() override { return &cluster_->link(); }
 
+  /**
+   * Forwards the tracer to both instance devices ("gpu0/", "gpu1/") and
+   * pools ("kv/p", "kv/d"); prefill batches and decode iterations
+   * become "prefill-chunk" / "decode-step" engine spans.
+   */
+  void AttachTracer(obs::Tracer tracer) override;
+
   const kv::KvPool& prefill_pool() const { return *prefill_pool_; }
   const kv::KvPool& decode_pool() const { return *decode_pool_; }
   gpu::Gpu& prefill_device() { return *cluster_->instance(0).device; }
@@ -116,6 +123,8 @@ class StaticDisaggEngine : public fault::FaultAwareEngine {
   bool prefill_in_flight_ = false;
   bool decode_in_flight_ = false;
   std::size_t in_flight_ = 0;
+  std::uint64_t prefill_batch_serial_ = 0;
+  std::uint64_t decode_step_serial_ = 0;
 
   /** KV demand (input + output tokens) of everything in waiting_. */
   std::int64_t waiting_demand_ = 0;

@@ -36,6 +36,27 @@ void MultiplexEngine::SetPartition(int decode_sms, int prefill_sms) {
   device_->SetStreamSms(prefill_stream_, prefill_sms_);
   host_->Submit(options_.reconfig_cost, nullptr);
   ++reconfigurations_;
+  // Traced as a retroactive complete span rather than a callback on the
+  // host submission above: attaching a tracer must not add simulator
+  // events, and the reconfiguration window is fully modelled anyway.
+  tracer_.Complete("partition", "reconfig",
+                   static_cast<std::int64_t>(reconfigurations_), sim_->Now(),
+                   options_.reconfig_cost);
+  TracePartition();
+}
+
+void MultiplexEngine::AttachTracer(obs::Tracer tracer) {
+  tracer_ = tracer;
+  device_->SetTracer(tracer, "gpu/");
+  TracePartition();
+}
+
+void MultiplexEngine::TracePartition() const {
+  if (!tracer_.enabled()) return;
+  tracer_.Counter("partition", "decode-sms",
+                  static_cast<double>(device_->StreamSms(decode_stream_)));
+  tracer_.Counter("partition", "prefill-sms",
+                  static_cast<double>(device_->StreamSms(prefill_stream_)));
 }
 
 void MultiplexEngine::LaunchDecode(const gpu::Kernel& kernel,

@@ -7,6 +7,7 @@
 
 #include "gpu/gpu.h"
 #include "gpu/host.h"
+#include "obs/trace.h"
 #include "serve/deployment.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -90,7 +91,20 @@ class MultiplexEngine {
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
+  /**
+   * Attaches a tracer and forwards it to the device ("gpu/" tracks).
+   * Reconfigurations become "reconfig" complete spans on the
+   * "partition" track (duration = the modelled host sync cost), and the
+   * configured split is published as "decode-sms" / "prefill-sms"
+   * counters — in kUnmanaged mode both report the full device, which is
+   * exactly the oversubscription the exclusivity assertion rejects.
+   */
+  void AttachTracer(obs::Tracer tracer);
+
  private:
+  /** Publishes the current partition counters (no-op when untraced). */
+  void TracePartition() const;
+
   sim::Simulator* sim_;
   serve::Deployment deployment_;
   Options options_;
@@ -104,6 +118,8 @@ class MultiplexEngine {
   int prefill_sms_ = 0;
   std::size_t reconfigurations_ = 0;
   std::uint64_t epoch_ = 0;
+
+  obs::Tracer tracer_;
 };
 
 }  // namespace muxwise::core

@@ -242,12 +242,19 @@ void MuxWiseEngine::ContinuePrefill() {
   gpu::Kernel kernel = cost_->PrefillLayers(active_->work, layers);
   const sim::Duration launch_cost = cost_->PrefillLayerLaunch() * layers;
   active_->layers_inflight = layers;
+  ++prefill_group_serial_;
+  tracer_.SpanBegin("engine/prefill", "prefill-chunk",
+                    static_cast<std::int64_t>(prefill_group_serial_),
+                    static_cast<double>(layers));
   mux_->LaunchPrefillGroup(kernel, launch_cost,
                            [this, layers] { OnPrefillGroupDone(layers); });
 }
 
 void MuxWiseEngine::OnPrefillGroupDone(int layers) {
   MUX_CHECK(active_ != nullptr);
+  // One group in flight at a time, so the live serial is the last one.
+  tracer_.SpanEnd("engine/prefill", "prefill-chunk",
+                  static_cast<std::int64_t>(prefill_group_serial_));
   active_->layers_done += layers;
   active_->layers_inflight = 0;
 
@@ -310,6 +317,9 @@ void MuxWiseEngine::MaybeLaunchDecode() {
     // Naive blocking merge: the host synchronizes on the prefill
     // completion event before building the next decode batch.
     decode_blocked_on_merge_ = true;
+    tracer_.Instant("engine/decode", "blocked-on-merge",
+                    static_cast<std::int64_t>(decode_iterations_),
+                    static_cast<double>(decoding_.size()));
     return;
   }
 
@@ -357,6 +367,9 @@ void MuxWiseEngine::MaybeLaunchDecode() {
 
   decode_in_flight_ = true;
   ++decode_iterations_;
+  tracer_.SpanBegin("engine/decode", "decode-step",
+                    static_cast<std::int64_t>(decode_iterations_),
+                    static_cast<double>(ctx.size()));
   const sim::Time launch_time = sim_->Now();
   mux_->LaunchDecode(kernel, cost_->DecodeGraphLaunch(),
                      [this, launch_time, solo, cell, had_cotenant] {
@@ -370,6 +383,9 @@ void MuxWiseEngine::OnDecodeIterationDone(sim::Time launch_time,
                                           ContentionEstimator::CellKey cell,
                                           bool had_cotenant) {
   decode_in_flight_ = false;
+  // Single decode iteration in flight: the live serial is the last one.
+  tracer_.SpanEnd("engine/decode", "decode-step",
+                  static_cast<std::int64_t>(decode_iterations_));
   const sim::Time now = sim_->Now();
 
   if (options_.online_refinement && had_cotenant && solo > 0) {
@@ -391,6 +407,8 @@ void MuxWiseEngine::OnDecodeIterationDone(sim::Time launch_time,
     }
   }
   decoding_ = std::move(still);
+  tracer_.Counter("engine/decode", "decode-pending",
+                  static_cast<double>(decoding_.size()));
   FlushCompletions();
   PumpScheduler();
 }
@@ -470,6 +488,12 @@ void MuxWiseEngine::InjectRecovery(std::size_t domain) {
 void MuxWiseEngine::InjectStraggler(std::size_t domain, double slowdown) {
   if (domain != 0) return;
   mux_->device().SetSlowdown(slowdown);
+}
+
+void MuxWiseEngine::AttachTracer(obs::Tracer tracer) {
+  fault::FaultAwareEngine::AttachTracer(tracer);
+  mux_->AttachTracer(tracer);
+  pool_->set_tracer(tracer, "kv");
 }
 
 void MuxWiseEngine::MaybePreemptFor(const serve::Request& incoming) {

@@ -83,6 +83,14 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   void InjectRecovery(std::size_t domain) override;
   void InjectStraggler(std::size_t domain, double slowdown) override;
 
+  /**
+   * Forwards the tracer to the multiplex substrate (gpu + partition
+   * tracks) and the KV pool ("kv" track); prefill layer groups and
+   * decode iterations become "prefill-chunk" / "decode-step" spans on
+   * the engine tracks.
+   */
+  void AttachTracer(obs::Tracer tracer) override;
+
   MultiplexEngine& mux() { return *mux_; }
   const ContentionEstimator& estimator() const { return estimator_; }
   const kv::KvPool& pool() const { return *pool_; }
@@ -170,6 +178,7 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   std::int64_t waiting_demand_ = 0;
   std::size_t decode_iterations_ = 0;
   std::size_t preemptions_ = 0;
+  std::uint64_t prefill_group_serial_ = 0;
   std::vector<PartitionSample> partition_trace_;
 };
 

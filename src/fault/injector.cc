@@ -26,6 +26,7 @@ void FaultInjector::Arm(serve::Engine& engine) {
     sim_->ScheduleAt(crash.at, [this, &engine, domain] {
       ++events_fired_;
       ++crashes_injected_;
+      tracer_.Instant("fault", "crash", static_cast<std::int64_t>(domain));
       engine.InjectCrash(domain);
     });
     ++events_scheduled_;
@@ -33,6 +34,8 @@ void FaultInjector::Arm(serve::Engine& engine) {
       sim_->ScheduleAt(crash.recover_at, [this, &engine, domain] {
         ++events_fired_;
         ++recoveries_injected_;
+        tracer_.Instant("fault", "recovery",
+                        static_cast<std::int64_t>(domain));
         engine.InjectRecovery(domain);
       });
       ++events_scheduled_;
@@ -45,11 +48,15 @@ void FaultInjector::Arm(serve::Engine& engine) {
     sim_->ScheduleAt(window.from, [this, &engine, domain, slowdown] {
       ++events_fired_;
       ++straggler_edges_injected_;
+      tracer_.Instant("fault", "straggler-begin",
+                      static_cast<std::int64_t>(domain), slowdown);
       engine.InjectStraggler(domain, slowdown);
     });
     sim_->ScheduleAt(window.to, [this, &engine, domain] {
       ++events_fired_;
       ++straggler_edges_injected_;
+      tracer_.Instant("fault", "straggler-end",
+                      static_cast<std::int64_t>(domain));
       engine.InjectStraggler(domain, 1.0);
     });
     events_scheduled_ += 2;
@@ -71,11 +78,13 @@ void FaultInjector::Arm(serve::Engine& engine) {
         sim_->ScheduleAt(window.from, [this, link, p] {
           ++events_fired_;
           ++transfer_edges_injected_;
+          tracer_.Instant("fault", "transfer-window-begin", 0, p);
           link->SetFailureProbability(p);
         });
         sim_->ScheduleAt(window.to, [this, link] {
           ++events_fired_;
           ++transfer_edges_injected_;
+          tracer_.Instant("fault", "transfer-window-end", 0);
           link->SetFailureProbability(0.0);
         });
         events_scheduled_ += 2;

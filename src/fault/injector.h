@@ -6,6 +6,7 @@
 #include "check/invariant_registry.h"
 #include "fault/fault_plan.h"
 #include "fault/recovery.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "sim/simulator.h"
 
@@ -64,6 +65,14 @@ class FaultInjector {
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
+  /**
+   * Attaches a tracer: every injection firing emits an instant on the
+   * "fault" track ("crash", "recovery", "straggler-begin/-end",
+   * "transfer-window-begin/-end", id = the target domain). Set before
+   * Arm(); injection timing is plan-driven and never changes.
+   */
+  void SetTracer(obs::Tracer tracer) { tracer_ = tracer; }
+
  private:
   sim::Simulator* sim_;
   FaultPlan plan_;
@@ -76,6 +85,7 @@ class FaultInjector {
   std::size_t straggler_edges_injected_ = 0;
   std::size_t transfer_edges_injected_ = 0;
   std::size_t windows_skipped_ = 0;
+  obs::Tracer tracer_;
 };
 
 }  // namespace muxwise::fault

@@ -103,6 +103,15 @@ const StreamStats& Gpu::stream_stats(StreamId stream) const {
   return GetStream(stream).stats;
 }
 
+void Gpu::SetTracer(obs::Tracer tracer, std::string track_prefix) {
+  tracer_ = tracer;
+  track_prefix_ = std::move(track_prefix);
+}
+
+std::string Gpu::StreamTrack(StreamId id) const {
+  return track_prefix_ + "s" + std::to_string(id);
+}
+
 double Gpu::SmUtilizationIntegral() const {
   // Include the un-flushed tail up to now.
   double extra = 0.0;
@@ -197,11 +206,18 @@ void Gpu::TryStart(StreamId id) {
   run.kernel = std::move(s.queue.front().kernel);
   run.on_complete = std::move(s.queue.front().on_complete);
   s.queue.pop_front();
+  run.serial = next_kernel_serial_++;
   run.granted_sms = s.sms;
   run.fraction_done = 0.0;
   run.last_update = sim_->Now();
   run.current_total = 0;  // Assigned by Rerate().
   s.running = std::move(run);
+
+  if (tracer_.enabled()) {
+    tracer_.SpanBegin(StreamTrack(id), "kernel",
+                      static_cast<std::int64_t>(s.running->serial),
+                      static_cast<double>(s.running->granted_sms));
+  }
 
   s.stats.first_activity = std::min(s.stats.first_activity, sim_->Now());
   Rerate();
@@ -220,6 +236,11 @@ void Gpu::Complete(StreamId id) {
   s.stats.last_activity = sim_->Now();
   ++s.stats.kernels_completed;
   ++kernels_completed_;
+
+  if (tracer_.enabled()) {
+    tracer_.SpanEnd(StreamTrack(id), "kernel",
+                    static_cast<std::int64_t>(finished.serial));
+  }
 
   // Start the next kernel on this stream (if any), then re-rate everyone.
   TryStart(id);
@@ -340,6 +361,9 @@ void Gpu::Rerate() {
   for (const Rated& r : rated) {
     Stream& s = streams_[static_cast<std::size_t>(r.id)];
     RunningKernel& run = *s.running;
+    if (tracer_.enabled()) {
+      tracer_.Counter(StreamTrack(r.id), "hbm-share", r.alloc);
+    }
     const double memory_seconds =
         (run.kernel.bytes > 0.0 && r.alloc > 0.0)
             ? run.kernel.bytes / r.alloc
@@ -373,7 +397,8 @@ std::size_t Gpu::AbortAll() {
   AdvanceIntegrals();
   const sim::Time now = sim_->Now();
   std::size_t aborted = 0;
-  for (Stream& s : streams_) {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
     if (s.running.has_value()) {
       if (s.running->completion != sim::kInvalidEventId) {
         sim_->Cancel(s.running->completion);
@@ -381,6 +406,12 @@ std::size_t Gpu::AbortAll() {
       // The partial execution still occupied the stream.
       s.stats.busy_time += now - s.running->last_update;
       s.stats.last_activity = now;
+      if (tracer_.enabled()) {
+        const auto id = static_cast<StreamId>(i);
+        const auto serial = static_cast<std::int64_t>(s.running->serial);
+        tracer_.SpanEnd(StreamTrack(id), "kernel", serial);
+        tracer_.Instant(StreamTrack(id), "kernel-abort", serial);
+      }
       s.running.reset();
       ++aborted;
     }

@@ -11,6 +11,7 @@
 #include "check/invariant_registry.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/kernel.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -148,6 +149,16 @@ class Gpu {
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
+  /**
+   * Attaches a tracer. Kernel execute windows become spans named
+   * "kernel" on track `<prefix>s<stream>` (id = a device-wide launch
+   * serial, value = the green-context SM grant), HBM arbitration shares
+   * become "hbm-share" counters on the same track, and aborts emit
+   * "kernel-abort" instants. Purely observational: attaching never
+   * schedules events or changes kernel timing.
+   */
+  void SetTracer(obs::Tracer tracer, std::string track_prefix);
+
  private:
   struct QueuedKernel {
     Kernel kernel;
@@ -157,6 +168,7 @@ class Gpu {
   struct RunningKernel {
     Kernel kernel;
     std::vector<Callback> on_complete;
+    std::uint64_t serial = 0;  // Device-wide launch serial (trace id).
     int granted_sms = 0;      // Green-context grant when it started.
     double fraction_done = 0.0;
     sim::Time last_update = 0;
@@ -194,12 +206,19 @@ class Gpu {
   /** Advances the utilization integrals up to now. */
   void AdvanceIntegrals();
 
+  /** Trace track for one stream (empty when tracing is off). */
+  std::string StreamTrack(StreamId id) const;
+
   sim::Simulator* sim_;
   GpuSpec spec_;
   std::vector<Stream> streams_;
   std::size_t kernels_completed_ = 0;
   std::size_t kernels_aborted_ = 0;
+  std::uint64_t next_kernel_serial_ = 0;
   double slowdown_ = 1.0;  // Straggler stretch factor (>= 1).
+
+  obs::Tracer tracer_;
+  std::string track_prefix_;
 
   // Utilization accounting.
   sim::Time integral_updated_at_ = 0;

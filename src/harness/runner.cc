@@ -197,9 +197,13 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
     engine = std::move(owned);
   }
 
+  const obs::Tracer tracer(config.trace, &simulator);
+  if (tracer.enabled()) engine->AttachTracer(tracer);
+
   std::optional<fault::FaultInjector> injector;
   if (config.fault_plan.has_value()) {
     injector.emplace(&simulator, *config.fault_plan, policy);
+    if (tracer.enabled()) injector->SetTracer(tracer);
     injector->Arm(*engine);
   }
 

@@ -10,6 +10,7 @@
 #include "core/muxwise_engine.h"
 #include "fault/fault_plan.h"
 #include "fault/recovery.h"
+#include "obs/trace.h"
 #include "serve/deployment.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
@@ -73,6 +74,14 @@ struct RunConfig {
    * exercise recovery paths (shedding, deadlines) without any fault.
    */
   fault::RecoveryPolicy recovery;
+
+  /**
+   * When set, the engine (and the fault injector, if any) are
+   * instrumented into this recorder. Tracing never schedules events or
+   * alters behaviour, so the simulated event stream — and its digest —
+   * is identical with or without a recorder attached.
+   */
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /** Everything the paper's tables/figures report about one run. */

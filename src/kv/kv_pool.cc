@@ -1,6 +1,7 @@
 #include "kv/kv_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/logging.h"
 
@@ -35,8 +36,12 @@ bool KvPool::TryReserve(std::int64_t tokens) {
   if (free_tokens() < tokens) {
     tree_.EvictLru(tokens - free_tokens());
   }
-  if (free_tokens() < tokens) return false;
+  if (free_tokens() < tokens) {
+    TraceOccupancy();  // Evictions may still have changed the cache.
+    return false;
+  }
   reserved_ += tokens;
+  TraceOccupancy();
   return true;
 }
 
@@ -44,6 +49,7 @@ void KvPool::ReleaseReserved(std::int64_t tokens) {
   MUX_CHECK(tokens >= 0);
   MUX_CHECK(tokens <= reserved_);
   reserved_ -= tokens;
+  TraceOccupancy();
 }
 
 void KvPool::CommitSequence(const TokenSeq& seq, sim::Time now) {
@@ -59,11 +65,29 @@ void KvPool::CommitSequence(const TokenSeq& seq, sim::Time now) {
     MUX_LOG_DEBUG << "KvPool transiently over capacity: "
                   << used_tokens() << " > " << capacity_;
   }
+  TraceOccupancy();
 }
 
 void KvPool::Clear() {
   MUX_CHECK(tree_.LockedTokens() == 0);
   tree_.EvictLru(tree_.total_tokens());
+  TraceOccupancy();
+}
+
+void KvPool::set_tracer(obs::Tracer tracer, std::string track) {
+  tracer_ = tracer;
+  track_ = std::move(track);
+  TraceOccupancy();  // Establish the initial (usually empty) level.
+}
+
+void KvPool::TraceOccupancy() const {
+  if (!tracer_.enabled()) return;
+  tracer_.Counter(track_, "used-tokens",
+                  static_cast<double>(used_tokens()));
+  tracer_.Counter(track_, "cached-tokens",
+                  static_cast<double>(cached_tokens()));
+  tracer_.Counter(track_, "reserved-tokens",
+                  static_cast<double>(reserved_));
 }
 
 void KvPool::RegisterAudits(check::InvariantRegistry& registry) const {

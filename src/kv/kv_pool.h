@@ -2,10 +2,12 @@
 #define MUXWISE_KV_KV_POOL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "check/invariant_registry.h"
 #include "kv/radix_tree.h"
 #include "kv/token_seq.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace muxwise::kv {
@@ -90,10 +92,23 @@ class KvPool {
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
+  /**
+   * Attaches a tracer; occupancy changes emit "used-tokens",
+   * "cached-tokens" and "reserved-tokens" counters on `track`.
+   * Observational only — attaching never alters eviction decisions.
+   */
+  void set_tracer(obs::Tracer tracer, std::string track);
+
  private:
+  /** Samples the occupancy counters (no-op when tracing is off). */
+  void TraceOccupancy() const;
+
   std::int64_t capacity_;
   std::int64_t reserved_ = 0;
   RadixTree tree_;
+
+  obs::Tracer tracer_;
+  std::string track_;
 
   std::int64_t lookups_ = 0;
   std::int64_t hit_tokens_ = 0;

@@ -1,0 +1,207 @@
+#include "obs/trace_query.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace muxwise::obs {
+
+namespace {
+
+/** Intern index of `s` in `table`, or kNoIndex when absent. */
+constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+std::uint32_t IndexOf(const std::vector<std::string>& table,
+                      std::string_view s) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == s) return static_cast<std::uint32_t>(i);
+  }
+  return kNoIndex;
+}
+
+bool MatchesFilter(std::uint32_t idx, std::string_view filter,
+                   std::uint32_t filter_idx) {
+  return filter.empty() || idx == filter_idx;
+}
+
+void SortSpans(std::vector<Span>& spans) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return std::tie(a.begin, a.end, a.id, a.track, a.name) <
+           std::tie(b.begin, b.end, b.id, b.track, b.name);
+  });
+}
+
+}  // namespace
+
+std::vector<Span> ExtractSpans(const TraceRecorder& recorder,
+                               std::string_view track,
+                               std::string_view name) {
+  const std::vector<std::string>& tracks = recorder.tracks();
+  const std::vector<std::string>& names = recorder.names();
+  const std::uint32_t track_idx = IndexOf(tracks, track);
+  const std::uint32_t name_idx = IndexOf(names, name);
+  if (!track.empty() && track_idx == kNoIndex) return {};
+  if (!name.empty() && name_idx == kNoIndex) return {};
+
+  std::vector<Span> spans;
+  // Open begins keyed by (track, name, id); later begins with the same
+  // key shadow earlier ones (LIFO), matching nested emission.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::int64_t>,
+           std::vector<TraceEvent>>
+      open;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (!MatchesFilter(e.track, track, track_idx)) continue;
+    if (!MatchesFilter(e.name, name, name_idx)) continue;
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        open[{e.track, e.name, e.id}].push_back(e);
+        break;
+      case EventKind::kSpanEnd: {
+        auto it = open.find({e.track, e.name, e.id});
+        if (it == open.end() || it->second.empty()) break;
+        const TraceEvent begin = it->second.back();
+        it->second.pop_back();
+        spans.push_back(Span{tracks[e.track], names[e.name], e.id,
+                             begin.time, e.time, begin.value});
+        break;
+      }
+      case EventKind::kComplete:
+        spans.push_back(Span{tracks[e.track], names[e.name], e.id, e.time,
+                             e.time + static_cast<sim::Time>(e.value), 0.0});
+        break;
+      case EventKind::kInstant:
+      case EventKind::kCounter:
+        break;
+    }
+  }
+  SortSpans(spans);
+  return spans;
+}
+
+bool Overlaps(const Span& a, const Span& b) {
+  return a.begin < b.end && b.begin < a.end;
+}
+
+std::vector<Gap> ExtractGaps(const std::vector<Span>& spans) {
+  if (spans.size() < 2) return {};
+  std::vector<Span> sorted = spans;
+  SortSpans(sorted);
+  std::vector<Gap> gaps;
+  sim::Time covered_until = sorted.front().end;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const Span& s = sorted[i];
+    if (s.begin > covered_until) {
+      gaps.push_back(Gap{covered_until, s.begin});
+    }
+    covered_until = std::max(covered_until, s.end);
+  }
+  return gaps;
+}
+
+sim::Duration MaxGap(const std::vector<Span>& spans) {
+  sim::Duration max_gap = 0;
+  for (const Gap& gap : ExtractGaps(spans)) {
+    max_gap = std::max(max_gap, gap.duration());
+  }
+  return max_gap;
+}
+
+double CounterValueAt(const TraceRecorder& recorder, std::string_view track,
+                      std::string_view name, sim::Time t, double if_none) {
+  const std::uint32_t track_idx = IndexOf(recorder.tracks(), track);
+  const std::uint32_t name_idx = IndexOf(recorder.names(), name);
+  if (track_idx == kNoIndex || name_idx == kNoIndex) return if_none;
+  double value = if_none;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.kind != EventKind::kCounter || e.track != track_idx ||
+        e.name != name_idx) {
+      continue;
+    }
+    if (e.time > t) break;  // Record order is time order per run.
+    value = e.value;
+  }
+  return value;
+}
+
+double CounterIntegral(const TraceRecorder& recorder, std::string_view track,
+                       std::string_view name, sim::Time t0, sim::Time t1) {
+  const std::uint32_t track_idx = IndexOf(recorder.tracks(), track);
+  const std::uint32_t name_idx = IndexOf(recorder.names(), name);
+  if (track_idx == kNoIndex || name_idx == kNoIndex || t1 <= t0) return 0.0;
+  double level = 0.0;
+  sim::Time cursor = t0;
+  double integral = 0.0;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.kind != EventKind::kCounter || e.track != track_idx ||
+        e.name != name_idx) {
+      continue;
+    }
+    if (e.time <= t0) {
+      level = e.value;
+      continue;
+    }
+    if (e.time >= t1) break;
+    integral += level * sim::ToSeconds(e.time - cursor);
+    level = e.value;
+    cursor = e.time;
+  }
+  integral += level * sim::ToSeconds(t1 - cursor);
+  return integral;
+}
+
+double CounterMax(const TraceRecorder& recorder, std::string_view track,
+                  std::string_view name, double if_none) {
+  const std::uint32_t track_idx = IndexOf(recorder.tracks(), track);
+  const std::uint32_t name_idx = IndexOf(recorder.names(), name);
+  if (track_idx == kNoIndex || name_idx == kNoIndex) return if_none;
+  bool seen = false;
+  double max_value = 0.0;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.kind != EventKind::kCounter || e.track != track_idx ||
+        e.name != name_idx) {
+      continue;
+    }
+    max_value = seen ? std::max(max_value, e.value) : e.value;
+    seen = true;
+  }
+  return seen ? max_value : if_none;
+}
+
+std::vector<TraceEvent> ExtractInstants(const TraceRecorder& recorder,
+                                        std::string_view track,
+                                        std::string_view name) {
+  const std::uint32_t track_idx = IndexOf(recorder.tracks(), track);
+  const std::uint32_t name_idx = IndexOf(recorder.names(), name);
+  if (!track.empty() && track_idx == kNoIndex) return {};
+  if (!name.empty() && name_idx == kNoIndex) return {};
+  std::vector<TraceEvent> instants;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (e.kind != EventKind::kInstant) continue;
+    if (!MatchesFilter(e.track, track, track_idx)) continue;
+    if (!MatchesFilter(e.name, name, name_idx)) continue;
+    instants.push_back(e);
+  }
+  return instants;
+}
+
+std::vector<Span> RequestSpans(const TraceRecorder& recorder,
+                               std::int64_t id) {
+  std::vector<Span> spans;
+  for (Span& span : ExtractSpans(recorder, "request")) {
+    if (span.id == id) spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+CriticalPath RequestCriticalPath(const TraceRecorder& recorder,
+                                 std::int64_t id) {
+  CriticalPath path;
+  for (const Span& span : RequestSpans(recorder, id)) {
+    if (span.name == "queued") path.queued += span.duration();
+    if (span.name == "prefill") path.prefill += span.duration();
+    if (span.name == "decode") path.decode += span.duration();
+  }
+  return path;
+}
+
+}  // namespace muxwise::obs

@@ -1,0 +1,111 @@
+#ifndef MUXWISE_OBS_TRACE_QUERY_H_
+#define MUXWISE_OBS_TRACE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace muxwise::obs {
+
+/**
+ * A closed span reconstructed from the event stream: either a
+ * kSpanBegin/kSpanEnd pair matched by (track, name, id) or a kComplete
+ * event. `value` is the begin-side payload (batch size, granted SMs,
+ * ...). Query results are sorted by (begin, end, id) so assertions see
+ * a stable order regardless of callback interleaving.
+ */
+struct Span {
+  std::string track;
+  std::string name;
+  std::int64_t id = 0;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  double value = 0.0;
+
+  sim::Duration duration() const { return end - begin; }
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+/** A gap between consecutive spans on one timeline. */
+struct Gap {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+
+  sim::Duration duration() const { return end - begin; }
+};
+
+/**
+ * Extracts closed spans on `track` (all tracks when empty), optionally
+ * filtered by span `name`. Unmatched begins (e.g. spans cut off by a
+ * crash epoch or the end of the run) are dropped.
+ */
+std::vector<Span> ExtractSpans(const TraceRecorder& recorder,
+                               std::string_view track = {},
+                               std::string_view name = {});
+
+/** True when [a.begin, a.end) and [b.begin, b.end) intersect. */
+bool Overlaps(const Span& a, const Span& b);
+
+/**
+ * Idle gaps between consecutive spans, treating the spans as one
+ * timeline (overlapping spans merge; only genuinely uncovered intervals
+ * between the first begin and the last end are reported).
+ */
+std::vector<Gap> ExtractGaps(const std::vector<Span>& spans);
+
+/** Longest gap duration in `spans` (0 when fewer than two spans). */
+sim::Duration MaxGap(const std::vector<Span>& spans);
+
+/**
+ * Value of counter (track, name) at time `t`: the last sample with
+ * time <= t in record order, or `if_none` when none precedes `t`.
+ */
+double CounterValueAt(const TraceRecorder& recorder, std::string_view track,
+                      std::string_view name, sim::Time t,
+                      double if_none = 0.0);
+
+/**
+ * Step integral of counter (track, name) over [t0, t1] in value *
+ * seconds; samples before t0 seed the initial level (0 when none).
+ */
+double CounterIntegral(const TraceRecorder& recorder, std::string_view track,
+                       std::string_view name, sim::Time t0, sim::Time t1);
+
+/** Maximum sample of counter (track, name); `if_none` when unsampled. */
+double CounterMax(const TraceRecorder& recorder, std::string_view track,
+                  std::string_view name, double if_none = 0.0);
+
+/** All instants named `name` on `track` (all tracks when empty). */
+std::vector<TraceEvent> ExtractInstants(const TraceRecorder& recorder,
+                                        std::string_view track = {},
+                                        std::string_view name = {});
+
+/** Lifecycle spans recorded for request `id` on the "request" track. */
+std::vector<Span> RequestSpans(const TraceRecorder& recorder,
+                               std::int64_t id);
+
+/**
+ * Per-request critical path decomposed from the lifecycle spans:
+ * queued (arrival -> prefill start), prefill (prefill start -> first
+ * token), decode (first token -> completion). Phases missing from the
+ * trace (e.g. shed before prefill) stay 0.
+ */
+struct CriticalPath {
+  sim::Duration queued = 0;
+  sim::Duration prefill = 0;
+  sim::Duration decode = 0;
+
+  sim::Duration total() const { return queued + prefill + decode; }
+};
+
+CriticalPath RequestCriticalPath(const TraceRecorder& recorder,
+                                 std::int64_t id);
+
+}  // namespace muxwise::obs
+
+#endif  // MUXWISE_OBS_TRACE_QUERY_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "check/invariant_registry.h"
+#include "obs/trace.h"
 #include "serve/request.h"
 
 namespace muxwise::gpu {
@@ -69,14 +70,54 @@ class Engine {
   /** The link transfer faults apply to; nullptr when the engine has none. */
   virtual gpu::Interconnect* FaultableLink() { return nullptr; }
 
+  /**
+   * Attaches a tracing handle. Overrides forward the tracer to the
+   * engine's devices and pools; the base keeps it for the lifecycle
+   * spans emitted at completion. Tracing must never change simulated
+   * behaviour: implementations may only observe, never schedule.
+   */
+  virtual void AttachTracer(obs::Tracer tracer) { tracer_ = tracer; }
+
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
  protected:
   void NotifyComplete(std::unique_ptr<Request> request) {
+    if (tracer_.enabled() && request != nullptr) {
+      TraceRequestLifecycle(*request);
+    }
     if (on_complete_) on_complete_(std::move(request));
   }
 
+  obs::Tracer tracer_;
+
  private:
+  /**
+   * Rebuilds the request's lifecycle timeline (queued -> prefill ->
+   * decode -> terminal) from its timestamps as retroactive complete
+   * spans on the "request" track, keyed by the stable spec id. Emitted
+   * at completion so every engine gets lifecycle tracing for free.
+   */
+  void TraceRequestLifecycle(const Request& request) const {
+    const std::int64_t id = request.spec != nullptr ? request.spec->id : -1;
+    if (request.prefill_start >= request.arrival) {
+      tracer_.Complete("request", "queued", id, request.arrival,
+                       request.prefill_start - request.arrival);
+      if (request.first_token >= request.prefill_start) {
+        tracer_.Complete("request", "prefill", id, request.prefill_start,
+                         request.first_token - request.prefill_start);
+        if (request.completion >= request.first_token) {
+          tracer_.Complete("request", "decode", id, request.first_token,
+                           request.completion - request.first_token);
+        }
+      }
+    }
+    const Outcome terminal = request.outcome == Outcome::kRunning
+                                 ? Outcome::kCompleted
+                                 : request.outcome;
+    tracer_.Instant("request", OutcomeName(terminal), id,
+                    static_cast<double>(request.generated));
+  }
+
   CompletionCallback on_complete_;
 };
 

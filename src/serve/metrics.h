@@ -12,8 +12,17 @@
 
 namespace muxwise::serve {
 
-/** Percentile over a sample vector (p in [0,1]); 0 for empty input. */
+/**
+ * Percentile over a sample vector (p in [0,1]); 0 for empty input.
+ * Linear interpolation between closest ranks (the "exclusive of the
+ * copy-and-sort" form of R-7): rank p * (n - 1) splits into its floor
+ * and ceiling neighbours, blended by the fractional part — so p50 of
+ * {1, 2} is 1.5, not 1 or 2, and a single sample is every percentile.
+ */
 double Percentile(std::vector<double> samples, double p);
+
+/** Percentile over already ascending-sorted samples (no copy). */
+double PercentileSorted(const std::vector<double>& sorted, double p);
 
 /** Summary statistics of one latency population, milliseconds. */
 struct LatencySummary {

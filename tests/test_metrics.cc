@@ -22,6 +22,46 @@ TEST(PercentileTest, BasicProperties) {
   EXPECT_NEAR(Percentile({1.0, 2.0}, 0.5), 1.5, 1e-12);
 }
 
+// Hand-computed fixtures for the small sample counts where naive
+// nearest-rank rounding visibly diverges from linear interpolation.
+// Rank is p * (n - 1); the value blends the floor/ceil neighbours of
+// the sorted samples by the fractional part.
+
+TEST(PercentileTest, SmallSampleP50Fixtures) {
+  // n=1: the only sample is every percentile.
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.50), 7.0);
+  // n=2: rank 0.5 -> midpoint.
+  EXPECT_NEAR(Percentile({10.0, 20.0}, 0.50), 15.0, 1e-12);
+  // n=3: rank 1.0 -> exact middle sample, no interpolation.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0, 40.0}, 0.50), 20.0);
+  // n=4: rank 1.5 -> halfway between 2nd and 3rd sorted samples.
+  EXPECT_NEAR(Percentile({40.0, 10.0, 20.0, 30.0}, 0.50), 25.0, 1e-12);
+  // n=5: rank 2.0 -> exact middle sample.
+  EXPECT_DOUBLE_EQ(Percentile({5.0, 1.0, 4.0, 2.0, 3.0}, 0.50), 3.0);
+}
+
+TEST(PercentileTest, SmallSampleP99Fixtures) {
+  // n=2: rank 0.99 -> 10 * 0.01 + 20 * 0.99 = 19.9.
+  EXPECT_NEAR(Percentile({10.0, 20.0}, 0.99), 19.9, 1e-12);
+  // n=4: rank 2.97 -> 30 * 0.03 + 40 * 0.97 = 39.7.
+  EXPECT_NEAR(Percentile({10.0, 20.0, 30.0, 40.0}, 0.99), 39.7, 1e-12);
+  // n=5: rank 3.96 -> 40 * 0.04 + 50 * 0.96 = 49.6.
+  EXPECT_NEAR(Percentile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.99), 49.6, 1e-12);
+  // n=9: rank 7.92 -> 80 * 0.08 + 90 * 0.92 = 89.2.
+  EXPECT_NEAR(Percentile({90.0, 10.0, 30.0, 20.0, 50.0, 40.0, 70.0, 60.0,
+                          80.0},
+                         0.99),
+              89.2, 1e-12);
+}
+
+TEST(PercentileTest, SortedVariantMatchesSortingForm) {
+  const std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, p), Percentile(sorted, p));
+  }
+  EXPECT_DOUBLE_EQ(PercentileSorted({}, 0.5), 0.0);
+}
+
 class MetricsTest : public ::testing::Test {
  protected:
   /** A request with TTFT 100 ms and three 50 ms decode gaps. */

@@ -214,6 +214,31 @@ TEST(MuxlintTest, DanglingCallbackSuppressible) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(MuxlintTest, FlagsWallClockNamesInTraceLayer) {
+  // In the observability layer a clock *name* is a finding even
+  // without a call — one `steady_clock` anywhere poisons trace
+  // reproducibility.
+  EXPECT_TRUE(HasRule(
+      Lint("src/obs/trace.cc", "using clock_t2 = std::chrono::system_clock;\n"),
+      "trace-wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("tools/trace2json/main.cc", "std::int64_t t = clock();\n"),
+      "trace-wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("tools/tracecap/main.cc",
+           "clock_gettime(CLOCK_MONOTONIC, &ts);\n"),
+      "trace-wall-clock"));
+}
+
+TEST(MuxlintTest, TraceWallClockScopedToTraceCode) {
+  // Outside the trace layer only the repo-wide wall-clock rule (which
+  // needs a call) applies; the name alone passes.
+  const LintReport r =
+      Lint("src/serve/foo.cc", "// mentions steady_clock by name\n"
+                               "int steady_clock_like = 0;\n");
+  EXPECT_FALSE(HasRule(r, "trace-wall-clock"));
+}
+
 TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   const auto rules = Rules();
   auto named = [&rules](const std::string& name) {
@@ -226,6 +251,7 @@ TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   EXPECT_TRUE(named("float-sim-time"));
   EXPECT_TRUE(named("bare-assert"));
   EXPECT_TRUE(named("dangling-callback"));
+  EXPECT_TRUE(named("trace-wall-clock"));
   EXPECT_TRUE(named("include-guard"));
 }
 

@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_export.h"
+#include "sim/simulator.h"
+
+namespace muxwise::obs {
+namespace {
+
+TEST(TraceRecorderTest, InternsStringsInFirstSeenOrder) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.InternTrack("gpu/s0"), 0u);
+  EXPECT_EQ(recorder.InternTrack("gpu/s1"), 1u);
+  EXPECT_EQ(recorder.InternTrack("gpu/s0"), 0u);  // Idempotent.
+  EXPECT_EQ(recorder.InternName("kernel"), 0u);
+  EXPECT_EQ(recorder.InternName("hbm-share"), 1u);
+  EXPECT_EQ(recorder.InternName("kernel"), 0u);
+  ASSERT_EQ(recorder.tracks().size(), 2u);
+  ASSERT_EQ(recorder.names().size(), 2u);
+  EXPECT_EQ(recorder.tracks()[1], "gpu/s1");
+  EXPECT_EQ(recorder.names()[1], "hbm-share");
+}
+
+TEST(TraceRecorderTest, UnboundedRecorderKeepsEverything) {
+  TraceRecorder recorder;
+  const std::uint32_t track = recorder.InternTrack("t");
+  const std::uint32_t name = recorder.InternName("n");
+  for (int i = 0; i < 1000; ++i) {
+    recorder.Record({EventKind::kInstant, track, name, i, i, 0.0});
+  }
+  EXPECT_EQ(recorder.size(), 1000u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  EXPECT_EQ(events.front().time, 0);
+  EXPECT_EQ(events.back().time, 999);
+}
+
+TEST(TraceRecorderTest, BoundedRingDropsOldestFirst) {
+  TraceRecorder recorder(TraceRecorder::Options{.ring_capacity = 4});
+  const std::uint32_t track = recorder.InternTrack("t");
+  const std::uint32_t name = recorder.InternName("n");
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record({EventKind::kInstant, track, name, i, i, 0.0});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Survivors are the newest four, still reported oldest-first.
+  EXPECT_EQ(events[0].time, 6);
+  EXPECT_EQ(events[1].time, 7);
+  EXPECT_EQ(events[2].time, 8);
+  EXPECT_EQ(events[3].time, 9);
+}
+
+TEST(TraceRecorderTest, ClearResetsEventsAndTables) {
+  TraceRecorder recorder;
+  const std::uint32_t track = recorder.InternTrack("t");
+  const std::uint32_t name = recorder.InternName("n");
+  recorder.Record({EventKind::kInstant, track, name, 1, 0, 0.0});
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.tracks().empty());
+  EXPECT_TRUE(recorder.names().empty());
+  EXPECT_EQ(recorder.InternTrack("other"), 0u);  // Tables restart at 0.
+}
+
+TEST(TracerTest, DisabledTracerIsANoOpWithoutASimulator) {
+  // A default-constructed Tracer has neither recorder nor simulator;
+  // every emit path must bail before dereferencing either.
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.SpanBegin("t", "n", 1);
+  tracer.SpanEnd("t", "n", 1);
+  tracer.Complete("t", "n", 1, 0, 10);
+  tracer.Instant("t", "n");
+  tracer.Counter("t", "n", 1.0);
+  EXPECT_EQ(tracer.recorder(), nullptr);
+}
+
+TEST(TracerTest, EnabledTracerStampsSimulatedTime) {
+  sim::Simulator simulator;
+  TraceRecorder recorder;
+  const Tracer tracer(&recorder, &simulator);
+  ASSERT_TRUE(tracer.enabled());
+
+  simulator.ScheduleAt(5, [&] { tracer.SpanBegin("work", "step", 7, 3.0); });
+  simulator.ScheduleAt(12, [&] { tracer.SpanEnd("work", "step", 7); });
+  simulator.ScheduleAt(12, [&] { tracer.Counter("work", "load", 2.5); });
+  simulator.Run();
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpanBegin);
+  EXPECT_EQ(events[0].time, 5);
+  EXPECT_EQ(events[0].id, 7);
+  EXPECT_EQ(events[0].value, 3.0);
+  EXPECT_EQ(events[1].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(events[1].time, 12);
+  EXPECT_EQ(events[2].kind, EventKind::kCounter);
+  EXPECT_EQ(events[2].value, 2.5);
+}
+
+TEST(TracerTest, CompleteStoresRetroactiveBeginAndDuration) {
+  sim::Simulator simulator;
+  TraceRecorder recorder;
+  const Tracer tracer(&recorder, &simulator);
+  simulator.ScheduleAt(100, [&] { tracer.Complete("p", "reconfig", 3, 40, 25); });
+  simulator.Run();
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kComplete);
+  EXPECT_EQ(events[0].time, 40);  // Retroactive begin, not Now().
+  EXPECT_EQ(events[0].value, 25.0);
+}
+
+TEST(TraceBinaryTest, RoundTripsLosslessly) {
+  TraceRecorder recorder;
+  const std::uint32_t t0 = recorder.InternTrack("gpu/s0");
+  const std::uint32_t t1 = recorder.InternTrack("kv");
+  const std::uint32_t n0 = recorder.InternName("kernel");
+  const std::uint32_t n1 = recorder.InternName("used-tokens");
+  recorder.Record({EventKind::kSpanBegin, t0, n0, 10, 1, 108.0});
+  recorder.Record({EventKind::kCounter, t1, n1, 11, 0, 4096.5});
+  recorder.Record({EventKind::kSpanEnd, t0, n0, 20, 1, 0.0});
+  recorder.Record({EventKind::kComplete, t1, n1, 5, -3, 15.0});
+
+  const std::vector<std::uint8_t> bytes = EncodeBinary(recorder);
+  DecodedTrace decoded;
+  ASSERT_TRUE(DecodeBinary(bytes, decoded));
+  EXPECT_EQ(decoded.tracks, recorder.tracks());
+  EXPECT_EQ(decoded.names, recorder.names());
+  EXPECT_EQ(decoded.dropped, recorder.dropped());
+  EXPECT_EQ(decoded.events, recorder.Events());
+}
+
+TEST(TraceBinaryTest, RejectsCorruptInput) {
+  TraceRecorder recorder;
+  recorder.Record({EventKind::kInstant, recorder.InternTrack("t"),
+                   recorder.InternName("n"), 1, 0, 0.0});
+  std::vector<std::uint8_t> bytes = EncodeBinary(recorder);
+
+  DecodedTrace decoded;
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeBinary(bad_magic, decoded));
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+  EXPECT_FALSE(DecodeBinary(truncated, decoded));
+
+  EXPECT_FALSE(DecodeBinary({}, decoded));
+}
+
+TEST(TraceBinaryTest, DigestIsStableAndSensitive) {
+  auto build = [](sim::Time shift) {
+    auto recorder = std::make_unique<TraceRecorder>();
+    const std::uint32_t t = recorder->InternTrack("t");
+    const std::uint32_t n = recorder->InternName("n");
+    recorder->Record({EventKind::kInstant, t, n, 10 + shift, 0, 0.0});
+    return recorder;
+  };
+  EXPECT_EQ(TraceDigest(*build(0)), TraceDigest(*build(0)));
+  EXPECT_NE(TraceDigest(*build(0)), TraceDigest(*build(1)));
+}
+
+TEST(TraceJsonTest, ExportsChromeTraceEventPhases) {
+  TraceRecorder recorder;
+  const std::uint32_t t = recorder.InternTrack("engine/decode");
+  const std::uint32_t n = recorder.InternName("decode-step");
+  const std::uint32_t c = recorder.InternName("decode-pending");
+  recorder.Record({EventKind::kSpanBegin, t, n, 1000, 1, 8.0});
+  recorder.Record({EventKind::kSpanEnd, t, n, 3500, 1, 0.0});
+  recorder.Record({EventKind::kCounter, t, c, 3500, 0, 7.0});
+  recorder.Record({EventKind::kInstant, t, n, 4000, 2, 0.0});
+  recorder.Record({EventKind::kComplete, t, n, 5000, 3, 1500.0});
+
+  const std::string json = ExportChromeJson(recorder);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine/decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // ns -> microsecond timestamps keep sub-us precision: 3500 ns = 3.500.
+  EXPECT_NE(json.find("\"ts\":3.500"), std::string::npos);
+
+  // Decoded traces export byte-identically to the live recorder.
+  DecodedTrace decoded;
+  ASSERT_TRUE(DecodeBinary(EncodeBinary(recorder), decoded));
+  EXPECT_EQ(ExportChromeJson(decoded), json);
+}
+
+}  // namespace
+}  // namespace muxwise::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "gpu/gpu.h"
@@ -88,6 +90,75 @@ TEST_F(PredictorTest, PredictionsAreNonNegative) {
   EXPECT_GE(predictor_.PredictPrefill({SeqWork{1, 0}}, 16), 0);
   EXPECT_GE(predictor_.PredictDecode({1}, 16), 0);
 }
+
+/**
+ * Paper Eq. 1/2 sanity across every model configuration: predicted
+ * prefill latency is monotone in the new-token count and predicted
+ * decode latency is monotone in the batch size, at each trained SM
+ * allocation. The fits are per-(phase, SM) least squares, so nothing
+ * guarantees this by construction — it must hold for the dispatcher's
+ * budget search to be well-founded.
+ */
+class PredictorMonotoneTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    cost_ = std::make_unique<CostModel>(ModelConfig::ByName(GetParam()), 8,
+                                        gpu::GpuSpec::A100());
+    predictor_ =
+        SoloRunPredictor::Train(device_, *cost_, {16, 48, 96, 108});
+  }
+
+  sim::Simulator simulator_;
+  gpu::Gpu device_{&simulator_, gpu::GpuSpec::A100()};
+  std::unique_ptr<CostModel> cost_;
+  SoloRunPredictor predictor_;
+};
+
+TEST_P(PredictorMonotoneTest, PrefillLatencyMonotoneInNewTokens) {
+  for (int sms : predictor_.TrainedSmOptions()) {
+    sim::Duration prev = 0;
+    for (std::int64_t tokens = 128; tokens <= 16384; tokens *= 2) {
+      const sim::Duration t =
+          predictor_.PredictPrefill({SeqWork{tokens, 0}}, sms);
+      EXPECT_GE(t, prev) << GetParam() << " sms=" << sms
+                         << " tokens=" << tokens;
+      prev = t;
+    }
+    // And strictly: 128x the work is not free.
+    EXPECT_GT(predictor_.PredictPrefill({SeqWork{16384, 0}}, sms),
+              predictor_.PredictPrefill({SeqWork{128, 0}}, sms))
+        << GetParam() << " sms=" << sms;
+  }
+}
+
+TEST_P(PredictorMonotoneTest, DecodeLatencyMonotoneInBatchSize) {
+  for (int sms : predictor_.TrainedSmOptions()) {
+    sim::Duration prev = 0;
+    for (int batch = 1; batch <= 256; batch *= 2) {
+      const std::vector<std::int64_t> ctx(batch, 2048);
+      const sim::Duration t = predictor_.PredictDecode(ctx, sms);
+      EXPECT_GE(t, prev) << GetParam() << " sms=" << sms
+                         << " batch=" << batch;
+      prev = t;
+    }
+    EXPECT_GT(predictor_.PredictDecode(std::vector<std::int64_t>(256, 2048),
+                                       sms),
+              predictor_.PredictDecode(std::vector<std::int64_t>(1, 2048),
+                                       sms))
+        << GetParam() << " sms=" << sms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PredictorMonotoneTest,
+                         ::testing::Values("Llama-8B", "Llama-70B",
+                                           "Qwen-235B", "CodeLlama-34B"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace muxwise::llm

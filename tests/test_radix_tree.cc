@@ -233,5 +233,94 @@ TEST(RadixTreePropertyTest, EvictionNeverBreaksInvariants) {
   tree.CheckInvariants();
 }
 
+/**
+ * Heavier churn with exact accounting against a naive reference: every
+ * insert's `added` feeds a token ledger, every eviction's `freed`
+ * drains it, and after each operation the tree's total must equal the
+ * ledger exactly. Pinned paths are re-matched after every eviction —
+ * a live (referenced) node must never be evicted, so the full locked
+ * prefix stays matchable until its lock is released.
+ */
+TEST(RadixTreePropertyTest, ChurnMatchesNaiveAccountingAndSparesLiveNodes) {
+  sim::Rng rng(4242);
+  RadixTree tree;
+  struct Held {
+    RadixTree::Lock lock;
+    std::int64_t stream = 0;
+    std::int64_t pinned_tokens = 0;  // Length of the pinned prefix.
+  };
+  std::vector<Held> held;
+  std::int64_t ledger = 0;  // Naive reference: inserted minus evicted.
+  sim::Time now = 0;
+
+  const auto verify = [&] {
+    tree.CheckInvariants();
+    ASSERT_EQ(tree.total_tokens(), ledger);
+    ASSERT_LE(tree.LockedTokens(), tree.total_tokens());
+  };
+
+  for (int i = 0; i < 3000; ++i) {
+    ++now;
+    const double action = rng.Uniform();
+    if (action < 0.35) {
+      // Insert (often extending an existing session) and maybe pin.
+      const std::int64_t stream = rng.UniformInt(1, 8);
+      const std::int64_t len = 16 * rng.UniformInt(1, 128);
+      auto [added, lock] = tree.InsertAndLock(Session(stream, len), now);
+      ASSERT_GE(added, 0);
+      ASSERT_LE(added, len);
+      ledger += added;
+      if (held.size() < 12 && rng.Bernoulli(0.5)) {
+        held.push_back({lock, stream, len});
+      } else {
+        tree.Unlock(lock);
+      }
+    } else if (action < 0.55) {
+      // Match-and-lock an arbitrary prefix; the pin covers the match.
+      const std::int64_t stream = rng.UniformInt(1, 8);
+      const std::int64_t len = 16 * rng.UniformInt(1, 128);
+      RadixTree::MatchResult match =
+          tree.MatchAndLock(Session(stream, len), now);
+      ASSERT_LE(match.matched_tokens, len);
+      if (match.lock.node != nullptr && held.size() < 12) {
+        held.push_back({match.lock, stream, match.matched_tokens});
+      } else if (match.lock.node != nullptr) {
+        tree.Unlock(match.lock);
+      }
+    } else if (action < 0.75) {
+      // Release a random pin.
+      if (!held.empty()) {
+        const std::size_t victim = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(held.size()) - 1));
+        tree.Unlock(held[victim].lock);
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    } else {
+      // Evict under pressure; pinned tokens are off limits.
+      const std::int64_t before = tree.total_tokens();
+      const std::int64_t locked = tree.LockedTokens();
+      const std::int64_t freed = tree.EvictLru(rng.UniformInt(1, 8192));
+      ASSERT_GE(freed, 0);
+      ASSERT_LE(freed, before - locked);
+      ledger -= freed;
+      // No live-node eviction: every pinned prefix is still fully
+      // cached (recency bump via MatchedPrefix is fine here).
+      for (const Held& h : held) {
+        ASSERT_GE(tree.MatchedPrefix(Session(h.stream, h.pinned_tokens), now),
+                  h.pinned_tokens)
+            << "evicted a pinned path (stream " << h.stream << ")";
+      }
+    }
+    verify();
+  }
+
+  for (Held& h : held) tree.Unlock(h.lock);
+  const std::int64_t drained = tree.EvictLru(tree.total_tokens());
+  EXPECT_EQ(drained, ledger);
+  EXPECT_EQ(tree.total_tokens(), 0);
+  EXPECT_EQ(tree.node_count(), 0u);
+  tree.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace muxwise::kv

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+namespace muxwise::harness {
+namespace {
+
+serve::Deployment Llama70bA100() {
+  return serve::Deployment::Make(llm::ModelConfig::Llama70B(),
+                                 gpu::GpuSpec::A100());
+}
+
+/**
+ * The tracing counterpart of test_determinism.cc: for every serving
+ * engine, (a) attaching a recorder must not perturb the simulated event
+ * stream, and (b) two traced runs must export byte-identical traces —
+ * both the MUXT binary and the Chrome JSON.
+ */
+class TraceDeterminismTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  static void SetUpTestSuite() {
+    estimator_ = new core::ContentionEstimator(
+        core::ContentionEstimator::BuildOffline(Llama70bA100()));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    estimator_ = nullptr;
+  }
+  static core::ContentionEstimator* estimator_;
+};
+
+core::ContentionEstimator* TraceDeterminismTest::estimator_ = nullptr;
+
+TEST_P(TraceDeterminismTest, TracingNeverPerturbsTheEventStream) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+
+  const RunOutcome untraced =
+      RunWorkload(GetParam(), Llama70bA100(), trace, estimator_);
+
+  obs::TraceRecorder recorder;
+  RunConfig config;
+  config.trace = &recorder;
+  const RunOutcome traced =
+      RunWorkload(GetParam(), Llama70bA100(), trace, estimator_, config);
+
+  // The disabled-tracing digest is the seed digest (tier-1 determinism
+  // suite); the traced run must match it bit for bit.
+  EXPECT_EQ(traced.event_digest, untraced.event_digest);
+  EXPECT_EQ(traced.executed_events, untraced.executed_events);
+  EXPECT_EQ(OutcomeDigest(traced), OutcomeDigest(untraced));
+  EXPECT_GT(recorder.size(), 0u);
+}
+
+TEST_P(TraceDeterminismTest, DoubleRunsExportByteIdenticalTraces) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+
+  auto run = [&] {
+    auto recorder = std::make_unique<obs::TraceRecorder>();
+    RunConfig config;
+    config.trace = recorder.get();
+    RunWorkload(GetParam(), Llama70bA100(), trace, estimator_, config);
+    return recorder;
+  };
+
+  const auto first = run();
+  const auto second = run();
+  ASSERT_GT(first->size(), 0u);
+  EXPECT_EQ(first->size(), second->size());
+  EXPECT_EQ(obs::TraceDigest(*first), obs::TraceDigest(*second));
+  EXPECT_EQ(obs::EncodeBinary(*first), obs::EncodeBinary(*second));
+  EXPECT_EQ(obs::ExportChromeJson(*first), obs::ExportChromeJson(*second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, TraceDeterminismTest,
+    ::testing::Values(EngineKind::kMuxWise, EngineKind::kChunked,
+                      EngineKind::kNanoFlow, EngineKind::kSglangPd,
+                      EngineKind::kLoongServe, EngineKind::kWindServe,
+                      EngineKind::kTemporal),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      switch (info.param) {
+        case EngineKind::kMuxWise: return "MuxWise";
+        case EngineKind::kChunked: return "Chunked";
+        case EngineKind::kNanoFlow: return "NanoFlow";
+        case EngineKind::kSglangPd: return "SglangPd";
+        case EngineKind::kLoongServe: return "LoongServe";
+        case EngineKind::kWindServe: return "WindServe";
+        case EngineKind::kTemporal: return "Temporal";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace muxwise::harness

@@ -1,0 +1,190 @@
+#include "obs/trace_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace muxwise::obs {
+namespace {
+
+/** Shorthand for hand-building event streams in tests. */
+class Builder {
+ public:
+  void Span(std::string_view track, std::string_view name, std::int64_t id,
+            sim::Time begin, sim::Time end, double value = 0.0) {
+    recorder_.Record({EventKind::kSpanBegin, recorder_.InternTrack(track),
+                      recorder_.InternName(name), begin, id, value});
+    recorder_.Record({EventKind::kSpanEnd, recorder_.InternTrack(track),
+                      recorder_.InternName(name), end, id, 0.0});
+  }
+  void Begin(std::string_view track, std::string_view name, std::int64_t id,
+             sim::Time at) {
+    recorder_.Record({EventKind::kSpanBegin, recorder_.InternTrack(track),
+                      recorder_.InternName(name), at, id, 0.0});
+  }
+  void Complete(std::string_view track, std::string_view name,
+                std::int64_t id, sim::Time begin, sim::Duration span) {
+    recorder_.Record({EventKind::kComplete, recorder_.InternTrack(track),
+                      recorder_.InternName(name), begin, id,
+                      static_cast<double>(span)});
+  }
+  void Instant(std::string_view track, std::string_view name, sim::Time at,
+               std::int64_t id = 0) {
+    recorder_.Record({EventKind::kInstant, recorder_.InternTrack(track),
+                      recorder_.InternName(name), at, id, 0.0});
+  }
+  void Counter(std::string_view track, std::string_view name, sim::Time at,
+               double value) {
+    recorder_.Record({EventKind::kCounter, recorder_.InternTrack(track),
+                      recorder_.InternName(name), at, 0, value});
+  }
+  const TraceRecorder& recorder() const { return recorder_; }
+
+ private:
+  TraceRecorder recorder_;
+};
+
+TEST(ExtractSpansTest, PairsBeginEndByTrackNameAndId) {
+  Builder b;
+  b.Span("gpu/s0", "kernel", 1, 10, 30, 108.0);
+  b.Span("gpu/s0", "kernel", 2, 20, 25);
+  b.Span("gpu/s1", "kernel", 1, 5, 15);  // Same id, different track.
+
+  const std::vector<Span> all = ExtractSpans(b.recorder());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].track, "gpu/s1");
+  EXPECT_EQ(all[0].begin, 5);
+
+  const std::vector<Span> s0 = ExtractSpans(b.recorder(), "gpu/s0");
+  ASSERT_EQ(s0.size(), 2u);
+  EXPECT_EQ(s0[0].id, 1);
+  EXPECT_EQ(s0[0].value, 108.0);  // Begin-side payload survives pairing.
+  EXPECT_EQ(s0[0].duration(), 20);
+  EXPECT_EQ(s0[1].id, 2);
+}
+
+TEST(ExtractSpansTest, DropsUnmatchedBegins) {
+  Builder b;
+  b.Span("t", "ok", 1, 0, 10);
+  b.Begin("t", "cut-off-by-crash", 2, 5);
+  const std::vector<Span> spans = ExtractSpans(b.recorder(), "t");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "ok");
+}
+
+TEST(ExtractSpansTest, CompleteEventsBecomeSpansDirectly) {
+  Builder b;
+  b.Complete("request", "prefill", 42, 100, 50);
+  const std::vector<Span> spans = ExtractSpans(b.recorder());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 100);
+  EXPECT_EQ(spans[0].end, 150);
+  EXPECT_EQ(spans[0].id, 42);
+}
+
+TEST(OverlapTest, HalfOpenIntervalSemantics) {
+  const Span a{.track = "t", .name = "n", .begin = 0, .end = 10};
+  const Span b{.track = "t", .name = "n", .begin = 10, .end = 20};
+  const Span c{.track = "t", .name = "n", .begin = 9, .end = 11};
+  EXPECT_FALSE(Overlaps(a, b));  // Touching endpoints do not overlap.
+  EXPECT_TRUE(Overlaps(a, c));
+  EXPECT_TRUE(Overlaps(c, b));
+}
+
+TEST(ExtractGapsTest, ReportsUncoveredIntervalsOnly) {
+  Builder b;
+  b.Span("t", "n", 1, 0, 10);
+  b.Span("t", "n", 2, 5, 12);   // Overlaps the first: merged.
+  b.Span("t", "n", 3, 20, 30);  // Gap [12, 20).
+  b.Span("t", "n", 4, 30, 35);  // Adjacent: no gap.
+  b.Span("t", "n", 5, 50, 60);  // Gap [35, 50).
+
+  const std::vector<Gap> gaps = ExtractGaps(ExtractSpans(b.recorder()));
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0].begin, 12);
+  EXPECT_EQ(gaps[0].end, 20);
+  EXPECT_EQ(gaps[1].duration(), 15);
+  EXPECT_EQ(MaxGap(ExtractSpans(b.recorder())), 15);
+}
+
+TEST(ExtractGapsTest, FewerThanTwoSpansHaveNoGaps) {
+  EXPECT_TRUE(ExtractGaps({}).empty());
+  Builder b;
+  b.Span("t", "n", 1, 3, 9);
+  EXPECT_TRUE(ExtractGaps(ExtractSpans(b.recorder())).empty());
+  EXPECT_EQ(MaxGap(ExtractSpans(b.recorder())), 0);
+}
+
+TEST(CounterQueryTest, ValueAtUsesLastSampleAtOrBefore) {
+  Builder b;
+  b.Counter("kv", "used-tokens", 10, 100.0);
+  b.Counter("kv", "used-tokens", 20, 250.0);
+  b.Counter("kv", "used-tokens", 30, 50.0);
+  const TraceRecorder& r = b.recorder();
+  EXPECT_EQ(CounterValueAt(r, "kv", "used-tokens", 5, -1.0), -1.0);
+  EXPECT_EQ(CounterValueAt(r, "kv", "used-tokens", 10), 100.0);
+  EXPECT_EQ(CounterValueAt(r, "kv", "used-tokens", 29), 250.0);
+  EXPECT_EQ(CounterValueAt(r, "kv", "used-tokens", 1000), 50.0);
+  EXPECT_EQ(CounterValueAt(r, "kv", "missing", 10, 7.0), 7.0);
+}
+
+TEST(CounterQueryTest, StepIntegralInValueSeconds) {
+  Builder b;
+  // 100 for 1 s, then 300 for 1 s: integral over [1e9, 3e9] = 400 v*s.
+  b.Counter("gpu", "hbm-share", 1'000'000'000, 100.0);
+  b.Counter("gpu", "hbm-share", 2'000'000'000, 300.0);
+  const double integral = CounterIntegral(b.recorder(), "gpu", "hbm-share",
+                                          1'000'000'000, 3'000'000'000);
+  EXPECT_DOUBLE_EQ(integral, 400.0);
+  // A window seeded by an earlier sample: level is 300 throughout.
+  EXPECT_DOUBLE_EQ(CounterIntegral(b.recorder(), "gpu", "hbm-share",
+                                   4'000'000'000, 6'000'000'000),
+                   600.0);
+}
+
+TEST(CounterQueryTest, MaxOverSamples) {
+  Builder b;
+  b.Counter("kv", "used-tokens", 1, 10.0);
+  b.Counter("kv", "used-tokens", 2, 90.0);
+  b.Counter("kv", "used-tokens", 3, 40.0);
+  EXPECT_EQ(CounterMax(b.recorder(), "kv", "used-tokens"), 90.0);
+  EXPECT_EQ(CounterMax(b.recorder(), "kv", "missing", -5.0), -5.0);
+}
+
+TEST(InstantQueryTest, FiltersByTrackAndName) {
+  Builder b;
+  b.Complete("request", "decode", 1, 0, 5);
+  b.Instant("fault", "crash", 50);
+  b.Instant("fault", "recovery", 80);
+  const TraceRecorder& r = b.recorder();
+  EXPECT_EQ(ExtractInstants(r).size(), 2u);
+  EXPECT_EQ(ExtractInstants(r, "fault", "crash").size(), 1u);
+  EXPECT_TRUE(ExtractInstants(r, "fault", "missing").empty());
+}
+
+TEST(CriticalPathTest, DecomposesLifecycleSpans) {
+  Builder b;
+  b.Complete("request", "queued", 7, 0, 30);
+  b.Complete("request", "prefill", 7, 30, 120);
+  b.Complete("request", "decode", 7, 150, 850);
+  b.Complete("request", "queued", 8, 10, 5);  // Another request.
+
+  ASSERT_EQ(RequestSpans(b.recorder(), 7).size(), 3u);
+  const CriticalPath path = RequestCriticalPath(b.recorder(), 7);
+  EXPECT_EQ(path.queued, 30);
+  EXPECT_EQ(path.prefill, 120);
+  EXPECT_EQ(path.decode, 850);
+  EXPECT_EQ(path.total(), 1000);
+
+  // Request 8 was shed before prefill: missing phases stay zero.
+  const CriticalPath shed = RequestCriticalPath(b.recorder(), 8);
+  EXPECT_EQ(shed.queued, 5);
+  EXPECT_EQ(shed.prefill, 0);
+  EXPECT_EQ(shed.total(), 5);
+}
+
+}  // namespace
+}  // namespace muxwise::obs

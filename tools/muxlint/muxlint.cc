@@ -63,6 +63,19 @@ const std::vector<LineRule>& LineRules() {
            R"(\b(Submit|Transfer)\s*\(.*\[(?=[^\]]*\bthis\b)(?![^\]]*epoch)[^\]]*\])"),
        "",
        {"src/baselines", "src/core"}},
+      // The observability layer exports traces that must be
+      // byte-identical across runs; a wall-clock timestamp anywhere in
+      // it (even in tooling that only formats events) silently breaks
+      // that without perturbing the simulation. Stricter than the
+      // repo-wide wall-clock rule: clock *names* are findings, not just
+      // calls.
+      {"trace-wall-clock",
+       "trace events and trace tooling must stamp sim::Time only; any "
+       "wall-clock source makes exported traces non-reproducible",
+       std::regex(
+           R"(\b(system_clock|steady_clock|high_resolution_clock|file_clock|utc_clock)\b|\b(strftime|mktime|timegm|clock)\s*\(|\bstruct\s+(timespec|timeval)\b|\bCLOCK_[A-Z_]+\b|__rdtsc)"),
+       "",
+       {"src/obs", "tools/trace2json", "tools/tracecap"}},
   };
   return *rules;
 }

@@ -1,0 +1,40 @@
+// trace2json: converts a MUXT binary trace (written by tracecap or
+// obs::WriteBinaryFile) into Chrome trace_event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Usage: trace2json in.bin [out.json]
+//   With no output path, the JSON goes to stdout.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/trace_export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: trace2json in.bin [out.json]\n");
+    return 2;
+  }
+  const std::string in_path = argv[1];
+
+  muxwise::obs::DecodedTrace decoded;
+  if (!muxwise::obs::ReadBinaryFile(in_path, decoded)) {
+    std::fprintf(stderr, "failed to read MUXT trace from %s\n",
+                 in_path.c_str());
+    return 1;
+  }
+
+  const std::string json = muxwise::obs::ExportChromeJson(decoded);
+  if (argc == 3) {
+    std::ofstream out(argv[2], std::ios::binary);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", argv[2]);
+      return 1;
+    }
+  } else {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  return 0;
+}

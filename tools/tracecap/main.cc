@@ -1,0 +1,99 @@
+// tracecap: runs one traced serving scenario and writes the trace as a
+// MUXT binary (convert with trace2json). Because tracing never touches
+// the event stream, the captured run is bit-identical to an untraced
+// one — the tool prints both digests so CI can assert as much.
+//
+// Usage: tracecap [engine] [out.bin]
+//   engine  one of: muxwise chunked nanoflow sglang-pd loongserve
+//           windserve temporal            (default: muxwise)
+//   out.bin output path                   (default: trace.bin)
+
+#include <cstdio>
+#include <string>
+
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+namespace {
+
+bool ParseEngine(const std::string& name, muxwise::harness::EngineKind* out) {
+  using muxwise::harness::EngineKind;
+  if (name == "muxwise") *out = EngineKind::kMuxWise;
+  else if (name == "chunked") *out = EngineKind::kChunked;
+  else if (name == "nanoflow") *out = EngineKind::kNanoFlow;
+  else if (name == "sglang-pd") *out = EngineKind::kSglangPd;
+  else if (name == "loongserve") *out = EngineKind::kLoongServe;
+  else if (name == "windserve") *out = EngineKind::kWindServe;
+  else if (name == "temporal") *out = EngineKind::kTemporal;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace harness = muxwise::harness;
+  namespace obs = muxwise::obs;
+  namespace core = muxwise::core;
+  namespace serve = muxwise::serve;
+  namespace llm = muxwise::llm;
+  namespace gpu = muxwise::gpu;
+  namespace workload = muxwise::workload;
+
+  harness::EngineKind kind = harness::EngineKind::kMuxWise;
+  std::string out_path = "trace.bin";
+  if (argc > 1 && !ParseEngine(argv[1], &kind)) {
+    std::fprintf(stderr,
+                 "unknown engine '%s' (want muxwise|chunked|nanoflow|"
+                 "sglang-pd|loongserve|windserve|temporal)\n",
+                 argv[1]);
+    return 2;
+  }
+  if (argc > 2) out_path = argv[2];
+
+  const serve::Deployment deployment = serve::Deployment::Make(
+      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+
+  obs::TraceRecorder recorder;
+  harness::RunConfig config;
+  config.trace = &recorder;
+  const harness::RunOutcome traced =
+      harness::RunWorkload(kind, deployment, trace, &estimator, config);
+
+  const harness::RunOutcome untraced = harness::RunWorkload(
+      kind, deployment, trace, &estimator, harness::RunConfig());
+
+  if (!obs::WriteBinaryFile(out_path, recorder)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("engine            %s\n", traced.engine.c_str());
+  std::printf("requests          %zu/%zu completed\n", traced.completed,
+              traced.total);
+  std::printf("trace events      %zu (%zu dropped)\n", recorder.size(),
+              recorder.dropped());
+  std::printf("trace digest      %016llx\n",
+              static_cast<unsigned long long>(obs::TraceDigest(recorder)));
+  std::printf("event digest      %016llx (traced)\n",
+              static_cast<unsigned long long>(traced.event_digest));
+  std::printf("event digest      %016llx (untraced)\n",
+              static_cast<unsigned long long>(untraced.event_digest));
+  std::printf("wrote             %s\n", out_path.c_str());
+
+  if (traced.event_digest != untraced.event_digest ||
+      traced.executed_events != untraced.executed_events) {
+    std::fprintf(stderr, "tracing perturbed the simulated event stream\n");
+    return 1;
+  }
+  return 0;
+}
