@@ -1,0 +1,88 @@
+// Simulator-substrate microbenchmarks (event throughput, same-tick
+// storms, kernel-launch churn, acceptance scenario), runnable standalone
+// or through tools/benchrun. Emits a schema-versioned BENCH_simcore.json
+// that `benchrun --diff` gates against the committed baseline.
+//
+// Usage: bench_simcore [--smoke|--full] [--repeat=N] [--filter=SUBSTR]
+//                      [--out=FILE]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchrun/report.h"
+#include "benchrun/simcore.h"
+
+namespace {
+
+using muxwise::benchrun::BenchReport;
+using muxwise::benchrun::BenchResult;
+using muxwise::benchrun::MachineInfo;
+using muxwise::benchrun::RunSimcoreBench;
+using muxwise::benchrun::SimcoreBenchNames;
+using muxwise::benchrun::SimcoreOptions;
+
+bool StartsWith(const char* arg, const char* prefix) {
+  return std::strncmp(arg, prefix, std::strlen(prefix)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimcoreOptions options;
+  options.smoke = true;
+  options.repeat = 5;
+  std::string filter;
+  std::string out = "BENCH_simcore.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      options.smoke = false;
+      options.repeat = 3;
+    } else if (StartsWith(arg, "--repeat=")) {
+      options.repeat = std::atoi(arg + std::strlen("--repeat="));
+    } else if (StartsWith(arg, "--filter=")) {
+      filter = arg + std::strlen("--filter=");
+    } else if (StartsWith(arg, "--out=")) {
+      out = arg + std::strlen("--out=");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_simcore [--smoke|--full] [--repeat=N] "
+                   "[--filter=SUBSTR] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  BenchReport report;
+  report.suite = options.smoke ? "smoke" : "full";
+  report.repeat = options.repeat;
+  report.machine = MachineInfo::Detect();
+
+  bool all_ok = true;
+  for (const std::string& name : SimcoreBenchNames()) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    BenchResult result = RunSimcoreBench(name, options);
+    std::printf("[bench] %-20s %10.2f ms %12.0f ev/s %10llu events %016llx%s\n",
+                result.name.c_str(), result.wall_ms_median,
+                result.events_per_sec,
+                static_cast<unsigned long long>(result.sim_events),
+                static_cast<unsigned long long>(result.digest),
+                result.ok ? "" : "  FAILED");
+    if (!result.ok && !result.note.empty()) {
+      std::printf("        %s\n", result.note.c_str());
+    }
+    all_ok = all_ok && result.ok;
+    report.benches.push_back(std::move(result));
+  }
+
+  if (!muxwise::benchrun::SaveReport(out, report)) {
+    std::fprintf(stderr, "bench_simcore: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu benches)\n", out.c_str(), report.benches.size());
+  return all_ok ? 0 : 1;
+}

@@ -73,7 +73,7 @@ void Gpu::Launch(StreamId stream, Kernel kernel, Callback on_complete) {
   Stream& s = GetStream(stream);
   QueuedKernel q;
   q.kernel = std::move(kernel);
-  if (on_complete) q.on_complete.push_back(std::move(on_complete));
+  if (on_complete) q.on_complete.Add(std::move(on_complete));
   s.queue.push_back(std::move(q));
   TryStart(stream);
 }
@@ -82,9 +82,9 @@ void Gpu::OnStreamDrained(StreamId stream, Callback fn) {
   MUX_CHECK(fn != nullptr);
   Stream& s = GetStream(stream);
   if (!s.queue.empty()) {
-    s.queue.back().on_complete.push_back(std::move(fn));
+    s.queue.back().on_complete.Add(std::move(fn));
   } else if (s.running.has_value()) {
-    s.running->on_complete.push_back(std::move(fn));
+    s.running->on_complete.Add(std::move(fn));
   } else {
     sim_->ScheduleAfter(0, std::move(fn));
   }
@@ -106,10 +106,45 @@ const StreamStats& Gpu::stream_stats(StreamId stream) const {
 void Gpu::SetTracer(obs::Tracer tracer, std::string track_prefix) {
   tracer_ = tracer;
   track_prefix_ = std::move(track_prefix);
+  // Label caches bind to a recorder's intern tables; drop them so the
+  // next emit re-interns against the new recorder.
+  for (Stream& s : streams_) s.track_label = kLabelUnset;
+  kernel_name_label_ = kLabelUnset;
+  hbm_name_label_ = kLabelUnset;
+  abort_name_label_ = kLabelUnset;
 }
 
 std::string Gpu::StreamTrack(StreamId id) const {
   return track_prefix_ + "s" + std::to_string(id);
+}
+
+std::uint32_t Gpu::TrackLabel(StreamId id) {
+  Stream& s = GetStream(id);
+  if (s.track_label == kLabelUnset) {
+    s.track_label = tracer_.recorder()->InternTrack(StreamTrack(id));
+  }
+  return s.track_label;
+}
+
+std::uint32_t Gpu::NameLabel(std::uint32_t* cache, std::string_view name) {
+  if (*cache == kLabelUnset) {
+    *cache = tracer_.recorder()->InternName(name);
+  }
+  return *cache;
+}
+
+void Gpu::MarkActive(StreamId id) {
+  const auto it =
+      std::lower_bound(active_streams_.begin(), active_streams_.end(), id);
+  MUX_CHECK(it == active_streams_.end() || *it != id);
+  active_streams_.insert(it, id);
+}
+
+void Gpu::MarkIdle(StreamId id) {
+  const auto it =
+      std::lower_bound(active_streams_.begin(), active_streams_.end(), id);
+  MUX_CHECK(it != active_streams_.end() && *it == id);
+  active_streams_.erase(it);
 }
 
 double Gpu::SmUtilizationIntegral() const {
@@ -118,16 +153,11 @@ double Gpu::SmUtilizationIntegral() const {
   const double dt = static_cast<double>(sim_->Now() - integral_updated_at_);
   if (dt > 0.0) {
     int busy_sms = 0;
-    bool any = false;
-    for (const Stream& s : streams_) {
-      if (s.running.has_value()) {
-        busy_sms += s.running->granted_sms;
-        any = true;
-      }
+    for (const StreamId id : active_streams_) {
+      busy_sms += streams_[static_cast<std::size_t>(id)].running->granted_sms;
     }
     busy_sms = std::min(busy_sms, spec_.sm_count);
     extra = dt * busy_sms / spec_.sm_count;
-    (void)any;
   }
   return sm_utilization_integral_ + extra;
 }
@@ -135,14 +165,7 @@ double Gpu::SmUtilizationIntegral() const {
 double Gpu::BusyTimeIntegral() const {
   double extra = 0.0;
   const double dt = static_cast<double>(sim_->Now() - integral_updated_at_);
-  if (dt > 0.0) {
-    for (const Stream& s : streams_) {
-      if (s.running.has_value()) {
-        extra = dt;
-        break;
-      }
-    }
-  }
+  if (dt > 0.0 && !active_streams_.empty()) extra = dt;
   return busy_time_integral_ + extra;
 }
 
@@ -183,16 +206,12 @@ void Gpu::AdvanceIntegrals() {
   const double dt = static_cast<double>(now - integral_updated_at_);
   if (dt > 0.0) {
     int busy_sms = 0;
-    bool any = false;
-    for (const Stream& s : streams_) {
-      if (s.running.has_value()) {
-        busy_sms += s.running->granted_sms;
-        any = true;
-      }
+    for (const StreamId id : active_streams_) {
+      busy_sms += streams_[static_cast<std::size_t>(id)].running->granted_sms;
     }
     busy_sms = std::min(busy_sms, spec_.sm_count);
     sm_utilization_integral_ += dt * busy_sms / spec_.sm_count;
-    if (any) busy_time_integral_ += dt;
+    if (!active_streams_.empty()) busy_time_integral_ += dt;
   }
   integral_updated_at_ = now;
 }
@@ -212,11 +231,13 @@ void Gpu::TryStart(StreamId id) {
   run.last_update = sim_->Now();
   run.current_total = 0;  // Assigned by Rerate().
   s.running = std::move(run);
+  MarkActive(id);
 
   if (tracer_.enabled()) {
-    tracer_.SpanBegin(StreamTrack(id), "kernel",
-                      static_cast<std::int64_t>(s.running->serial),
-                      static_cast<double>(s.running->granted_sms));
+    tracer_.SpanBegin(
+        obs::SpanLabel{TrackLabel(id), NameLabel(&kernel_name_label_, "kernel")},
+        static_cast<std::int64_t>(s.running->serial),
+        static_cast<double>(s.running->granted_sms));
   }
 
   s.stats.first_activity = std::min(s.stats.first_activity, sim_->Now());
@@ -230,6 +251,7 @@ void Gpu::Complete(StreamId id) {
 
   RunningKernel finished = std::move(*s.running);
   s.running.reset();
+  MarkIdle(id);
   // Rerate() already accrued busy time up to the last re-rating point;
   // account for the final uninterrupted stretch here.
   s.stats.busy_time += sim_->Now() - finished.last_update;
@@ -238,36 +260,36 @@ void Gpu::Complete(StreamId id) {
   ++kernels_completed_;
 
   if (tracer_.enabled()) {
-    tracer_.SpanEnd(StreamTrack(id), "kernel",
-                    static_cast<std::int64_t>(finished.serial));
+    tracer_.SpanEnd(
+        obs::SpanLabel{TrackLabel(id), NameLabel(&kernel_name_label_, "kernel")},
+        static_cast<std::int64_t>(finished.serial));
   }
 
   // Start the next kernel on this stream (if any), then re-rate everyone.
   TryStart(id);
   Rerate();
 
-  for (Callback& cb : finished.on_complete) cb();
+  finished.on_complete.Invoke();
 }
 
-double Gpu::InterferenceFactor(
-    const std::vector<std::pair<StreamId, const RunningKernel*>>& active)
-    const {
-  if (active.size() < 2) return 0.0;
+double Gpu::InterferenceFactor() {
+  if (active_streams_.size() < 2) return 0.0;
   // Deterministic but configuration-dependent: hash the multiset of
   // (kind, SM-grant bucket, byte-volume bucket) descriptors. The serving
   // layer cannot query this; it must be learned by profiling, mirroring
   // the unmanaged memory-bandwidth contention of real GPUs (paper §3.3.1).
   std::uint64_t h = 0x243f6a8885a308d3ULL;
-  std::vector<std::uint64_t> parts;
-  parts.reserve(active.size());
-  for (const auto& [id, run] : active) {
+  std::vector<std::uint64_t>& parts = parts_scratch_;
+  parts.clear();
+  for (const StreamId id : active_streams_) {
+    const RunningKernel& run = *streams_[static_cast<std::size_t>(id)].running;
     const int grain = std::max(1, spec_.partition_granularity);
-    std::uint64_t p = static_cast<std::uint64_t>(run->kernel.kind);
-    p = p * 1315423911ULL + static_cast<std::uint64_t>(run->granted_sms / grain);
+    std::uint64_t p = static_cast<std::uint64_t>(run.kernel.kind);
+    p = p * 1315423911ULL + static_cast<std::uint64_t>(run.granted_sms / grain);
     p = p * 1315423911ULL +
-        static_cast<std::uint64_t>(Log2Bucket(run->kernel.bytes));
+        static_cast<std::uint64_t>(Log2Bucket(run.kernel.bytes));
     p = p * 1315423911ULL +
-        static_cast<std::uint64_t>(Log2Bucket(run->kernel.flops));
+        static_cast<std::uint64_t>(Log2Bucket(run.kernel.flops));
     parts.push_back(Mix(p));
   }
   std::sort(parts.begin(), parts.end());  // Order-independent.
@@ -281,15 +303,11 @@ void Gpu::Rerate() {
   AdvanceIntegrals();
   const sim::Time now = sim_->Now();
 
-  std::vector<std::pair<StreamId, const RunningKernel*>> active;
+  if (active_streams_.empty()) return;
   int total_granted = 0;
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
-    if (streams_[i].running.has_value()) {
-      active.emplace_back(static_cast<StreamId>(i), &*streams_[i].running);
-      total_granted += streams_[i].running->granted_sms;
-    }
+  for (const StreamId id : active_streams_) {
+    total_granted += streams_[static_cast<std::size_t>(id)].running->granted_sms;
   }
-  if (active.empty()) return;
 
   // Oversubscription (no partition management): scale effective SMs.
   const double sm_scale =
@@ -297,7 +315,7 @@ void Gpu::Rerate() {
           ? static_cast<double>(spec_.sm_count) / total_granted
           : 1.0;
 
-  const double interference = InterferenceFactor(active);
+  const double interference = InterferenceFactor();
   double pool = spec_.hbm_bandwidth * (1.0 - interference);
   // Unmanaged SM oversubscription (plain streams, no green contexts)
   // interleaves thread blocks of unrelated kernels, thrashing caches:
@@ -309,15 +327,9 @@ void Gpu::Rerate() {
   }
 
   // First pass: advance progress and compute demands.
-  struct Rated {
-    StreamId id;
-    double compute_seconds;
-    double demand;  // Desired bytes/s, capped by the SM bandwidth cap.
-    double alloc = 0.0;
-  };
-  std::vector<Rated> rated;
-  rated.reserve(active.size());
-  for (auto& [id, run_const] : active) {
+  std::vector<Rated>& rated = rated_scratch_;
+  rated.clear();
+  for (const StreamId id : active_streams_) {
     Stream& s = streams_[static_cast<std::size_t>(id)];
     RunningKernel& run = *s.running;
     // Advance fractional progress under the old rate.
@@ -343,7 +355,6 @@ void Gpu::Rerate() {
       r.demand = std::min(run.kernel.bytes / r.compute_seconds, cap);
     }
     rated.push_back(r);
-    (void)run_const;
   }
 
   // Max-min bandwidth allocation within the (interference-shrunk) pool.
@@ -362,7 +373,9 @@ void Gpu::Rerate() {
     Stream& s = streams_[static_cast<std::size_t>(r.id)];
     RunningKernel& run = *s.running;
     if (tracer_.enabled()) {
-      tracer_.Counter(StreamTrack(r.id), "hbm-share", r.alloc);
+      tracer_.Counter(
+          obs::SpanLabel{TrackLabel(r.id), NameLabel(&hbm_name_label_, "hbm-share")},
+          r.alloc);
     }
     const double memory_seconds =
         (run.kernel.bytes > 0.0 && r.alloc > 0.0)
@@ -409,8 +422,14 @@ std::size_t Gpu::AbortAll() {
       if (tracer_.enabled()) {
         const auto id = static_cast<StreamId>(i);
         const auto serial = static_cast<std::int64_t>(s.running->serial);
-        tracer_.SpanEnd(StreamTrack(id), "kernel", serial);
-        tracer_.Instant(StreamTrack(id), "kernel-abort", serial);
+        tracer_.SpanEnd(
+            obs::SpanLabel{TrackLabel(id),
+                           NameLabel(&kernel_name_label_, "kernel")},
+            serial);
+        tracer_.Instant(
+            obs::SpanLabel{TrackLabel(id),
+                           NameLabel(&abort_name_label_, "kernel-abort")},
+            serial);
       }
       s.running.reset();
       ++aborted;
@@ -418,6 +437,7 @@ std::size_t Gpu::AbortAll() {
     aborted += s.queue.size();
     s.queue.clear();
   }
+  active_streams_.clear();
   kernels_aborted_ += aborted;
   return aborted;
 }
@@ -452,6 +472,23 @@ void Gpu::RegisterAudits(check::InvariantRegistry& registry) const {
                   "per-stream kernel counts sum to " +
                       std::to_string(completed) + ", device counted " +
                       std::to_string(kernels_completed_));
+      });
+  registry.Register(
+      "Gpu", "active-stream-index", [this](check::AuditContext& ctx) {
+        // The sorted active-stream index must hold exactly the streams
+        // with a running kernel; Rerate and the utilization integrals
+        // trust it instead of scanning every stream.
+        std::vector<StreamId> expect;
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+          if (streams_[i].running.has_value()) {
+            expect.push_back(static_cast<StreamId>(i));
+          }
+        }
+        ctx.Check(expect == active_streams_,
+                  "active-stream index holds " +
+                      std::to_string(active_streams_.size()) +
+                      " streams, device scan finds " +
+                      std::to_string(expect.size()) + " running kernels");
       });
 }
 

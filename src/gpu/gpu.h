@@ -6,6 +6,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/invariant_registry.h"
@@ -160,14 +162,41 @@ class Gpu {
   void SetTracer(obs::Tracer tracer, std::string track_prefix);
 
  private:
+  /**
+   * Completion callbacks for one kernel. Almost every kernel carries
+   * zero or one callback; the inline primary slot avoids the vector
+   * allocation std::vector<Callback> paid on every Launch, and the
+   * overflow vector only materializes for OnStreamDrained pile-ups.
+   */
+  class CallbackChain {
+   public:
+    void Add(Callback cb) {
+      if (primary_ == nullptr) {
+        primary_ = std::move(cb);
+      } else {
+        overflow_.push_back(std::move(cb));
+      }
+    }
+
+    /** Runs the callbacks in Add() order. */
+    void Invoke() {
+      if (primary_) primary_();
+      for (Callback& cb : overflow_) cb();
+    }
+
+   private:
+    Callback primary_;
+    std::vector<Callback> overflow_;
+  };
+
   struct QueuedKernel {
     Kernel kernel;
-    std::vector<Callback> on_complete;
+    CallbackChain on_complete;
   };
 
   struct RunningKernel {
     Kernel kernel;
-    std::vector<Callback> on_complete;
+    CallbackChain on_complete;
     std::uint64_t serial = 0;  // Device-wide launch serial (trace id).
     int granted_sms = 0;      // Green-context grant when it started.
     double fraction_done = 0.0;
@@ -176,11 +205,26 @@ class Gpu {
     sim::EventId completion = sim::kInvalidEventId;
   };
 
+  /** Sentinel for a not-yet-interned trace label cache entry. */
+  static constexpr std::uint32_t kLabelUnset = 0xffffffffu;
+
   struct Stream {
     int sms = 0;
     std::deque<QueuedKernel> queue;
     std::optional<RunningKernel> running;
     StreamStats stats;
+    // Lazily interned trace track index (rebuilt on SetTracer). Lazy
+    // interning keeps the recorder's intern-table order identical to the
+    // uncached per-event path, so traces stay bit-reproducible.
+    std::uint32_t track_label = kLabelUnset;
+  };
+
+  /** Demand/allocation scratch row for one Rerate() pass. */
+  struct Rated {
+    StreamId id;
+    double compute_seconds;
+    double demand;  // Desired bytes/s, capped by the SM bandwidth cap.
+    double alloc = 0.0;
   };
 
   Stream& GetStream(StreamId id);
@@ -194,20 +238,29 @@ class Gpu {
 
   /**
    * Re-derives every running kernel's duration from current SM grants
-   * and bandwidth arbitration, advancing progress first.
+   * and bandwidth arbitration, advancing progress first. O(active
+   * streams) per call: idle streams are never visited.
    */
   void Rerate();
 
   /** Deterministic interference factor for the current active set. */
-  double InterferenceFactor(
-      const std::vector<std::pair<StreamId, const RunningKernel*>>& active)
-      const;
+  double InterferenceFactor();
 
   /** Advances the utilization integrals up to now. */
   void AdvanceIntegrals();
 
   /** Trace track for one stream (empty when tracing is off). */
   std::string StreamTrack(StreamId id) const;
+
+  /** Marks `id` active/idle in the sorted active-stream index. */
+  void MarkActive(StreamId id);
+  void MarkIdle(StreamId id);
+
+  /** Cached intern of the stream's trace track. */
+  std::uint32_t TrackLabel(StreamId id);
+
+  /** Cached intern of a trace event name into `*cache`. */
+  std::uint32_t NameLabel(std::uint32_t* cache, std::string_view name);
 
   sim::Simulator* sim_;
   GpuSpec spec_;
@@ -217,8 +270,23 @@ class Gpu {
   std::uint64_t next_kernel_serial_ = 0;
   double slowdown_ = 1.0;  // Straggler stretch factor (>= 1).
 
+  // Streams with a running kernel, ascending id. Rerate, interference
+  // hashing and the utilization integrals walk this instead of scanning
+  // every stream; ascending order preserves the exact demand-vector
+  // construction order of the full-scan implementation.
+  std::vector<StreamId> active_streams_;
+
+  // Reusable scratch for Rerate()/InterferenceFactor(); cleared, never
+  // shrunk, so steady-state re-arbitration does not allocate.
+  std::vector<Rated> rated_scratch_;
+  std::vector<std::uint64_t> parts_scratch_;
+
   obs::Tracer tracer_;
   std::string track_prefix_;
+  // Lazily interned event-name indices (see Stream::track_label).
+  std::uint32_t kernel_name_label_ = kLabelUnset;
+  std::uint32_t hbm_name_label_ = kLabelUnset;
+  std::uint32_t abort_name_label_ = kLabelUnset;
 
   // Utilization accounting.
   sim::Time integral_updated_at_ = 0;

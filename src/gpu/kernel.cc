@@ -1,6 +1,42 @@
 #include "gpu/kernel.h"
 
+#include <map>
+#include <string>
+#include <vector>
+
 namespace muxwise::gpu {
+
+namespace {
+
+/** Process-wide tag tables; index 0 is reserved for "untagged". */
+struct TagTables {
+  std::vector<std::string> names{""};
+  std::map<std::string, KernelTagId, std::less<>> index;
+};
+
+TagTables& Tags() {
+  static TagTables* tables = new TagTables;
+  return *tables;
+}
+
+}  // namespace
+
+KernelTagId InternKernelTag(std::string_view name) {
+  if (name.empty()) return kUntaggedKernel;
+  TagTables& tables = Tags();
+  const auto it = tables.index.find(name);
+  if (it != tables.index.end()) return it->second;
+  const auto id = static_cast<KernelTagId>(tables.names.size());
+  tables.names.emplace_back(name);
+  tables.index.emplace(std::string(name), id);
+  return id;
+}
+
+std::string_view KernelTagName(KernelTagId id) {
+  const TagTables& tables = Tags();
+  if (id >= tables.names.size()) return {};
+  return tables.names[id];
+}
 
 const char* KernelKindName(KernelKind kind) {
   switch (kind) {

@@ -2,11 +2,31 @@
 #define MUXWISE_GPU_KERNEL_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "sim/time.h"
 
 namespace muxwise::gpu {
+
+/**
+ * Interned kernel-label id. Workload layers (llm::CostModel, the
+ * engines) generate millions of kernels per experiment; carrying an
+ * interned id instead of a std::string keeps Kernel trivially movable
+ * and removes a string copy from every launch. 0 means untagged.
+ */
+using KernelTagId = std::uint32_t;
+inline constexpr KernelTagId kUntaggedKernel = 0;
+
+/**
+ * Interns `name` into the process-wide kernel-tag table, returning its
+ * stable id. Deterministic: ids depend only on first-intern order,
+ * which the (single-threaded) simulation fixes. Intern once at setup
+ * (e.g. in a constructor), not per kernel.
+ */
+KernelTagId InternKernelTag(std::string_view name);
+
+/** Name for an interned tag ("" for kUntaggedKernel / unknown ids). */
+std::string_view KernelTagName(KernelTagId id);
 
 /** Broad classification used by the execution and interference models. */
 enum class KernelKind {
@@ -85,8 +105,8 @@ struct Kernel {
    */
   double overlap_alpha = 0.1;
 
-  /** Free-form label for traces and debugging. */
-  std::string tag;
+  /** Interned label for traces and debugging (see InternKernelTag). */
+  KernelTagId tag = kUntaggedKernel;
 
   /** Returns defaults tuned for a prefill / GEMM-bound kernel. */
   static Kernel Prefill(double flops, double bytes);

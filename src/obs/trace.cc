@@ -62,10 +62,18 @@ void TraceRecorder::Clear() {
 void Tracer::Emit(EventKind kind, std::string_view track,
                   std::string_view name, sim::Time time, std::int64_t id,
                   double value) const {
+  EmitInterned(kind,
+               SpanLabel{recorder_->InternTrack(track),
+                         recorder_->InternName(name)},
+               time, id, value);
+}
+
+void Tracer::EmitInterned(EventKind kind, SpanLabel label, sim::Time time,
+                          std::int64_t id, double value) const {
   TraceEvent event;
   event.kind = kind;
-  event.track = recorder_->InternTrack(track);
-  event.name = recorder_->InternName(name);
+  event.track = label.track;
+  event.name = label.name;
   event.time = time;
   event.id = id;
   event.value = value;

@@ -113,6 +113,17 @@ class TraceRecorder {
 };
 
 /**
+ * A pre-interned (track, name) pair. Hot emitters resolve their labels
+ * once via Tracer::Intern() and emit by index afterwards, skipping the
+ * per-event string build + intern-table lookup on the critical path.
+ * Only meaningful for the recorder that interned it.
+ */
+struct SpanLabel {
+  std::uint32_t track = 0;
+  std::uint32_t name = 0;
+};
+
+/**
  * Cheap, copyable emission handle threaded through the instrumented
  * layers. Default-constructed tracers are disabled: every emit method
  * returns immediately without touching the simulator, so instrumented
@@ -169,9 +180,45 @@ class Tracer {
     Emit(EventKind::kCounter, track, name, sim_->Now(), 0, value);
   }
 
+  // --- Pre-interned fast path -----------------------------------------
+
+  /**
+   * Resolves a (track, name) label once for reuse on every later emit.
+   * Must only be called on an enabled tracer; the label is bound to
+   * this tracer's recorder.
+   */
+  SpanLabel Intern(std::string_view track, std::string_view name) const {
+    return SpanLabel{recorder_->InternTrack(track),
+                     recorder_->InternName(name)};
+  }
+
+  void SpanBegin(SpanLabel label, std::int64_t id, double value = 0.0) const {
+    if (recorder_ == nullptr) return;
+    EmitInterned(EventKind::kSpanBegin, label, sim_->Now(), id, value);
+  }
+
+  void SpanEnd(SpanLabel label, std::int64_t id, double value = 0.0) const {
+    if (recorder_ == nullptr) return;
+    EmitInterned(EventKind::kSpanEnd, label, sim_->Now(), id, value);
+  }
+
+  void Instant(SpanLabel label, std::int64_t id = 0,
+               double value = 0.0) const {
+    if (recorder_ == nullptr) return;
+    EmitInterned(EventKind::kInstant, label, sim_->Now(), id, value);
+  }
+
+  void Counter(SpanLabel label, double value) const {
+    if (recorder_ == nullptr) return;
+    EmitInterned(EventKind::kCounter, label, sim_->Now(), 0, value);
+  }
+
  private:
   void Emit(EventKind kind, std::string_view track, std::string_view name,
             sim::Time time, std::int64_t id, double value) const;
+
+  void EmitInterned(EventKind kind, SpanLabel label, sim::Time time,
+                    std::int64_t id, double value) const;
 
   TraceRecorder* recorder_ = nullptr;
   const sim::Simulator* sim_ = nullptr;

@@ -7,18 +7,152 @@
 
 namespace muxwise::sim {
 
+namespace {
+
+/** Mixes a 64-bit key (splitmix64 finalizer) for the id index. */
+std::uint64_t HashId(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+// --- IdIndex ---------------------------------------------------------------
+
+void Simulator::IdIndex::Grow() {
+  const std::size_t capacity = cells_.empty() ? 64 : cells_.size() * 2;
+  std::vector<Cell> old = std::move(cells_);
+  cells_.assign(capacity, Cell{});
+  const std::size_t mask = capacity - 1;
+  for (const Cell& cell : old) {
+    if (cell.id == kInvalidEventId) continue;
+    std::size_t i = HashId(cell.id) & mask;
+    while (cells_[i].id != kInvalidEventId) i = (i + 1) & mask;
+    cells_[i] = cell;
+  }
+}
+
+void Simulator::IdIndex::Insert(EventId id, std::uint32_t slot) {
+  // Keep the load factor under 3/4 so probe chains stay short.
+  if (cells_.empty() || (size_ + 1) * 4 >= cells_.size() * 3) Grow();
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t i = HashId(id) & mask;
+  while (cells_[i].id != kInvalidEventId) i = (i + 1) & mask;
+  cells_[i].id = id;
+  cells_[i].slot = slot;
+  ++size_;
+}
+
+bool Simulator::IdIndex::Erase(EventId id, std::uint32_t* slot) {
+  if (size_ == 0) return false;
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t i = HashId(id) & mask;
+  while (cells_[i].id != id) {
+    if (cells_[i].id == kInvalidEventId) return false;
+    i = (i + 1) & mask;
+  }
+  *slot = cells_[i].slot;
+  --size_;
+  // Backward-shift deletion: close the probe chain without tombstones.
+  std::size_t hole = i;
+  std::size_t probe = i;
+  while (true) {
+    probe = (probe + 1) & mask;
+    if (cells_[probe].id == kInvalidEventId) break;
+    const std::size_t home = HashId(cells_[probe].id) & mask;
+    // `probe`'s entry may fill the hole iff its home position does not
+    // lie in the (cyclic) open interval (hole, probe].
+    const bool movable = hole <= probe ? (home <= hole || home > probe)
+                                       : (home <= hole && home > probe);
+    if (movable) {
+      cells_[hole] = cells_[probe];
+      hole = probe;
+    }
+  }
+  cells_[hole] = Cell{};
+  return true;
+}
+
+// --- Event arena -----------------------------------------------------------
+
+std::uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size()) - 1;
+}
+
+void Simulator::FreeSlot(std::uint32_t slot) {
+  Event& event = pool_[slot];
+  event.id = kInvalidEventId;
+  event.callback = nullptr;
+  event.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// --- Binary heap -----------------------------------------------------------
+
+void Simulator::HeapPush(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::HeapPopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t least =
+        (right < n && Before(heap_[right], heap_[left])) ? right : left;
+    if (!Before(heap_[least], heap_[i])) break;
+    std::swap(heap_[i], heap_[least]);
+    i = least;
+  }
+}
+
+const Simulator::HeapEntry* Simulator::PeekLive() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_[0];
+    // A cancelled event freed its slot; the slot's id no longer matches
+    // (freed, or already recycled by a newer event), marking the entry
+    // as a tombstone.
+    if (pool_[top.slot].id == top.id) return &top;
+    HeapPopTop();
+  }
+  return nullptr;
+}
+
+// --- Scheduling API --------------------------------------------------------
+
 EventId Simulator::ScheduleAt(Time when, Callback cb) {
   MUX_CHECK(when >= now_);
   MUX_CHECK(cb != nullptr);
-  auto event = std::make_shared<Event>();
-  event->when = when;
-  event->id = next_id_++;
-  event->callback = std::move(cb);
-  const EventId id = event->id;
-  index_map_[id] = event;
-  queue_.push(std::move(event));
+  const std::uint32_t slot = AllocSlot();
+  Event& event = pool_[slot];
+  event.when = when;
+  event.id = next_id_++;
+  event.callback = std::move(cb);
+  index_.Insert(event.id, slot);
+  HeapPush(HeapEntry{when, event.id, slot});
   ++live_events_;
-  return id;
+  return event.id;
 }
 
 EventId Simulator::ScheduleAfter(Duration delay, Callback cb) {
@@ -27,47 +161,49 @@ EventId Simulator::ScheduleAfter(Duration delay, Callback cb) {
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = index_map_.find(id);
-  if (it == index_map_.end()) return false;
-  auto event = it->second.lock();
-  index_map_.erase(it);
-  if (!event || event->cancelled) return false;
-  event->cancelled = true;
+  std::uint32_t slot = 0;
+  if (!index_.Erase(id, &slot)) return false;
+  MUX_CHECK(pool_[slot].id == id);
+  // Freeing the slot releases the callback now and implicitly turns the
+  // heap entry into a tombstone discarded on its way to the top.
+  FreeSlot(slot);
   MUX_CHECK(live_events_ > 0);
   --live_events_;
   return true;
 }
 
-std::shared_ptr<Simulator::Event> Simulator::PopNext() {
-  while (!queue_.empty()) {
-    auto event = queue_.top();
-    queue_.pop();
-    if (event->cancelled) continue;
-    index_map_.erase(event->id);
-    return event;
-  }
-  return nullptr;
-}
-
-void Simulator::FoldDigest(const Event& event) {
+void Simulator::FoldDigest(Time when, EventId id) {
   // Boost-style hash fold over (when, id); order-sensitive by design.
   auto mix = [](std::uint64_t h, std::uint64_t v) {
     return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
   };
-  digest_ = mix(digest_, static_cast<std::uint64_t>(event.when));
-  digest_ = mix(digest_, event.id);
+  digest_ = mix(digest_, static_cast<std::uint64_t>(when));
+  digest_ = mix(digest_, id);
 }
 
-bool Simulator::Step() {
-  auto event = PopNext();
-  if (!event) return false;
-  MUX_CHECK(event->when >= now_);
-  now_ = event->when;
+void Simulator::ExecuteTop() {
+  const HeapEntry entry = heap_[0];
+  HeapPopTop();
+  Event& event = pool_[entry.slot];
+  MUX_CHECK(event.when >= now_);
+  now_ = event.when;
+  // Detach the callback and release the slot *before* invoking, so the
+  // callback can schedule (possibly reusing this slot) or cancel freely.
+  Callback callback = std::move(event.callback);
+  std::uint32_t indexed_slot = 0;
+  const bool indexed = index_.Erase(entry.id, &indexed_slot);
+  MUX_CHECK(indexed);
+  FreeSlot(entry.slot);
   MUX_CHECK(live_events_ > 0);
   --live_events_;
   ++executed_;
-  FoldDigest(*event);
-  event->callback();
+  FoldDigest(entry.when, entry.id);
+  callback();
+}
+
+bool Simulator::Step() {
+  if (PeekLive() == nullptr) return false;
+  ExecuteTop();
   return true;
 }
 
@@ -81,21 +217,10 @@ std::size_t Simulator::RunUntil(Time until) {
   MUX_CHECK(until >= now_);
   std::size_t n = 0;
   while (true) {
-    auto event = PopNext();
-    if (!event) break;
-    if (event->when > until) {
-      // Reinsert: it stays pending for a later RunUntil/Run call.
-      index_map_[event->id] = event;
-      queue_.push(std::move(event));
-      break;
-    }
-    now_ = event->when;
-    MUX_CHECK(live_events_ > 0);
-    --live_events_;
-    ++executed_;
+    const HeapEntry* top = PeekLive();
+    if (top == nullptr || top->when > until) break;
+    ExecuteTop();
     ++n;
-    FoldDigest(*event);
-    event->callback();
   }
   now_ = until;
   return n;
@@ -105,25 +230,13 @@ std::size_t Simulator::RunUntil(Time until, std::size_t max_events) {
   MUX_CHECK(until >= now_);
   std::size_t n = 0;
   while (n < max_events) {
-    auto event = PopNext();
-    if (!event) {
+    const HeapEntry* top = PeekLive();
+    if (top == nullptr || top->when > until) {
       now_ = until;
       return n;
     }
-    if (event->when > until) {
-      // Reinsert: it stays pending for a later RunUntil/Run call.
-      index_map_[event->id] = event;
-      queue_.push(std::move(event));
-      now_ = until;
-      return n;
-    }
-    now_ = event->when;
-    MUX_CHECK(live_events_ > 0);
-    --live_events_;
-    ++executed_;
+    ExecuteTop();
     ++n;
-    FoldDigest(*event);
-    event->callback();
   }
   // Budget exhausted mid-stream: Now() stays at the last event's time so
   // the caller can see where the scenario stalled.
@@ -134,24 +247,26 @@ void Simulator::RegisterAudits(check::InvariantRegistry& registry) const {
   registry.Register(
       "Simulator", "event-queue-consistency",
       [this](check::AuditContext& ctx) {
-        // Every pending (non-cancelled) event holds an index entry;
-        // entries self-remove on fire and on Cancel().
+        // Every live event owns exactly one arena slot (cancelled events
+        // free their slot immediately), and the cancellation index holds
+        // exactly the live ids.
         std::size_t live = 0;
         Time min_when = kTimeNever;
-        for (const auto& [id, weak] : index_map_) {
-          auto event = weak.lock();
-          if (!ctx.Check(event != nullptr,
-                         "index entry " + std::to_string(id) +
-                             " outlived its event")) {
-            continue;
-          }
-          if (event->cancelled) continue;
+        for (const Event& event : pool_) {
+          if (event.id == kInvalidEventId) continue;
           ++live;
-          min_when = std::min(min_when, event->when);
+          min_when = std::min(min_when, event.when);
+          ctx.Check(event.callback != nullptr,
+                    "live event " + std::to_string(event.id) +
+                        " lost its callback");
         }
         ctx.Check(live == live_events_,
                   "live-event count " + std::to_string(live_events_) +
-                      " disagrees with index scan " + std::to_string(live));
+                      " disagrees with arena scan " + std::to_string(live));
+        ctx.Check(index_.size() == live_events_,
+                  "cancellation index holds " + std::to_string(index_.size()) +
+                      " ids for " + std::to_string(live_events_) +
+                      " live events");
         if (live > 0) {
           ctx.Check(min_when >= now_,
                     "pending event at t=" + std::to_string(min_when) +

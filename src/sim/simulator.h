@@ -3,10 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "check/invariant_registry.h"
@@ -25,6 +22,24 @@ inline constexpr EventId kInvalidEventId = 0;
  * engines, workload frontends) interact solely by scheduling callbacks on
  * one Simulator, which executes them in (time, insertion-order) order.
  * That total order makes every experiment bit-reproducible.
+ *
+ * Performance structure (the hottest loop in the codebase):
+ *
+ *  - Event records live in a pooled arena (`pool_`) recycled through a
+ *    free list, so steady-state scheduling allocates nothing.
+ *  - The ready queue is a hand-rolled binary min-heap of POD entries
+ *    (when, id, slot). Comparisons read only the entry — no pointer
+ *    chasing, no reference counting — and the monotonic id doubles as
+ *    the FIFO tie-break serial for same-timestamp events *and* as the
+ *    staleness witness for cancelled entries (a heap entry whose id no
+ *    longer matches its pool slot is a tombstone, skipped on pop).
+ *  - Cancellation looks the id up in a flat open-addressing table
+ *    (linear probing, backward-shift deletion) instead of a node-based
+ *    std::unordered_map.
+ *
+ * None of this changes observable ordering: events still execute in
+ * exactly (when, id) order, so event-stream digests are bit-identical
+ * to the earlier std::priority_queue implementation.
  */
 class Simulator {
  public:
@@ -95,42 +110,98 @@ class Simulator {
 
   /**
    * Registers event-queue consistency audits: the live-event count
-   * matches the index, and no pending event precedes Now().
+   * matches the arena scan, no pending event precedes Now(), and the
+   * cancellation index agrees with the arena.
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
+  /**
+   * Pooled event record. A slot whose `id` is kInvalidEventId is free
+   * (linked through `next_free`); Cancel() frees the slot immediately,
+   * which implicitly tombstones the heap entry still pointing at it.
+   */
   struct Event {
     Time when = 0;
     EventId id = kInvalidEventId;
     Callback callback;
-    bool cancelled = false;
+    std::uint32_t next_free = kNoFreeSlot;
   };
 
-  struct EventOrder {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->when != b->when) return a->when > b->when;
-      return a->id > b->id;  // FIFO among same-time events.
-    }
+  /** Heap entry: everything a comparison or a staleness check needs. */
+  struct HeapEntry {
+    Time when = 0;
+    EventId id = kInvalidEventId;  // Monotonic FIFO tie-break serial.
+    std::uint32_t slot = 0;
   };
 
-  /** Pops the next live event, or nullptr if the queue is drained. */
-  std::shared_ptr<Event> PopNext();
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  /** Strict (when, id) ordering — same-time events run in schedule order. */
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.id < b.id;
+  }
+
+  /**
+   * Flat open-addressing id -> slot map (linear probing, backward-shift
+   * deletion). Allocation-free at steady state; kInvalidEventId marks an
+   * empty cell.
+   */
+  class IdIndex {
+   public:
+    void Insert(EventId id, std::uint32_t slot);
+
+    /** Removes `id`, storing its slot. False when absent. */
+    bool Erase(EventId id, std::uint32_t* slot);
+
+    std::size_t size() const { return size_; }
+
+   private:
+    struct Cell {
+      EventId id = kInvalidEventId;
+      std::uint32_t slot = 0;
+    };
+
+    void Grow();
+
+    std::vector<Cell> cells_;
+    std::size_t size_ = 0;
+  };
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t slot);
+
+  void HeapPush(const HeapEntry& entry);
+  void HeapPopTop();
+
+  /**
+   * Discards stale heap tombstones, returning the live minimum entry
+   * (nullptr when drained). The returned pointer is invalidated by any
+   * schedule/pop.
+   */
+  const HeapEntry* PeekLive();
+
+  /**
+   * Pops the heap minimum (which must be live) and executes it:
+   * advances Now(), folds the digest, releases the slot, and invokes
+   * the callback (the callback may freely schedule or cancel).
+   */
+  void ExecuteTop();
 
   /** Folds one executed event into the stream digest. */
-  void FoldDigest(const Event& event);
+  void FoldDigest(Time when, EventId id);
 
   Time now_ = kTimeZero;
   EventId next_id_ = 1;
   std::size_t executed_ = 0;
   std::uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
   std::size_t live_events_ = 0;
-  std::priority_queue<std::shared_ptr<Event>,
-                      std::vector<std::shared_ptr<Event>>, EventOrder>
-      queue_;
-  // Cancellation needs id -> event lookup; entries self-remove on fire.
-  std::unordered_map<EventId, std::weak_ptr<Event>> index_map_;
+
+  std::vector<Event> pool_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::vector<HeapEntry> heap_;
+  IdIndex index_;
 };
 
 }  // namespace muxwise::sim

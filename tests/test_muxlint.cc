@@ -239,6 +239,63 @@ TEST(MuxlintTest, TraceWallClockScopedToTraceCode) {
   EXPECT_FALSE(HasRule(r, "trace-wall-clock"));
 }
 
+TEST(MuxlintTest, FlagsPriorityQueueInSimulationSubstrate) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/sim/foo.cc",
+           "std::priority_queue<Ev, std::vector<Ev>, decltype(cmp)> q(cmp);\n"),
+      "priority-queue"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/gpu/foo.cc", "std::priority_queue<int> q;\n"),
+      "priority-queue"));
+}
+
+TEST(MuxlintTest, PriorityQueueScopedToSimAndGpu) {
+  // The kv radix tree legitimately uses one for LRU eviction ranking.
+  EXPECT_FALSE(HasRule(
+      Lint("src/kv/radix_tree.cc", "std::priority_queue<HeapEntry> heap;\n"),
+      "priority-queue"));
+}
+
+TEST(MuxlintTest, PriorityQueueSuppressible) {
+  const LintReport r = Lint(
+      "src/sim/foo.cc",
+      "std::priority_queue<int> q;  // muxlint: allow(priority-queue)\n");
+  EXPECT_FALSE(HasRule(r, "priority-queue"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(MuxlintTest, FlagsDirectEventAllocation) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/sim/foo.cc", "Event* e = new Event{when, id};\n"),
+      "event-arena"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/sim/foo.cc", "auto e = std::make_unique<Event>();\n"),
+      "event-arena"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/gpu/foo.cc", "delete pending_event;\n"), "event-arena"));
+}
+
+TEST(MuxlintTest, EventArenaIgnoresNonEventAllocationsAndOtherLayers) {
+  // Unrelated allocations in scope, and Event allocations out of scope.
+  EXPECT_FALSE(HasRule(
+      Lint("src/sim/foo.cc", "auto s = std::make_unique<Stream>();\n"),
+      "event-arena"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/obs/foo.cc", "Event* e = new Event;\n"), "event-arena"));
+  // `= delete;` declarations are not deletions of events.
+  EXPECT_FALSE(HasRule(
+      Lint("src/sim/foo.h", "Simulator(const Simulator&) = delete;\n"),
+      "event-arena"));
+}
+
+TEST(MuxlintTest, EventArenaSuppressible) {
+  const LintReport r = Lint(
+      "src/sim/foo.cc",
+      "Event* e = new Event;  // muxlint: allow(event-arena)\n");
+  EXPECT_FALSE(HasRule(r, "event-arena"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   const auto rules = Rules();
   auto named = [&rules](const std::string& name) {
@@ -252,6 +309,8 @@ TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   EXPECT_TRUE(named("bare-assert"));
   EXPECT_TRUE(named("dangling-callback"));
   EXPECT_TRUE(named("trace-wall-clock"));
+  EXPECT_TRUE(named("priority-queue"));
+  EXPECT_TRUE(named("event-arena"));
   EXPECT_TRUE(named("include-guard"));
 }
 

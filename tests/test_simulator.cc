@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/rng.h"
@@ -57,6 +58,64 @@ TEST(SimulatorTest, SameTimeEventsRunInInsertionOrder) {
   simulator.Run();
   ASSERT_EQ(order.size(), 16u);
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SimulatorTest, SameTickStormKeepsFifoUnderCancellationChurn) {
+  // A same-tick storm with interleaved cancellations: FIFO-within-tick
+  // (ascending schedule order) must survive heap sifts, arena slot
+  // recycling and lazy tombstone discards.
+  Simulator simulator;
+  std::vector<int> order;
+  std::vector<int> expected;
+  for (int round = 0; round < 40; ++round) {
+    const Time tick = Milliseconds(round + 1);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(simulator.ScheduleAt(
+          tick, [&order, round, i] { order.push_back(round * 64 + i); }));
+    }
+    // Cancel every third event; their recycled slots are immediately
+    // reused by a second wave scheduled on the same tick.
+    for (int i = 0; i < 64; i += 3) {
+      ASSERT_TRUE(simulator.Cancel(ids[i]));
+    }
+    for (int i = 0; i < 64; ++i) {
+      if (i % 3 != 0) expected.push_back(round * 64 + i);
+    }
+    for (int i = 0; i < 8; ++i) {
+      simulator.ScheduleAt(tick, [&order, round, i] {
+        order.push_back(round * 64 + 64 + i);
+      });
+      expected.push_back(round * 64 + 64 + i);
+    }
+  }
+  simulator.Run();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, SameTickStormDigestIsFrozen) {
+  // The storm schedule is integer-only, so its digest is identical on
+  // every platform; freezing it pins the (when, id) execution-order
+  // contract — FIFO tie-breaks and id assignment — across refactors.
+  auto run = [] {
+    Simulator simulator;
+    std::vector<EventId> ids;
+    for (int round = 0; round < 16; ++round) {
+      const Time tick = Microseconds(10 * (round + 1));
+      ids.clear();
+      for (int i = 0; i < 32; ++i) {
+        ids.push_back(simulator.ScheduleAt(tick, [] {}));
+      }
+      for (int i = 1; i < 32; i += 4) simulator.Cancel(ids[i]);
+      for (int i = 0; i < 4; ++i) simulator.ScheduleAt(tick, [] {});
+    }
+    simulator.Run();
+    return simulator.EventDigest();
+  };
+  const std::uint64_t digest = run();
+  EXPECT_EQ(digest, run());
+  EXPECT_EQ(digest, 0x3a2d5d1435052199ULL)
+      << "digest drifted to " << std::hex << digest;
 }
 
 TEST(SimulatorTest, CancelPreventsExecution) {

@@ -1,0 +1,477 @@
+#include "benchrun/report.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace muxwise::benchrun {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser. Scoped to what
+// benchrun reports contain (objects, arrays, strings, doubles, bools);
+// deliberately not a general-purpose library.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Stable-order object representation (insertion order preserved).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out, std::string& error) {
+    if (!ParseValue(out)) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      error = "trailing content after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            // Reports only emit \u00xx control escapes; decode the low
+            // byte and drop the (always-zero) high byte.
+            const std::string hex = text_.substr(pos_ + 2, 2);
+            out.push_back(static_cast<char>(
+                std::strtol(hex.c_str(), nullptr, 16)));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexDigest(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double GetNumber(const JsonValue* v, double fallback = 0.0) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
+                                                             : fallback;
+}
+
+std::string GetString(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->string : "";
+}
+
+}  // namespace
+
+MachineInfo MachineInfo::Detect() {
+  MachineInfo info;
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0) info.host = host;
+#endif
+#if defined(__clang__)
+  info.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = std::string("gcc ") + __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build_type = "release";
+#else
+  info.build_type = "debug";
+#endif
+  info.cpus = static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+std::string ToJson(const BenchReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": " << report.schema_version << ",\n";
+  out << "  \"suite\": \"" << JsonEscape(report.suite) << "\",\n";
+  out << "  \"repeat\": " << report.repeat << ",\n";
+  out << "  \"machine\": {\n";
+  out << "    \"host\": \"" << JsonEscape(report.machine.host) << "\",\n";
+  out << "    \"compiler\": \"" << JsonEscape(report.machine.compiler)
+      << "\",\n";
+  out << "    \"build_type\": \"" << JsonEscape(report.machine.build_type)
+      << "\",\n";
+  out << "    \"cpus\": " << report.machine.cpus << "\n";
+  out << "  },\n";
+  out << "  \"benches\": [";
+  for (std::size_t i = 0; i < report.benches.size(); ++i) {
+    const BenchResult& b = report.benches[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"name\": \"" << JsonEscape(b.name) << "\",\n";
+    out << "      \"ok\": " << (b.ok ? "true" : "false") << ",\n";
+    out << "      \"wall_ms\": [";
+    for (std::size_t j = 0; j < b.wall_ms.size(); ++j) {
+      out << (j == 0 ? "" : ", ") << FormatDouble(b.wall_ms[j]);
+    }
+    out << "],\n";
+    out << "      \"wall_ms_median\": " << FormatDouble(b.wall_ms_median)
+        << ",\n";
+    out << "      \"sim_events\": " << b.sim_events << ",\n";
+    out << "      \"events_per_sec\": " << FormatDouble(b.events_per_sec)
+        << ",\n";
+    out << "      \"digest\": \"" << HexDigest(b.digest) << "\",\n";
+    out << "      \"note\": \"" << JsonEscape(b.note) << "\"\n";
+    out << "    }";
+  }
+  if (!report.benches.empty()) out << "\n  ";
+  out << "]\n}\n";
+  return out.str();
+}
+
+bool FromJson(const std::string& json, BenchReport& report,
+              std::string& error) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(root, error)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    error = "report root is not an object";
+    return false;
+  }
+  const int version =
+      static_cast<int>(GetNumber(root.Find("schema_version"), -1));
+  if (version != BenchReport::kSchemaVersion) {
+    error = "unsupported schema_version " + std::to_string(version) +
+            " (expected " + std::to_string(BenchReport::kSchemaVersion) + ")";
+    return false;
+  }
+  report.schema_version = version;
+  report.suite = GetString(root.Find("suite"));
+  report.repeat = static_cast<int>(GetNumber(root.Find("repeat")));
+  if (const JsonValue* machine = root.Find("machine");
+      machine != nullptr && machine->type == JsonValue::Type::kObject) {
+    report.machine.host = GetString(machine->Find("host"));
+    report.machine.compiler = GetString(machine->Find("compiler"));
+    report.machine.build_type = GetString(machine->Find("build_type"));
+    report.machine.cpus = static_cast<int>(GetNumber(machine->Find("cpus")));
+  }
+  report.benches.clear();
+  const JsonValue* benches = root.Find("benches");
+  if (benches == nullptr || benches->type != JsonValue::Type::kArray) {
+    error = "report has no benches array";
+    return false;
+  }
+  for (const JsonValue& entry : benches->array) {
+    if (entry.type != JsonValue::Type::kObject) {
+      error = "bench entry is not an object";
+      return false;
+    }
+    BenchResult b;
+    b.name = GetString(entry.Find("name"));
+    if (b.name.empty()) {
+      error = "bench entry without a name";
+      return false;
+    }
+    const JsonValue* ok = entry.Find("ok");
+    b.ok = ok == nullptr || ok->type != JsonValue::Type::kBool || ok->boolean;
+    if (const JsonValue* wall = entry.Find("wall_ms");
+        wall != nullptr && wall->type == JsonValue::Type::kArray) {
+      for (const JsonValue& v : wall->array) b.wall_ms.push_back(v.number);
+    }
+    b.wall_ms_median = GetNumber(entry.Find("wall_ms_median"));
+    b.sim_events =
+        static_cast<std::uint64_t>(GetNumber(entry.Find("sim_events")));
+    b.events_per_sec = GetNumber(entry.Find("events_per_sec"));
+    const std::string digest = GetString(entry.Find("digest"));
+    b.digest = digest.empty()
+                   ? 0
+                   : static_cast<std::uint64_t>(
+                         std::strtoull(digest.c_str(), nullptr, 16));
+    b.note = GetString(entry.Find("note"));
+    report.benches.push_back(std::move(b));
+  }
+  return true;
+}
+
+bool LoadReport(const std::string& path, BenchReport& report,
+                std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str(), report, error);
+}
+
+bool SaveReport(const std::string& path, const BenchReport& report) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << ToJson(report);
+  return static_cast<bool>(out);
+}
+
+DiffResult DiffReports(const BenchReport& base, const BenchReport& candidate,
+                       const DiffOptions& options) {
+  DiffResult result;
+  std::map<std::string, const BenchResult*> candidates;
+  for (const BenchResult& b : candidate.benches) candidates[b.name] = &b;
+
+  for (const BenchResult& b : base.benches) {
+    const auto it = candidates.find(b.name);
+    if (it == candidates.end()) {
+      const std::string msg =
+          b.name + ": present in baseline but missing from candidate";
+      if (options.require_coverage) {
+        result.failures.push_back(msg);
+      } else {
+        result.notes.push_back(msg);
+      }
+      continue;
+    }
+    const BenchResult& c = *it->second;
+    candidates.erase(it);
+
+    if (!c.ok) {
+      result.failures.push_back(b.name + ": candidate run reported failure" +
+                                (c.note.empty() ? "" : " (" + c.note + ")"));
+      continue;
+    }
+    if (b.digest != c.digest) {
+      result.failures.push_back(
+          b.name + ": event digest drifted (" + HexDigest(b.digest) + " -> " +
+          HexDigest(c.digest) + "); the simulated work itself changed");
+    }
+    if (b.sim_events != c.sim_events) {
+      result.failures.push_back(
+          b.name + ": simulated event count drifted (" +
+          std::to_string(b.sim_events) + " -> " +
+          std::to_string(c.sim_events) + ")");
+    }
+    if (options.check_wall && b.wall_ms_median > 0.0) {
+      const double ratio = c.wall_ms_median / b.wall_ms_median;
+      if (ratio > 1.0 + options.wall_regression_threshold) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: wall-time regression %.1f%% (%.3f ms -> %.3f ms, "
+                      "threshold %.0f%%)",
+                      b.name.c_str(), (ratio - 1.0) * 100.0, b.wall_ms_median,
+                      c.wall_ms_median,
+                      options.wall_regression_threshold * 100.0);
+        result.failures.push_back(buf);
+      } else if (ratio < 0.9) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%s: improved %.1f%% (%.3f -> %.3f ms)",
+                      b.name.c_str(), (1.0 - ratio) * 100.0, b.wall_ms_median,
+                      c.wall_ms_median);
+        result.notes.push_back(buf);
+      }
+    }
+  }
+  for (const auto& [name, bench] : candidates) {
+    result.notes.push_back(name + ": new bench (no baseline)");
+    (void)bench;
+  }
+  return result;
+}
+
+}  // namespace muxwise::benchrun

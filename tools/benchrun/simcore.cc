@@ -1,0 +1,242 @@
+#include "benchrun/simcore.h"
+
+#include <algorithm>
+#include <chrono>  // muxlint: allow(wall-clock) — benchmarks measure real time.
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/estimator.h"
+#include "gpu/gpu.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/kernel.h"
+#include "harness/runner.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "workload/datasets.h"
+
+namespace muxwise::benchrun {
+
+namespace {
+
+/** Mixes one value into a running order-sensitive digest. */
+std::uint64_t MixDigest(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+// Wall time is the measured quantity in a benchmark driver.
+namespace chr = std::chrono;  // muxlint: allow(wall-clock)
+
+double NowMs() {
+  const auto t = chr::steady_clock::now().time_since_epoch();
+  return chr::duration<double, std::milli>(t).count();
+}
+
+struct OneRun {
+  std::uint64_t sim_events = 0;
+  std::uint64_t digest = 0;
+};
+
+/**
+ * Raw event-queue throughput: `actors` self-rescheduling callbacks with
+ * deterministic, distinct delays, plus schedule-then-cancel churn on
+ * every 8th firing so the cancellation path stays on the profile.
+ */
+OneRun DriveEvents(std::size_t target_events, int actors) {
+  sim::Simulator simulator;
+  std::size_t fired = 0;
+  std::vector<std::function<void()>> bodies(
+      static_cast<std::size_t>(actors));
+  for (int a = 0; a < actors; ++a) {
+    bodies[static_cast<std::size_t>(a)] = [&, a] {
+      ++fired;
+      if (fired >= target_events) return;
+      if (fired % 8 == 0) {
+        // Schedule-and-cancel: a completion re-rated away, the hottest
+        // cancellation pattern in gpu::Gpu.
+        const sim::EventId doomed =
+            simulator.ScheduleAfter(sim::Microseconds(500), [] {});
+        simulator.Cancel(doomed);
+      }
+      const sim::Duration delay =
+          sim::Nanoseconds(1 + (static_cast<sim::Duration>(fired % 97) *
+                                (a + 1)));
+      simulator.ScheduleAfter(delay, bodies[static_cast<std::size_t>(a)]);
+    };
+  }
+  for (int a = 0; a < actors; ++a) {
+    simulator.ScheduleAfter(sim::Nanoseconds(a + 1),
+                            bodies[static_cast<std::size_t>(a)]);
+  }
+  simulator.Run();
+  return OneRun{simulator.ExecutedEvents(), simulator.EventDigest()};
+}
+
+/**
+ * Same-tick storms: every round schedules `width` events at one shared
+ * timestamp (insertion order defines execution order), and the last of
+ * them opens the next round — the adversarial case for the heap's
+ * same-timestamp FIFO tie-break.
+ */
+OneRun DriveStorm(std::size_t rounds, std::size_t width) {
+  sim::Simulator simulator;
+  std::size_t round = 0;
+  std::function<void()> start_round = [&] {
+    if (round >= rounds) return;
+    ++round;
+    const sim::Time when = simulator.Now() + sim::Microseconds(10);
+    for (std::size_t i = 0; i + 1 < width; ++i) {
+      simulator.ScheduleAt(when, [] {});
+    }
+    simulator.ScheduleAt(when, [&] { start_round(); });
+  };
+  start_round();
+  simulator.Run();
+  return OneRun{simulator.ExecutedEvents(), simulator.EventDigest()};
+}
+
+/**
+ * Kernel launch/complete churn: four streams with distinct SM grants
+ * chain mixed prefill/decode/fused kernels, forcing an HBM
+ * re-arbitration of every co-running kernel on each boundary.
+ */
+OneRun DriveLaunches(std::size_t target_launches) {
+  sim::Simulator simulator;
+  gpu::Gpu device(&simulator, gpu::GpuSpec::A100());
+  const int total_sms = device.spec().sm_count;
+  const gpu::StreamId s0 = device.CreateStream(total_sms / 2);
+  const gpu::StreamId s1 = device.CreateStream(total_sms / 4);
+  const gpu::StreamId s2 = device.CreateStream(total_sms / 8);
+  const gpu::StreamId s3 = device.CreateStream(total_sms / 8);
+  const gpu::StreamId streams[] = {s0, s1, s2, s3};
+
+  std::size_t launched = 0;
+  std::function<void(int)> chain = [&](int lane) {
+    if (launched >= target_launches) return;
+    ++launched;
+    const std::size_t n = launched;
+    gpu::Kernel kernel;
+    switch (n % 3) {
+      case 0:
+        kernel = gpu::Kernel::Prefill(2e12 + 1e9 * static_cast<double>(n % 7),
+                                      1e9);
+        break;
+      case 1:
+        kernel = gpu::Kernel::Decode(5e10, 4e9 + 1e6 * static_cast<double>(n % 13));
+        break;
+      default:
+        kernel = gpu::Kernel::Fused(8e11, 2e9);
+        break;
+    }
+    device.Launch(streams[lane % 4], std::move(kernel),
+                  [&chain, lane] { chain(lane); });
+  };
+  for (int lane = 0; lane < 4; ++lane) chain(lane);
+  simulator.Run();
+  return OneRun{simulator.ExecutedEvents(), simulator.EventDigest()};
+}
+
+/**
+ * End-to-end acceptance scenario: every serving engine replays the
+ * standard ShareGPT trace (the tracecap scenario, scaled). Digest folds
+ * each engine's event-stream digest and event count in a fixed order.
+ */
+OneRun DriveAcceptance(int num_requests) {
+  static const serve::Deployment deployment = serve::Deployment::Make(
+      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  static const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::Trace trace = workload::GenerateTrace(
+      workload::Dataset::kShareGpt, num_requests, 2.0, 901);
+
+  constexpr harness::EngineKind kEngines[] = {
+      harness::EngineKind::kMuxWise,    harness::EngineKind::kChunked,
+      harness::EngineKind::kNanoFlow,   harness::EngineKind::kSglangPd,
+      harness::EngineKind::kLoongServe, harness::EngineKind::kWindServe,
+      harness::EngineKind::kTemporal,
+  };
+  OneRun run;
+  run.digest = 0x243f6a8885a308d3ULL;
+  for (harness::EngineKind kind : kEngines) {
+    const harness::RunOutcome outcome =
+        harness::RunWorkload(kind, deployment, trace, &estimator);
+    run.sim_events += outcome.executed_events;
+    run.digest = MixDigest(run.digest, outcome.event_digest);
+    run.digest = MixDigest(
+        run.digest, static_cast<std::uint64_t>(outcome.executed_events));
+  }
+  return run;
+}
+
+BenchResult Measure(const std::string& name, const SimcoreOptions& options,
+                    const std::function<OneRun()>& body) {
+  BenchResult result;
+  result.name = name;
+  const int reps = std::max(1, options.repeat);
+  for (int rep = 0; rep < reps; ++rep) {
+    const double start = NowMs();
+    const OneRun run = body();
+    result.wall_ms.push_back(NowMs() - start);
+    if (rep == 0) {
+      result.sim_events = run.sim_events;
+      result.digest = run.digest;
+    } else if (run.sim_events != result.sim_events ||
+               run.digest != result.digest) {
+      result.ok = false;
+      result.note = "nondeterministic: repetition " + std::to_string(rep) +
+                    " diverged from repetition 0";
+    }
+  }
+  result.wall_ms_median = Median(result.wall_ms);
+  if (result.wall_ms_median > 0.0) {
+    result.events_per_sec = static_cast<double>(result.sim_events) /
+                            (result.wall_ms_median / 1e3);
+  }
+  return result;
+}
+
+}  // namespace
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+std::vector<std::string> SimcoreBenchNames() {
+  return {"simcore.events", "simcore.storm", "simcore.launches",
+          "simcore.acceptance"};
+}
+
+BenchResult RunSimcoreBench(const std::string& name,
+                            const SimcoreOptions& options) {
+  if (name == "simcore.events") {
+    const std::size_t target = options.smoke ? 200'000 : 2'000'000;
+    return Measure(name, options, [target] { return DriveEvents(target, 64); });
+  }
+  if (name == "simcore.storm") {
+    const std::size_t rounds = options.smoke ? 400 : 4'000;
+    return Measure(name, options,
+                   [rounds] { return DriveStorm(rounds, 256); });
+  }
+  if (name == "simcore.launches") {
+    const std::size_t target = options.smoke ? 20'000 : 200'000;
+    return Measure(name, options, [target] { return DriveLaunches(target); });
+  }
+  if (name == "simcore.acceptance") {
+    const int requests = options.smoke ? 20 : 45;
+    return Measure(name, options,
+                   [requests] { return DriveAcceptance(requests); });
+  }
+  BenchResult unknown;
+  unknown.name = name;
+  unknown.ok = false;
+  unknown.note = "unknown simcore benchmark";
+  return unknown;
+}
+
+}  // namespace muxwise::benchrun
