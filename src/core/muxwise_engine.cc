@@ -25,6 +25,12 @@ MuxWiseEngine::MuxWiseEngine(sim::Simulator* simulator,
                                            deployment_.gpu);
   dispatcher_ = std::make_unique<SloAwareDispatcher>(deployment_, &estimator_,
                                                      options_.dispatch);
+  ctl_ = std::make_unique<overload::Controller>(options_.overload);
+  if (options_.overload.enabled) {
+    host_link_ = std::make_unique<gpu::Interconnect>(
+        sim_, options_.overload.spill_bandwidth_bytes_per_s,
+        options_.overload.spill_latency);
+  }
 }
 
 MuxWiseEngine::~MuxWiseEngine() = default;
@@ -42,6 +48,10 @@ const char* MuxWiseEngine::name() const {
 }
 
 void MuxWiseEngine::Enqueue(std::unique_ptr<serve::Request> request) {
+  if (OverloadOn()) {
+    EnqueueOverload(std::move(request));
+    return;
+  }
   if (FaultsEnabled()) {
     if (ShedNow(waiting_demand_ + DemandTokens(*request),
                 pool_->capacity_tokens())) {
@@ -57,9 +67,128 @@ void MuxWiseEngine::Enqueue(std::unique_ptr<serve::Request> request) {
   ++in_flight_;
   request->phase = serve::Phase::kQueued;
   const serve::Request& incoming = *request;
-  waiting_.push_back(std::move(request));
+  waiting_.push_back(  // muxlint: allow(unbounded-queue) — legacy path;
+                       // the overload controller bounds EnqueueOverload.
+      std::move(request));
   MaybePreemptFor(incoming);
   PumpScheduler();
+}
+
+void MuxWiseEngine::EnqueueOverload(std::unique_ptr<serve::Request> request) {
+  ObserveOverload();
+  const workload::SloClass slo_class = request->spec->slo_class;
+  const overload::AdmissionDecision decision =
+      ctl_->Admit(slo_class, DemandTokens(*request), sim_->Now(),
+                  QueuedInClass(slo_class));
+  if (decision.action == overload::AdmissionDecision::Action::kShed) {
+    MarkTerminal(*request, serve::Outcome::kShed);
+    NotifyComplete(std::move(request));
+    return;
+  }
+  ++in_flight_;
+  request->phase = serve::Phase::kQueued;
+  if (FaultsEnabled()) {
+    // The class controller replaces the blunt demand cutoff, but the
+    // SLO-derived deadline still reaps stale queued work.
+    request->deadline = DeadlineFor(*request);
+    sim_->ScheduleAt(request->deadline,
+                     [this, id = request->spec->id] { OnDeadline(id); });
+  }
+  if (decision.action == overload::AdmissionDecision::Action::kDelay) {
+    tracer_.Instant("engine/overload", "admission-delayed",
+                    request->spec->id,
+                    static_cast<double>(workload::SloClassRank(slo_class)));
+    sim_->ScheduleAt(decision.retry_at, [this, id = request->spec->id] {
+      OnAdmissionRetry(id);
+    });
+    gated_.push_back(  // muxlint: allow(unbounded-queue) — delayed
+                       // admissions count toward the controller's
+                       // per-class hard cap (QueuedInClass).
+        std::move(request));
+    queued_hwm_ = std::max(queued_hwm_, waiting_.size() + gated_.size());
+    return;
+  }
+  AdmitToWaiting(std::move(request));
+}
+
+void MuxWiseEngine::AdmitToWaiting(std::unique_ptr<serve::Request> request) {
+  if (FaultsEnabled()) waiting_demand_ += DemandTokens(*request);
+  const serve::Request& incoming = *request;
+  waiting_.push_back(  // muxlint: allow(unbounded-queue) — bounded by the
+                       // controller's per-class hard cap (bounded-queues
+                       // audit).
+      std::move(request));
+  queued_hwm_ = std::max(queued_hwm_, waiting_.size() + gated_.size());
+  MaybePreemptFor(incoming);
+  PumpScheduler();
+}
+
+void MuxWiseEngine::OnAdmissionRetry(std::int64_t id) {
+  auto it = gated_.begin();
+  while (it != gated_.end() && (*it)->spec->id != id) ++it;
+  if (it == gated_.end()) return;  // Reaped by its deadline.
+  auto request = std::move(*it);
+  gated_.erase(it);
+
+  ObserveOverload();
+  const workload::SloClass slo_class = request->spec->slo_class;
+  const sim::Time now = sim_->Now();
+  const overload::AdmissionDecision decision =
+      ctl_->Admit(slo_class, DemandTokens(*request), now,
+                  QueuedInClass(slo_class));
+  const bool overdue =
+      now - request->arrival >= options_.overload.max_admission_delay;
+  if (decision.action == overload::AdmissionDecision::Action::kShed ||
+      (decision.action == overload::AdmissionDecision::Action::kDelay &&
+       overdue)) {
+    MarkTerminal(*request, serve::Outcome::kShed);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(request));
+    return;
+  }
+  if (decision.action == overload::AdmissionDecision::Action::kDelay) {
+    sim_->ScheduleAt(decision.retry_at,
+                     [this, id] { OnAdmissionRetry(id); });
+    gated_.push_back(  // muxlint: allow(unbounded-queue) — re-gates a
+                       // request already inside the hard cap (net queue
+                       // growth is zero).
+        std::move(request));
+    return;
+  }
+  AdmitToWaiting(std::move(request));
+}
+
+void MuxWiseEngine::ObserveOverload() {
+  const double occupancy =
+      static_cast<double>(pool_->used_tokens()) /
+      static_cast<double>(pool_->capacity_tokens());
+  sim::Duration queue_delay = 0;
+  const sim::Time now = sim_->Now();
+  for (const auto& request : waiting_) {
+    queue_delay = std::max(queue_delay, now - request->arrival);
+  }
+  if (ctl_->Observe(now, occupancy, queue_delay)) {
+    tracer_.Instant("engine/overload", "mode-change",
+                    static_cast<std::int64_t>(ctl_->mode_transitions()),
+                    static_cast<double>(static_cast<int>(ctl_->mode())));
+  }
+  if (tracer_.enabled()) {
+    tracer_.Counter("engine/overload", "mode",
+                    static_cast<double>(static_cast<int>(ctl_->mode())));
+  }
+}
+
+std::size_t MuxWiseEngine::QueuedInClass(
+    workload::SloClass slo_class) const {
+  std::size_t count = 0;
+  for (const auto& request : waiting_) {
+    if (request->spec->slo_class == slo_class) ++count;
+  }
+  for (const auto& request : gated_) {
+    if (request->spec->slo_class == slo_class) ++count;
+  }
+  return count;
 }
 
 void MuxWiseEngine::OnDeadline(std::int64_t id) {
@@ -75,10 +204,26 @@ void MuxWiseEngine::OnDeadline(std::int64_t id) {
     NotifyComplete(std::move(request));
     return;
   }
+  // Admission-gated requests (overload control) are equally unstarted.
+  for (auto it = gated_.begin(); it != gated_.end(); ++it) {
+    if ((*it)->spec->id != id) continue;
+    auto request = std::move(*it);
+    gated_.erase(it);
+    MarkTerminal(*request, serve::Outcome::kTimedOut);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    NotifyComplete(std::move(request));
+    return;
+  }
 }
 
 void MuxWiseEngine::PumpScheduler() {
   if (DomainDown(0)) return;
+  if (OverloadOn()) {
+    ObserveOverload();
+    MaybeRestoreSpilled();
+    MaybeKvPreempt();
+  }
   if (active_ != nullptr && !waiting_.empty()) {
     // Scheduling-point preemption check against the shortest waiter.
     const serve::Request* shortest = waiting_.front().get();
@@ -106,13 +251,28 @@ void MuxWiseEngine::PumpScheduler() {
 
 void MuxWiseEngine::TryStartPrefillBatch() {
   if (active_ != nullptr) return;
+  if (preempted_ == nullptr) kv_preempt_pending_ = false;
 
   // A paused batch resumes once no preemptor is pending; only the batch
   // created for an approved preemption runs ahead of it (no recursive
-  // preemption, and no starvation by later arrivals).
+  // preemption, and no starvation by later arrivals). A KV-pressure
+  // pause instead holds the batch through exactly one formation pass,
+  // so TryPreemptForKv can harvest victims from it below.
   if (preempted_ != nullptr && !preemptor_pending_) {
-    active_ = std::move(preempted_);
-    active_->pause_requested = false;
+    if (!kv_preempt_pending_) {
+      active_ = std::move(preempted_);
+      active_->pause_requested = false;
+      return;
+    }
+    kv_preempt_pending_ = false;
+  }
+
+  // Restored spill victims resume next: their KV is back in HBM and
+  // their reservation is already charged, so holding them only wastes
+  // the pool.
+  if (!restored_.empty() && !preemptor_pending_) {
+    active_ = std::move(restored_.front());
+    restored_.pop_front();
     return;
   }
 
@@ -139,16 +299,53 @@ void MuxWiseEngine::TryStartPrefillBatch() {
                        return a->spec->input_tokens - a->cached_tokens <
                               b->spec->input_tokens - b->cached_tokens;
                      });
+  } else if (OverloadOn()) {
+    // Class priority: interactive heads form batches before standard,
+    // standard before batch; FIFO within a class (stable sort).
+    std::stable_sort(waiting_.begin(), waiting_.end(),
+                     [](const std::unique_ptr<serve::Request>& a,
+                        const std::unique_ptr<serve::Request>& b) {
+                       return workload::SloClassRank(a->spec->slo_class) <
+                              workload::SloClassRank(b->spec->slo_class);
+                     });
   }
+  // Brownout shrinks the prefill token budget before anything is shed.
+  std::int64_t token_budget = options_.prefill_batch_tokens;
+  if (OverloadOn()) {
+    token_budget = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(token_budget) *
+                                     ctl_->PrefillScale()));
+  }
+  // With every admitted population empty, deferral would deadlock the
+  // queue — an idle engine admits batch work regardless of mode.
+  const bool engine_idle = decoding_.empty() && merge_ready_.empty() &&
+                           !decode_in_flight_ && preempted_ == nullptr &&
+                           spilled_.empty() && restored_.empty();
+  int kv_victims = 0;
   std::int64_t batch_tokens = 0;
   while (!waiting_.empty() &&
          static_cast<int>(job->requests.size()) <
              options_.prefill_batch_requests &&
-         batch_tokens < options_.prefill_batch_tokens &&
+         batch_tokens < token_budget &&
          running + job->requests.size() <
              static_cast<std::size_t>(options_.max_decode_batch)) {
     serve::Request& head = *waiting_.front();
-    if (!serve::AdmitToPool(*pool_, head, sim_->Now())) break;
+    if (OverloadOn() && !building_preemptor &&
+        head.spec->slo_class == workload::SloClass::kBatch &&
+        ctl_->DeferBatch() && !(job->requests.empty() && engine_idle)) {
+      // Brownout defers batch-class admissions; the class sort above
+      // groups batch at the tail, so nothing behind it is starved.
+      break;
+    }
+    if (!serve::AdmitToPool(*pool_, head, sim_->Now())) {
+      if (OverloadOn() && ctl_->PreemptionEligible() &&
+          kv_victims < options_.overload.max_victims_per_pump &&
+          TryPreemptForKv(head)) {
+        ++kv_victims;
+        continue;  // Space was freed; re-offer the same head.
+      }
+      break;
+    }
     head.phase = serve::Phase::kPrefill;
     head.prefill_start = sim_->Now();
     if (FaultsEnabled()) waiting_demand_ -= DemandTokens(head);
@@ -329,8 +526,9 @@ void MuxWiseEngine::MaybeLaunchDecode() {
     ctx.push_back(request->spec->input_tokens + request->generated);
   }
 
-  const bool prefill_pending =
-      active_ != nullptr || preempted_ != nullptr || !waiting_.empty();
+  const bool prefill_pending = active_ != nullptr ||
+                               preempted_ != nullptr || !waiting_.empty() ||
+                               !restored_.empty() || !spilled_.empty();
   PrefillDesc desc = ActivePrefillDesc();
   if (desc.new_tokens == 0 && prefill_pending && !waiting_.empty()) {
     desc.new_tokens = waiting_.front()->spec->input_tokens;
@@ -420,7 +618,11 @@ void MuxWiseEngine::FinishRequest(std::unique_ptr<serve::Request> request) {
   serve::FinishInPool(*pool_, *request, sim_->Now());
   MUX_CHECK(in_flight_ > 0);
   --in_flight_;
-  pending_completions_.push_back(std::move(request));
+  pending_completions_.push_back(  // muxlint: allow(unbounded-queue) —
+                                   // drained by FlushCompletions before
+                                   // the event returns (bounded by
+                                   // in_flight_).
+      std::move(request));
 }
 
 void MuxWiseEngine::InjectCrash(std::size_t domain) {
@@ -431,6 +633,7 @@ void MuxWiseEngine::InjectCrash(std::size_t domain) {
   decode_in_flight_ = false;
   decode_blocked_on_merge_ = false;
   preemptor_pending_ = false;
+  kv_preempt_pending_ = false;
   last_decode_estimate_ = 0;
 
   // Everything admitted lost its KV, oldest first: the decode batch,
@@ -452,6 +655,22 @@ void MuxWiseEngine::InjectCrash(std::size_t domain) {
     }
     active_.reset();
   }
+  // Overload-control populations: restored-but-unresumed jobs hold HBM
+  // reservations like any batch; spilled requests surrender their
+  // ledger share (host copies are useless once the pool is dropped —
+  // the partial KV's prefix context died with the instance).
+  for (auto& job : restored_) {
+    for (auto& request : job->requests) lost.push_back(std::move(request));
+  }
+  restored_.clear();
+  for (auto& entry : spilled_) {
+    if (!entry.restoring) pool_->DropSpilled(entry.tokens);
+    // Restoring entries moved their tokens back into the reservation
+    // already; AbandonInPool below returns those.
+    lost.push_back(std::move(entry.request));
+  }
+  spilled_.clear();
+  restore_in_flight_ = false;
   for (auto& request : lost) serve::AbandonInPool(*pool_, *request);
   pool_->Clear();
 
@@ -461,20 +680,29 @@ void MuxWiseEngine::InjectCrash(std::size_t domain) {
       MarkTerminal(*request, serve::Outcome::kFailed);
       MUX_CHECK(in_flight_ > 0);
       --in_flight_;
-      pending_completions_.push_back(std::move(request));
+      pending_completions_.push_back(  // muxlint: allow(unbounded-queue)
+                                       // — drained by FlushCompletions
+                                       // below (bounded by in_flight_).
+          std::move(request));
     } else if (DeadlinePassed(*request)) {
       // Its deadline event fired while it was admitted; reap it now.
       MarkTerminal(*request, serve::Outcome::kTimedOut);
       MUX_CHECK(in_flight_ > 0);
       --in_flight_;
-      pending_completions_.push_back(std::move(request));
+      pending_completions_.push_back(  // muxlint: allow(unbounded-queue)
+                                       // — drained by FlushCompletions
+                                       // below (bounded by in_flight_).
+          std::move(request));
     } else {
       waiting_demand_ += DemandTokens(*request);
       requeue.push_back(std::move(request));
     }
   }
   for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
-    waiting_.push_front(std::move(*it));
+    waiting_.push_front(  // muxlint: allow(unbounded-queue) — crash
+                          // recovery re-queues already-admitted work
+                          // (net queue growth is zero).
+        std::move(*it));
   }
   FlushCompletions();
 }
@@ -494,6 +722,231 @@ void MuxWiseEngine::AttachTracer(obs::Tracer tracer) {
   fault::FaultAwareEngine::AttachTracer(tracer);
   mux_->AttachTracer(tracer);
   pool_->set_tracer(tracer, "kv");
+}
+
+void MuxWiseEngine::MaybeKvPreempt() {
+  if (!ctl_->PreemptionEligible()) return;
+  if (active_ == nullptr || active_->pause_requested ||
+      active_->is_preemptor) {
+    return;
+  }
+  if (preempted_ != nullptr || preemptor_pending_ || kv_preempt_pending_) {
+    return;
+  }
+  if (waiting_.empty()) return;
+
+  // The beneficiary is the best-class waiting request (FIFO among
+  // equals, matching the class sort in TryStartPrefillBatch).
+  const serve::Request* head = waiting_.front().get();
+  for (const auto& request : waiting_) {
+    if (workload::SloClassRank(request->spec->slo_class) <
+        workload::SloClassRank(head->spec->slo_class)) {
+      head = request.get();
+    }
+  }
+  const int head_rank = workload::SloClassRank(head->spec->slo_class);
+  const std::int64_t demand =
+      head->spec->input_tokens + head->spec->output_tokens;
+  // Cached tokens are reclaimable (prefix eviction), so pressure means
+  // even evicting the whole cache would not fit the head.
+  if (pool_->free_tokens() + pool_->cached_tokens() >= demand) return;
+
+  // Pause only pays off when the batch carries strictly lower-class
+  // prefill work TryPreemptForKv could evict for `head`.
+  bool has_victim = false;
+  for (const auto& candidate : active_->requests) {
+    if (candidate->phase == serve::Phase::kPrefill &&
+        workload::SloClassRank(candidate->spec->slo_class) > head_rank) {
+      has_victim = true;
+      break;
+    }
+  }
+  if (!has_victim) return;
+
+  active_->pause_requested = true;
+  kv_preempt_pending_ = true;
+  tracer_.Instant("engine/overload", "kv-preempt-pause", head->spec->id,
+                  static_cast<double>(demand));
+}
+
+bool MuxWiseEngine::TryPreemptForKv(const serve::Request& head) {
+  // Victims come from a paused prefill batch at a layer-group boundary;
+  // requests holding decode state are never candidates (decode-safe
+  // rule, enforced by the phase check and the decode_victims_ audit).
+  PrefillJob* job = nullptr;
+  if (preempted_ != nullptr && preempted_->layers_inflight == 0) {
+    job = preempted_.get();
+  }
+  if (job == nullptr) return false;
+  const int head_rank = workload::SloClassRank(head.spec->slo_class);
+  const int total_layers = deployment_.model.num_layers;
+  const int prefill_sms = mux_->prefill_sms();
+
+  int best = -1;
+  overload::VictimKey best_key;
+  for (std::size_t i = 0; i < job->requests.size(); ++i) {
+    const serve::Request& candidate = *job->requests[i];
+    if (candidate.phase != serve::Phase::kPrefill) {
+      ++decode_victims_;  // Would be decode-unsafe; the audit fails.
+      continue;
+    }
+    // Only strictly lower-priority work is evicted for `head`.
+    if (workload::SloClassRank(candidate.spec->slo_class) <= head_rank) {
+      continue;
+    }
+    const double fraction =
+        static_cast<double>(job->layers_done) / total_layers;
+    overload::VictimKey key;
+    key.slo_class = candidate.spec->slo_class;
+    key.progress_layers = job->layers_done;
+    key.recompute_seconds =
+        sim::ToSeconds(estimator_.PredictPrefill({job->work[i]},
+                                                 prefill_sms)) *
+        fraction;
+    key.request_id = candidate.spec->id;
+    if (best < 0 || overload::PreemptBefore(key, best_key)) {
+      best = static_cast<int>(i);
+      best_key = key;
+    }
+  }
+  if (best < 0) return false;
+
+  auto victim = std::move(job->requests[best]);
+  job->requests.erase(job->requests.begin() + best);
+  job->work.erase(job->work.begin() + best);
+  job->new_tokens -= victim->prefill_tokens;
+  job->reused_tokens -= victim->cached_tokens;
+  job->earliest_deadline = sim::kTimeNever;
+  for (const auto& rest : job->requests) {
+    job->earliest_deadline =
+        std::min(job->earliest_deadline,
+                 rest->arrival + deployment_.slo.TtftTargetFor(
+                                     rest->spec->input_tokens));
+  }
+  if (job->requests.empty()) preempted_.reset();
+
+  const int layers_done = static_cast<int>(best_key.progress_layers);
+  const double fraction =
+      static_cast<double>(layers_done) / total_layers;
+  const double bytes = deployment_.model.KvBytesPerToken() *
+                       static_cast<double>(victim->cached_tokens +
+                                           victim->prefill_tokens) *
+                       fraction;
+  const std::int64_t id = victim->spec->id;
+
+  if (layers_done > 0 &&
+      ctl_->SpillCheaper(bytes, best_key.recompute_seconds)) {
+    // Spill: the partial KV crosses the host link and the HBM pages
+    // are freed immediately; the ledger keeps the pages owned.
+    const std::int64_t tokens = victim->reserved_tokens;
+    pool_->SpillReserved(tokens);
+    victim->reserved_tokens = 0;
+    victim->progress = layers_done;
+    ++kv_spills_;
+    tracer_.Instant("engine/overload", "kv-spill", id, fraction);
+    SpilledEntry entry;
+    entry.tokens = tokens;
+    entry.layers_done = layers_done;
+    entry.bytes = bytes;
+    entry.request = std::move(victim);
+    spilled_.push_back(std::move(entry));
+    host_link_->Transfer(bytes, [this, e = epoch(), id] {
+      if (e != epoch()) return;
+      OnSpillOutDone(id);
+    });
+  } else {
+    // Recompute: cheaper (or nothing computed yet) — drop the partial
+    // KV and requeue the victim behind its class.
+    serve::AbandonInPool(*pool_, *victim);
+    victim->phase = serve::Phase::kQueued;
+    victim->cached_tokens = 0;
+    victim->prefill_tokens = 0;
+    victim->progress = 0;
+    ++kv_recomputes_;
+    tracer_.Instant("engine/overload", "kv-recompute", id, fraction);
+    if (FaultsEnabled()) waiting_demand_ += DemandTokens(*victim);
+    waiting_.push_back(  // muxlint: allow(unbounded-queue) — re-queues
+                         // an already-admitted request (net queue
+                         // growth is zero).
+        std::move(victim));
+  }
+  return true;
+}
+
+void MuxWiseEngine::OnSpillOutDone(std::int64_t id) {
+  for (auto& entry : spilled_) {
+    if (entry.request->spec->id != id) continue;
+    entry.out_done = true;
+    PumpScheduler();
+    return;
+  }
+}
+
+void MuxWiseEngine::MaybeRestoreSpilled() {
+  if (restore_in_flight_ || spilled_.empty()) return;
+  // Restore when pressure has eased, or unconditionally once nothing
+  // else is runnable (the drain path — spilled work must finish).
+  const bool drain = waiting_.empty() && gated_.empty() &&
+                     active_ == nullptr && preempted_ == nullptr &&
+                     restored_.empty();
+  if (!ctl_->RestoreEligible() && !drain) return;
+
+  int best = -1;
+  for (std::size_t i = 0; i < spilled_.size(); ++i) {
+    const SpilledEntry& entry = spilled_[i];
+    if (!entry.out_done || entry.restoring) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const SpilledEntry& leader = spilled_[best];
+    const int rank_e =
+        workload::SloClassRank(entry.request->spec->slo_class);
+    const int rank_l =
+        workload::SloClassRank(leader.request->spec->slo_class);
+    if (rank_e < rank_l ||
+        (rank_e == rank_l &&
+         entry.request->spec->id < leader.request->spec->id)) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return;
+  SpilledEntry& entry = spilled_[best];
+  if (!pool_->TryRestoreSpilled(entry.tokens)) return;  // No HBM yet.
+  entry.request->reserved_tokens = entry.tokens;
+  entry.restoring = true;
+  restore_in_flight_ = true;
+  const std::int64_t id = entry.request->spec->id;
+  host_link_->Transfer(entry.bytes, [this, e = epoch(), id] {
+    if (e != epoch()) return;
+    OnRestoreDone(id);
+  });
+}
+
+void MuxWiseEngine::OnRestoreDone(std::int64_t id) {
+  restore_in_flight_ = false;
+  for (auto it = spilled_.begin(); it != spilled_.end(); ++it) {
+    if (it->request->spec->id != id) continue;
+    SpilledEntry entry = std::move(*it);
+    spilled_.erase(it);
+    auto victim = std::move(entry.request);
+    ++kv_restores_;
+    tracer_.Instant("engine/overload", "kv-restore", id,
+                    static_cast<double>(entry.layers_done));
+    auto job = std::make_unique<PrefillJob>();
+    job->work.push_back(
+        llm::SeqWork{victim->prefill_tokens, victim->cached_tokens});
+    job->new_tokens = victim->prefill_tokens;
+    job->reused_tokens = victim->cached_tokens;
+    job->layers_done = entry.layers_done;
+    job->earliest_deadline =
+        victim->arrival +
+        deployment_.slo.TtftTargetFor(victim->spec->input_tokens);
+    job->requests.push_back(std::move(victim));
+    restored_.push_back(std::move(job));
+    PumpScheduler();
+    return;
+  }
 }
 
 void MuxWiseEngine::MaybePreemptFor(const serve::Request& incoming) {
@@ -534,6 +987,32 @@ void MuxWiseEngine::RegisterAudits(check::InvariantRegistry& registry) const {
         ctx.Check(waiting_demand_ == 0,
                   "queued-demand accounting leaked " +
                       std::to_string(waiting_demand_) + " tokens");
+        ctx.Check(gated_.empty(), "admission-gated requests leaked");
+        ctx.Check(spilled_.empty(), "spilled requests never restored");
+        ctx.Check(restored_.empty(), "restored jobs never resumed");
+        ctx.Check(!restore_in_flight_,
+                  "restore transfer still outstanding");
+        ctx.Check(!kv_preempt_pending_,
+                  "KV-pressure pause never consumed");
+      });
+  registry.Register(
+      "MuxWiseEngine", "decode-safe-preemption",
+      [this](check::AuditContext& ctx) {
+        ctx.Check(decode_victims_ == 0,
+                  std::to_string(decode_victims_) +
+                      " decode-holding requests were offered as "
+                      "preemption victims");
+      });
+  registry.Register(
+      "MuxWiseEngine", "bounded-queues", [this](check::AuditContext& ctx) {
+        if (!OverloadOn()) return;
+        const std::size_t bound =
+            static_cast<std::size_t>(workload::kNumSloClasses) *
+            options_.overload.max_queue_per_class;
+        ctx.Check(queued_hwm_ <= bound,
+                  "pending queues reached " + std::to_string(queued_hwm_) +
+                      " under backpressure (bound " +
+                      std::to_string(bound) + ")");
       });
   mux_->RegisterAudits(registry);
   pool_->RegisterAudits(registry);

@@ -11,8 +11,10 @@
 #include "fault/recovery.h"
 #include "core/estimator.h"
 #include "core/multiplex_engine.h"
+#include "gpu/cluster.h"
 #include "kv/kv_pool.h"
 #include "llm/cost_model.h"
+#include "overload/controller.h"
 #include "serve/deployment.h"
 #include "serve/engine.h"
 #include "sim/simulator.h"
@@ -62,6 +64,13 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
 
     /** Failure recovery; disabled by default (fault-free runs). */
     fault::RecoveryPolicy recovery;
+
+    /**
+     * Overload control (SLO-class admission, brownout modes, KV-spill
+     * preemption); disabled by default so event streams stay
+     * bit-identical to builds without the subsystem.
+     */
+    overload::Policy overload;
   };
 
   /**
@@ -100,6 +109,18 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
 
   /** Prefill batches that were preempted. */
   std::size_t preemptions() const { return preemptions_; }
+
+  /** Overload controller (inert when Options::overload.enabled is off). */
+  const overload::Controller& overload_controller() const { return *ctl_; }
+
+  /** KV-pressure preemptions that spilled the victim to host memory. */
+  std::size_t kv_spills() const { return kv_spills_; }
+
+  /** KV-pressure preemptions that dropped + recomputed the victim. */
+  std::size_t kv_recomputes() const { return kv_recomputes_; }
+
+  /** Spilled requests restored to HBM and resumed. */
+  std::size_t kv_restores() const { return kv_restores_; }
 
   /** Samples of (time, decode_sms) at each partition decision (Fig. 18). */
   struct PartitionSample {
@@ -141,6 +162,51 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   /** Deadline event: reaps request `id` if it is still waiting. */
   void OnDeadline(std::int64_t id);
 
+  // --- Overload control (all paths gated on options_.overload.enabled,
+  // so disabled runs execute the exact legacy instruction stream) -----
+  bool OverloadOn() const { return options_.overload.enabled; }
+
+  /** Overload-aware admission front half of Enqueue. */
+  void EnqueueOverload(std::unique_ptr<serve::Request> request);
+
+  /** Tail shared by both admission paths: queue + pump. */
+  void AdmitToWaiting(std::unique_ptr<serve::Request> request);
+
+  /** Re-offers a bucket-delayed request to the controller. */
+  void OnAdmissionRetry(std::int64_t id);
+
+  /** Feeds KV occupancy + queue delay into the brownout ladder. */
+  void ObserveOverload();
+
+  /** Waiting + gated requests of `slo_class` (hard-bound input). */
+  std::size_t QueuedInClass(workload::SloClass slo_class) const;
+
+  /**
+   * Decode-safe KV preemption: evicts the best victim (lowest class,
+   * least progress, cheapest recompute) from the paused prefill batch
+   * so `head` can be admitted. Victims spill their KV over the host
+   * link when that is cheaper than recomputing, else requeue for
+   * recomputation. Returns true when a victim was evicted.
+   */
+  bool TryPreemptForKv(const serve::Request& head);
+
+  /**
+   * KV-pressure pause: when the best-class waiting head cannot fit in
+   * the pool while the active prefill batch carries strictly
+   * lower-class work, requests a pause at the next layer-group
+   * boundary so TryPreemptForKv can harvest victims from it.
+   */
+  void MaybeKvPreempt();
+
+  /** Outbound spill transfer landed for request `id`. */
+  void OnSpillOutDone(std::int64_t id);
+
+  /** Starts at most one inbound restore transfer when eligible. */
+  void MaybeRestoreSpilled();
+
+  /** Inbound restore transfer landed for request `id`. */
+  void OnRestoreDone(std::int64_t id);
+
   /** Prefill work remaining in the active job, as an estimator input. */
   PrefillDesc ActivePrefillDesc() const;
   sim::Duration ActivePrefillRemaining() const;
@@ -158,6 +224,34 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   std::deque<std::unique_ptr<serve::Request>> waiting_;
   std::unique_ptr<PrefillJob> active_;
   std::unique_ptr<PrefillJob> preempted_;
+
+  // --- Overload-control state (all empty / inert when disabled) ------
+  std::unique_ptr<overload::Controller> ctl_;
+  std::unique_ptr<gpu::Interconnect> host_link_;
+
+  /** Admission-delayed requests awaiting a bucket/deferral retry. */
+  std::vector<std::unique_ptr<serve::Request>> gated_;
+
+  /** A prefill-phase victim whose KV lives (or is moving) off-HBM. */
+  struct SpilledEntry {
+    std::unique_ptr<serve::Request> request;
+    std::int64_t tokens = 0;  // Share of the pool's spill ledger.
+    int layers_done = 0;
+    double bytes = 0.0;
+    bool out_done = false;   // Outbound transfer landed.
+    bool restoring = false;  // Inbound transfer in flight.
+  };
+  std::vector<SpilledEntry> spilled_;
+
+  /** Single-request resume jobs built by completed restores. */
+  std::deque<std::unique_ptr<PrefillJob>> restored_;
+  bool restore_in_flight_ = false;
+
+  std::size_t kv_spills_ = 0;
+  std::size_t kv_recomputes_ = 0;
+  std::size_t kv_restores_ = 0;
+  std::size_t decode_victims_ = 0;  // Must stay 0: decode-safe audit.
+  std::size_t queued_hwm_ = 0;      // waiting_ + gated_ high-water mark.
   std::vector<std::unique_ptr<serve::Request>> merge_ready_;
   std::vector<std::unique_ptr<serve::Request>> decoding_;
 
@@ -171,6 +265,10 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   // Set when an approved preemption awaits its preemptor batch; the
   // paused batch resumes only after that batch (and only it) runs.
   bool preemptor_pending_ = false;
+  // Set when a KV-pressure pause is in flight (MaybeKvPreempt): the
+  // paused batch is held once for victim harvesting instead of being
+  // resumed immediately.
+  bool kv_preempt_pending_ = false;
   sim::Duration last_decode_estimate_ = 0;
   std::size_t in_flight_ = 0;
 

@@ -164,6 +164,7 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
       options.mux.mode = core::MultiplexEngine::Mode::kTemporal;
     }
     options.recovery = policy;
+    if (config.overload.enabled) options.overload = config.overload;
     auto owned = std::make_unique<core::MuxWiseEngine>(
         &simulator, deployment, *shared_estimator, options);
     muxwise = owned.get();
@@ -217,6 +218,11 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
 
   outcome.completed = frontend.completed();
   outcome.split = metrics.Split();
+  for (int rank = 0; rank < workload::kNumSloClasses; ++rank) {
+    outcome.per_class[rank] =
+        metrics.ClassSlice(static_cast<workload::SloClass>(rank));
+  }
+  outcome.has_class_mix = metrics.HasClassMix();
   outcome.ttft = metrics.Ttft();
   outcome.tbt = metrics.Tbt();
   outcome.tpot = metrics.Tpot();
@@ -236,6 +242,12 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
     outcome.cache_hit_rate = muxwise->pool().HitRate();
     outcome.preemptions = muxwise->preemptions();
     outcome.partition_trace = muxwise->partition_trace();
+    outcome.overload_active = muxwise->overload_controller().enabled();
+    outcome.overload_mode_transitions =
+        muxwise->overload_controller().mode_transitions();
+    outcome.kv_spills = muxwise->kv_spills();
+    outcome.kv_recomputes = muxwise->kv_recomputes();
+    outcome.kv_restores = muxwise->kv_restores();
   } else if (chunked != nullptr) {
     outcome.gpu_utilization = {UtilPercent(chunked->device(), end)};
     outcome.bubble_ratio =
@@ -287,6 +299,23 @@ std::uint64_t OutcomeDigest(const RunOutcome& outcome) {
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.timed_out));
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.shed));
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.split.failed));
+  }
+  // Overload-era fields follow the same convention: folded only when
+  // the controller was active or the trace carried a class mix, so
+  // plain runs keep their historical digests.
+  if (outcome.overload_active || outcome.has_class_mix) {
+    for (const serve::ClassMetrics& slice : outcome.per_class) {
+      h = MixDigest(h, static_cast<std::uint64_t>(slice.split.attained));
+      h = MixDigest(h, static_cast<std::uint64_t>(slice.split.timed_out));
+      h = MixDigest(h, static_cast<std::uint64_t>(slice.split.shed));
+      h = MixDigest(h, static_cast<std::uint64_t>(slice.split.failed));
+      h = MixDigest(h, slice.QueueDelayP99());
+    }
+    h = MixDigest(h,
+                  static_cast<std::uint64_t>(outcome.overload_mode_transitions));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_spills));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_recomputes));
+    h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_restores));
   }
   for (unsigned char c : outcome.diagnostic) {
     h = MixDigest(h, static_cast<std::uint64_t>(c));

@@ -1,6 +1,7 @@
 #ifndef MUXWISE_HARNESS_RUNNER_H_
 #define MUXWISE_HARNESS_RUNNER_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -11,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "fault/recovery.h"
 #include "obs/trace.h"
+#include "overload/controller.h"
 #include "serve/deployment.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
@@ -76,6 +78,14 @@ struct RunConfig {
   fault::RecoveryPolicy recovery;
 
   /**
+   * Overload-control policy (MuxWise-family engines only; baselines
+   * ignore it). When `overload.enabled` is set it overrides the policy
+   * in `muxwise_options`, replacing the blunt shed_demand_factor cutoff
+   * with SLO-class admission, brownout modes, and KV-spill preemption.
+   */
+  overload::Policy overload;
+
+  /**
    * When set, the engine (and the fault injector, if any) are
    * instrumented into this recorder. Tracing never schedules events or
    * alters behaviour, so the simulated event stream — and its digest —
@@ -118,6 +128,25 @@ struct RunOutcome {
    * runs `split.attained == completed` and the rest are zero.
    */
   serve::GoodputSplit split;
+
+  /**
+   * Per-SLO-class slices of the split, with queue-delay p99 and TTFT
+   * attainment — the overload-control report card (indexed by
+   * SloClassRank). All-standard traces leave the interactive and batch
+   * slices empty, and the digest then ignores these fields.
+   */
+  std::array<serve::ClassMetrics, workload::kNumSloClasses> per_class;
+
+  /** True when any request carried a non-standard SLO class. */
+  bool has_class_mix = false;
+
+  // Overload-control activity (MuxWise-family engines; zero elsewhere
+  // and in disabled runs — folded into the digest only when active).
+  bool overload_active = false;
+  std::size_t overload_mode_transitions = 0;
+  std::size_t kv_spills = 0;
+  std::size_t kv_recomputes = 0;
+  std::size_t kv_restores = 0;
 
   /**
    * Empty on a run that terminated normally. Non-empty when the drive

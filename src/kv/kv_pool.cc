@@ -74,6 +74,41 @@ void KvPool::Clear() {
   TraceOccupancy();
 }
 
+void KvPool::SpillReserved(std::int64_t tokens) {
+  MUX_CHECK(tokens >= 0);
+  MUX_CHECK(tokens <= reserved_);
+  reserved_ -= tokens;
+  spilled_ += tokens;
+  spilled_in_total_ += tokens;
+  TraceOccupancy();
+}
+
+bool KvPool::TryRestoreSpilled(std::int64_t tokens) {
+  MUX_CHECK(tokens >= 0);
+  MUX_CHECK(tokens <= spilled_);
+  if (tokens == 0) return true;
+  if (free_tokens() < tokens) {
+    tree_.EvictLru(tokens - free_tokens());
+  }
+  if (free_tokens() < tokens) {
+    TraceOccupancy();  // Evictions may still have changed the cache.
+    return false;
+  }
+  spilled_ -= tokens;
+  restored_total_ += tokens;
+  reserved_ += tokens;
+  TraceOccupancy();
+  return true;
+}
+
+void KvPool::DropSpilled(std::int64_t tokens) {
+  MUX_CHECK(tokens >= 0);
+  MUX_CHECK(tokens <= spilled_);
+  spilled_ -= tokens;
+  dropped_spill_total_ += tokens;
+  TraceOccupancy();
+}
+
 void KvPool::set_tracer(obs::Tracer tracer, std::string track) {
   tracer_ = tracer;
   track_ = std::move(track);
@@ -88,6 +123,10 @@ void KvPool::TraceOccupancy() const {
                   static_cast<double>(cached_tokens()));
   tracer_.Counter(track_, "reserved-tokens",
                   static_cast<double>(reserved_));
+  if (spilled_in_total_ > 0) {
+    tracer_.Counter(track_, "spilled-tokens",
+                    static_cast<double>(spilled_));
+  }
 }
 
 void KvPool::RegisterAudits(check::InvariantRegistry& registry) const {
@@ -116,6 +155,24 @@ void KvPool::RegisterAudits(check::InvariantRegistry& registry) const {
         ctx.Check(tree_.LockedTokens() == 0,
                   "leaked prefix pin on " +
                       std::to_string(tree_.LockedTokens()) + " tokens");
+      });
+  registry.Register(
+      "KvPool", "spill-ledger", [this](check::AuditContext& ctx) {
+        // Spilled pages leave HBM, so the resident conservation law
+        // (used == cached + reserved <= capacity) is checked above
+        // unchanged; the ledger itself must conserve flow and drain.
+        ctx.Check(spilled_ >= 0,
+                  "negative spill ledger " + std::to_string(spilled_));
+        ctx.Check(spilled_in_total_ ==
+                      spilled_ + restored_total_ + dropped_spill_total_,
+                  "spill ledger flow leak: in=" +
+                      std::to_string(spilled_in_total_) + " held=" +
+                      std::to_string(spilled_) + " restored=" +
+                      std::to_string(restored_total_) + " dropped=" +
+                      std::to_string(dropped_spill_total_));
+        ctx.Check(spilled_ == 0,
+                  "spill ledger holds " + std::to_string(spilled_) +
+                      " tokens at quiescence");
       });
   registry.Register("KvPool", "radix-refcounts",
                     [this](check::AuditContext& ctx) { tree_.Audit(ctx); });

@@ -68,6 +68,29 @@ class KvPool {
   /** Drops the entire cache (used by engines without cross-request reuse). */
   void Clear();
 
+  /**
+   * Moves `tokens` of working-set reservation to host memory: the pages
+   * leave HBM (free_tokens() grows) but remain owned by their request in
+   * the spill ledger until restored or dropped. Used by overload-control
+   * preemption; the transfer cost is the caller's to model.
+   */
+  void SpillReserved(std::int64_t tokens);
+
+  /**
+   * Moves `tokens` back from the spill ledger into the HBM working set,
+   * evicting unpinned cache LRU-first if needed. Returns false (ledger
+   * unchanged) when the space cannot be produced.
+   */
+  bool TryRestoreSpilled(std::int64_t tokens);
+
+  /** Drops `tokens` from the spill ledger (recompute or crash path). */
+  void DropSpilled(std::int64_t tokens);
+
+  std::int64_t spilled_tokens() const { return spilled_; }
+  std::int64_t spilled_in_total() const { return spilled_in_total_; }
+  std::int64_t restored_total() const { return restored_total_; }
+  std::int64_t dropped_spill_total() const { return dropped_spill_total_; }
+
   std::int64_t capacity_tokens() const { return capacity_; }
   std::int64_t cached_tokens() const { return tree_.total_tokens(); }
   std::int64_t reserved_tokens() const { return reserved_; }
@@ -106,6 +129,14 @@ class KvPool {
   std::int64_t capacity_;
   std::int64_t reserved_ = 0;
   RadixTree tree_;
+
+  // Host-spill ledger: tokens whose reservation was moved off-HBM by
+  // overload-control preemption. Flow conservation is audited as
+  // spilled_in_total == spilled + restored_total + dropped_spill_total.
+  std::int64_t spilled_ = 0;
+  std::int64_t spilled_in_total_ = 0;
+  std::int64_t restored_total_ = 0;
+  std::int64_t dropped_spill_total_ = 0;
 
   obs::Tracer tracer_;
   std::string track_;

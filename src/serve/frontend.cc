@@ -44,7 +44,10 @@ void Frontend::OnArrival(std::size_t index) {
   if (PredecessorDone(spec)) {
     Dispatch(index);
   } else {
-    held_[spec.session].push_back(index);
+    held_[spec.session].push_back(  // muxlint: allow(unbounded-queue) —
+                                    // holds at most the session's future
+                                    // turns, bounded by the finite trace.
+        index);
   }
 }
 

@@ -42,19 +42,47 @@ LatencySummary Summarize(const std::vector<double>& samples_ms) {
 
 }  // namespace
 
+double ClassMetrics::QueueDelayP99() const {
+  std::vector<double> sorted = queue_delay_ms;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, 0.99);
+}
+
+std::size_t ClassMetrics::TtftAttained(
+    const workload::SloTargets& slo) const {
+  std::size_t ok = 0;
+  for (const auto& [ttft_ms, input_tokens] : ttft) {
+    if (ttft_ms <= sim::ToMilliseconds(slo.TtftTargetFor(input_tokens))) {
+      ++ok;
+    }
+  }
+  return ok;
+}
+
+double ClassMetrics::Attainment(const workload::SloTargets& slo) const {
+  if (split.total() == 0) return 1.0;
+  return static_cast<double>(TtftAttained(slo)) /
+         static_cast<double>(split.total());
+}
+
 void MetricsCollector::OnRequestComplete(const Request& request) {
   // A request must reach a terminal state before it is reported; a
   // kRetrying request is still owned by its engine's recovery path.
   MUX_CHECK(request.outcome != Outcome::kRetrying);
+  ClassMetrics& slice =
+      per_class_[workload::SloClassRank(request.spec->slo_class)];
   switch (request.outcome) {
     case Outcome::kTimedOut:
       ++timed_out_;
+      ++slice.split.timed_out;
       return;
     case Outcome::kShed:
       ++shed_;
+      ++slice.split.shed;
       return;
     case Outcome::kFailed:
       ++failed_;
+      ++slice.split.failed;
       return;
     default:
       break;  // kCompleted — and kRunning, for fault-oblivious engines.
@@ -62,6 +90,13 @@ void MetricsCollector::OnRequestComplete(const Request& request) {
   MUX_CHECK(request.completion >= 0);
   MUX_CHECK(request.first_token >= 0);
   ++completed_;
+  ++slice.split.attained;
+  if (request.prefill_start >= request.arrival) {
+    slice.queue_delay_ms.push_back(
+        sim::ToMilliseconds(request.prefill_start - request.arrival));
+  }
+  slice.ttft.emplace_back(sim::ToMilliseconds(request.Ttft()),
+                          request.spec->input_tokens);
   output_tokens_ += request.generated;
   input_tokens_ += request.spec->input_tokens;
 
@@ -90,6 +125,12 @@ GoodputSplit MetricsCollector::Split() const {
   split.shed = shed_;
   split.failed = failed_;
   return split;
+}
+
+bool MetricsCollector::HasClassMix() const {
+  using workload::SloClass;
+  return ClassSlice(SloClass::kInteractive).split.total() > 0 ||
+         ClassSlice(SloClass::kBatch).split.total() > 0;
 }
 
 LatencySummary MetricsCollector::Ttft() const { return Summarize(ttft_ms_); }
@@ -180,6 +221,21 @@ void MetricsCollector::RegisterAudits(
                   "goodput split loses requests: " +
                       std::to_string(split.total()) + " split vs " +
                       std::to_string(notified()) + " notified");
+        // The per-class slices partition the aggregate split exactly.
+        std::size_t class_total = 0;
+        std::size_t class_attained = 0;
+        for (const ClassMetrics& slice : per_class_) {
+          class_total += slice.split.total();
+          class_attained += slice.split.attained;
+          ctx.Check(slice.ttft.size() == slice.split.attained,
+                    "class TTFT population disagrees with its split");
+          ctx.Check(slice.queue_delay_ms.size() <= slice.split.attained,
+                    "more class queue-delay samples than attained");
+        }
+        ctx.Check(class_total == notified(),
+                  "per-class splits lose requests");
+        ctx.Check(class_attained == completed_,
+                  "per-class attained disagrees with aggregate");
       });
 }
 

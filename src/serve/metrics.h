@@ -1,8 +1,10 @@
 #ifndef MUXWISE_SERVE_METRICS_H_
 #define MUXWISE_SERVE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/invariant_registry.h"
@@ -48,6 +50,31 @@ struct GoodputSplit {
 };
 
 /**
+ * Per-SLO-class slice of the goodput split plus the queue-delay and
+ * TTFT-attainment populations the overload-control evaluation reports
+ * (interactive must degrade last: attainment ordered interactive >=
+ * standard >= batch under overload).
+ */
+struct ClassMetrics {
+  GoodputSplit split;
+
+  /** Queue delay (arrival -> prefill start) of attained requests, ms. */
+  std::vector<double> queue_delay_ms;
+
+  /** (TTFT ms, prompt tokens) pairs of attained requests. */
+  std::vector<std::pair<double, std::int64_t>> ttft;
+
+  /** p99 queue delay via the sort-once PercentileSorted path. */
+  double QueueDelayP99() const;
+
+  /** Attained requests whose TTFT met slo.TtftTargetFor(prompt). */
+  std::size_t TtftAttained(const workload::SloTargets& slo) const;
+
+  /** TtftAttained / total arrivals of the class (1.0 when empty). */
+  double Attainment(const workload::SloTargets& slo) const;
+};
+
+/**
  * Collects per-request latency stamps and derives the evaluation
  * metrics of the paper: TTFT, TBT (per-token gaps, strict), TPOT
  * (per-request average), E2E, token throughput, and TBT SLO attainment.
@@ -63,6 +90,15 @@ class MetricsCollector {
 
   /** Attained requests (== completed()) plus the degraded outcomes. */
   GoodputSplit Split() const;
+
+  /** Per-SLO-class slice (classes default to standard when unset). */
+  const ClassMetrics& ClassSlice(workload::SloClass slo_class) const {
+    return per_class_[workload::SloClassRank(slo_class)];
+  }
+
+  /** True once any non-standard class has been reported (i.e. the
+   * per-class split says more than the aggregate). */
+  bool HasClassMix() const;
 
   /** Every OnRequestComplete call, over all terminal outcomes. */
   std::size_t notified() const {
@@ -121,6 +157,8 @@ class MetricsCollector {
   std::vector<double> tbt_ms_;
   std::vector<double> tpot_ms_;
   std::vector<double> e2e_ms_;
+
+  std::array<ClassMetrics, workload::kNumSloClasses> per_class_;
 };
 
 }  // namespace muxwise::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "sim/logging.h"
@@ -228,6 +229,72 @@ Trace GenerateBurstyTrace(Dataset dataset, double base_rate_per_second,
   Trace trace = BuildFromSessions(params, sessions, /*request_cap=*/-1,
                                   lengths);
   trace.name = std::string(DatasetName(dataset)) + "-bursty";
+  return trace;
+}
+
+Trace GenerateMmppTrace(const MmppOptions& options, std::uint64_t seed) {
+  MUX_CHECK(options.calm_rate_per_second > 0.0);
+  MUX_CHECK(options.burst_multiplier >= 1.0);
+  MUX_CHECK(options.mean_calm_seconds > 0.0);
+  MUX_CHECK(options.mean_burst_seconds > 0.0);
+  MUX_CHECK(options.duration_seconds > 0.0);
+  const DatasetParams params = DatasetParams::For(options.dataset);
+  sim::Rng rng(seed);
+  sim::Rng phases = rng.Fork("mmpp-phases");
+  sim::Rng arrivals = rng.Fork("mmpp-arrivals");
+  sim::Rng lengths = rng.Fork("mmpp-lengths");
+  sim::Rng classes = rng.Fork("mmpp-classes");
+
+  const double session_rate =
+      options.calm_rate_per_second / std::max(1.0, params.mean_turns);
+  std::vector<SessionPlan> sessions;
+  bool burst = false;
+  double t = 0.0;
+  double phase_end = phases.Exponential(options.mean_calm_seconds);
+  while (t < options.duration_seconds) {
+    const double rate =
+        session_rate * (burst ? options.burst_multiplier : 1.0);
+    const double next = t + arrivals.Exponential(1.0 / rate);
+    if (next >= phase_end) {
+      // Poisson arrivals are memoryless, so the pending gap can simply
+      // be restarted at the modulating chain's phase boundary.
+      t = phase_end;
+      burst = !burst;
+      phase_end += phases.Exponential(burst ? options.mean_burst_seconds
+                                            : options.mean_calm_seconds);
+      continue;
+    }
+    t = next;
+    if (t >= options.duration_seconds) break;
+    sessions.push_back(SessionPlan{t, SampleTurns(params, arrivals)});
+  }
+  // Sessions were emitted in time order, as BuildFromSessions expects.
+  Trace trace = BuildFromSessions(params, sessions, /*request_cap=*/-1,
+                                  lengths);
+  trace.name = std::string(DatasetName(options.dataset)) + "-mmpp";
+
+  std::vector<double> weights(options.class_mix.begin(),
+                              options.class_mix.end());
+  double total_weight = 0.0;
+  for (double w : weights) {
+    MUX_CHECK(w >= 0.0);
+    total_weight += w;
+  }
+  MUX_CHECK(total_weight > 0.0);
+  // One class draw per session, in first-arrival order (the request
+  // list is already arrival-sorted), so every turn of a session shares
+  // its class and the assignment is reproducible.
+  std::unordered_map<std::int64_t, SloClass> session_class;
+  for (RequestSpec& spec : trace.requests) {
+    auto it = session_class.find(spec.session);
+    if (it == session_class.end()) {
+      it = session_class
+               .emplace(spec.session,
+                        static_cast<SloClass>(classes.WeightedIndex(weights)))
+               .first;
+    }
+    spec.slo_class = it->second;
+  }
   return trace;
 }
 

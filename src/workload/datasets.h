@@ -1,11 +1,13 @@
 #ifndef MUXWISE_WORKLOAD_DATASETS_H_
 #define MUXWISE_WORKLOAD_DATASETS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "workload/request_spec.h"
+#include "workload/slo.h"
 
 namespace muxwise::workload {
 
@@ -71,6 +73,31 @@ Trace GenerateTraceWithParams(const DatasetParams& params, int num_requests,
 Trace GenerateBurstyTrace(Dataset dataset, double base_rate_per_second,
                           double duration_seconds, double max_spike,
                           std::uint64_t seed);
+
+/**
+ * Markov-modulated Poisson arrivals: a two-state continuous-time chain
+ * alternates between a calm phase (session rate `calm_rate_per_second`)
+ * and a burst phase (`burst_multiplier` times that), with exponential
+ * sojourns in each. The overload-control evaluation drives admission
+ * and brownout with these traces because — unlike the per-bucket
+ * modulation of GenerateBurstyTrace — bursts arrive as sustained
+ * correlated pressure, not ten-second blips.
+ *
+ * Each session draws one SLO class from `class_mix` (weights over
+ * interactive/standard/batch, normalized internally), so every turn of
+ * a conversation shares its class. Deterministic in `seed`.
+ */
+struct MmppOptions {
+  Dataset dataset = Dataset::kShareGpt;
+  double calm_rate_per_second = 1.0;  // Session arrivals/s, calm phase.
+  double burst_multiplier = 4.0;      // Burst rate = calm rate x this.
+  double mean_calm_seconds = 30.0;    // Mean sojourn in the calm phase.
+  double mean_burst_seconds = 8.0;    // Mean sojourn in the burst phase.
+  double duration_seconds = 120.0;    // Arrival horizon.
+  std::array<double, kNumSloClasses> class_mix = {0.3, 0.5, 0.2};
+};
+
+Trace GenerateMmppTrace(const MmppOptions& options, std::uint64_t seed);
 
 /**
  * Interleaves several traces into one (re-sorting by arrival time and

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kv/token_seq.h"
+#include "workload/slo.h"
 
 namespace muxwise::workload {
 
@@ -44,6 +45,12 @@ struct RequestSpec {
 
   /** Output tokens the request generates. */
   std::int64_t output_tokens = 0;
+
+  /**
+   * Overload-control priority class. Defaults to standard so existing
+   * traces and generators are unaffected.
+   */
+  SloClass slo_class = SloClass::kStandard;
 
   /** Prompt tokens that are new relative to the session history. */
   std::int64_t NewTokens() const { return input_tokens - reused_tokens; }

@@ -9,6 +9,36 @@
 namespace muxwise::workload {
 
 /**
+ * Priority class attached to a request for overload control. Under
+ * pressure the serving layer sheds batch work first and interactive
+ * work last; with overload control disabled the class is inert.
+ */
+enum class SloClass : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+
+inline constexpr int kNumSloClasses = 3;
+
+/** Stable rank for scheduling: lower rank is served / shed later. */
+inline int SloClassRank(SloClass slo_class) {
+  return static_cast<int>(slo_class);
+}
+
+inline const char* SloClassName(SloClass slo_class) {
+  switch (slo_class) {
+    case SloClass::kInteractive:
+      return "interactive";
+    case SloClass::kStandard:
+      return "standard";
+    case SloClass::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+/**
  * Service-level objectives for one deployment.
  *
  * Following the paper (§4.1): the goodput gate is the 99th-percentile

@@ -31,6 +31,15 @@ class LineScanner {
     pos_ = at + needle.size();
   }
 
+  /** As Seek, but reports absence instead of dying (optional keys). */
+  bool TrySeek(const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line_.find(needle);
+    if (at == std::string::npos) return false;
+    pos_ = at + needle.size();
+    return true;
+  }
+
   double Number() {
     SkipSpace();
     std::size_t consumed = 0;
@@ -94,7 +103,13 @@ void WriteTrace(const Trace& trace, std::ostream& out) {
         << ",\"session\":" << spec.session << ",\"turn\":" << spec.session_seq
         << ",\"output\":" << spec.output_tokens
         << ",\"reused\":" << spec.reused_tokens
-        << ",\"gen_begin\":" << gen_begin << ",\"prompt\":[";
+        << ",\"gen_begin\":" << gen_begin;
+    // Optional key: standard-class requests omit it, so traces written
+    // before SLO classes existed stay byte-identical on round trip.
+    if (spec.slo_class != SloClass::kStandard) {
+      out << ",\"class\":" << SloClassRank(spec.slo_class);
+    }
+    out << ",\"prompt\":[";
     for (std::size_t i = 0; i < spec.prompt.size(); ++i) {
       const kv::TokenSpan& span = spec.prompt[i];
       if (i > 0) out << ",";
@@ -148,6 +163,15 @@ Trace ReadTrace(std::istream& in) {
     spec.reused_tokens = scanner.Integer();
     scanner.Seek("gen_begin");
     const std::int64_t gen_begin = scanner.Integer();
+    if (scanner.TrySeek("class")) {
+      const std::int64_t rank = scanner.Integer();
+      if (rank < 0 || rank >= kNumSloClasses) {
+        sim::Fatal("trace parse error at line " +
+                   std::to_string(line_number) + ": bad SLO class " +
+                   std::to_string(rank));
+      }
+      spec.slo_class = static_cast<SloClass>(rank);
+    }
     scanner.Seek("prompt");
     scanner.Expect('[');
     while (!scanner.Peek(']')) {

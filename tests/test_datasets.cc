@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -186,6 +189,85 @@ TEST(DatasetsTest, ResampleArrivalsMatchesTargetRate) {
     EXPECT_LE(trace.requests[i - 1].arrival_seconds,
               trace.requests[i].arrival_seconds);
   }
+}
+
+// FNV-1a over the arrival process and class labels: the pinned witness
+// that the MMPP generator's output never drifts across refactors.
+std::uint64_t ArrivalDigest(const Trace& trace) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const RequestSpec& spec : trace.requests) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(spec.arrival_seconds));
+    std::memcpy(&bits, &spec.arrival_seconds, sizeof(bits));
+    fold(bits);
+    fold(static_cast<std::uint64_t>(spec.session));
+    fold(static_cast<std::uint64_t>(SloClassRank(spec.slo_class)));
+  }
+  return h;
+}
+
+TEST(DatasetsTest, MmppTraceArrivalDigestIsPinned) {
+  MmppOptions options;
+  options.dataset = Dataset::kShareGpt;
+  options.calm_rate_per_second = 4.0;
+  options.burst_multiplier = 4.0;
+  options.mean_calm_seconds = 20.0;
+  options.mean_burst_seconds = 6.0;
+  options.duration_seconds = 300.0;
+  const Trace a = GenerateMmppTrace(options, 4242);
+  const Trace b = GenerateMmppTrace(options, 4242);
+  EXPECT_EQ(ArrivalDigest(a), ArrivalDigest(b));
+  EXPECT_GT(a.requests.size(), 500u);
+  // Pinned: any change to the generator's sampling order shows up here.
+  EXPECT_EQ(ArrivalDigest(a), 5228807621818457263ull);
+  EXPECT_EQ(a.name, "ShareGPT-mmpp");
+}
+
+TEST(DatasetsTest, MmppBurstPhasesRaiseTheRate) {
+  MmppOptions options;
+  options.calm_rate_per_second = 3.0;
+  options.burst_multiplier = 5.0;
+  options.mean_calm_seconds = 30.0;
+  options.mean_burst_seconds = 10.0;
+  options.duration_seconds = 600.0;
+  const Trace trace = GenerateMmppTrace(options, 7);
+  const std::vector<double> curve = trace.RateCurve(5.0);
+  double max_rate = 0.0, sum = 0.0;
+  for (double r : curve) {
+    max_rate = std::max(max_rate, r);
+    sum += r;
+  }
+  const double mean_rate = sum / curve.size();
+  // Sustained burst phases must push the peak well above the mean.
+  EXPECT_GT(max_rate, 2.0 * mean_rate);
+}
+
+TEST(DatasetsTest, MmppAssignsOneClassPerSession) {
+  MmppOptions options;
+  options.dataset = Dataset::kConversation;  // Multi-turn sessions.
+  options.calm_rate_per_second = 4.0;
+  options.duration_seconds = 400.0;
+  const Trace trace = GenerateMmppTrace(options, 11);
+  std::map<std::int64_t, SloClass> session_class;
+  std::array<int, kNumSloClasses> seen{};
+  bool multi_turn_session = false;
+  for (const RequestSpec& spec : trace.requests) {
+    auto [it, inserted] = session_class.emplace(spec.session, spec.slo_class);
+    if (!inserted) {
+      EXPECT_EQ(it->second, spec.slo_class)
+          << "session " << spec.session << " changed class mid-stream";
+      multi_turn_session = true;
+    }
+    ++seen[SloClassRank(spec.slo_class)];
+  }
+  EXPECT_TRUE(multi_turn_session);
+  for (int count : seen) EXPECT_GT(count, 0);
 }
 
 TEST(DatasetsTest, RateCurveIntegratesToRequestCount) {

@@ -159,5 +159,95 @@ TEST_F(MetricsTest, SingleTokenOutputHasNoTbtSamples) {
   EXPECT_EQ(metrics_.Ttft().count, 1u);
 }
 
+class ClassMetricsTest : public MetricsTest {
+ protected:
+  /** MakeRequest, then stamps the SLO class and prefill start. */
+  std::unique_ptr<Request> MakeClassed(std::int64_t id,
+                                       workload::SloClass slo_class,
+                                       sim::Duration queue_delay,
+                                       sim::Duration ttft = Milliseconds(100)) {
+    auto request = MakeRequest(id, ttft);
+    specs_.back()->slo_class = slo_class;
+    request->prefill_start = request->arrival + queue_delay;
+    return request;
+  }
+};
+
+TEST_F(ClassMetricsTest, PerClassSplitPartitionsOutcomes) {
+  using workload::SloClass;
+  metrics_.OnRequestComplete(
+      *MakeClassed(1, SloClass::kInteractive, Milliseconds(5)));
+  metrics_.OnRequestComplete(
+      *MakeClassed(2, SloClass::kStandard, Milliseconds(5)));
+  auto shed = MakeClassed(3, SloClass::kBatch, Milliseconds(5));
+  shed->outcome = Outcome::kShed;
+  metrics_.OnRequestComplete(*shed);
+  auto timed_out = MakeClassed(4, SloClass::kInteractive, Milliseconds(5));
+  timed_out->outcome = Outcome::kTimedOut;
+  metrics_.OnRequestComplete(*timed_out);
+
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kInteractive).split.attained, 1u);
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kInteractive).split.timed_out, 1u);
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kStandard).split.attained, 1u);
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kBatch).split.shed, 1u);
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kBatch).split.attained, 0u);
+  // The slices partition the aggregate exactly.
+  std::size_t total = 0;
+  for (auto c : {SloClass::kInteractive, SloClass::kStandard,
+                 SloClass::kBatch}) {
+    total += metrics_.ClassSlice(c).split.total();
+  }
+  EXPECT_EQ(total, metrics_.notified());
+  EXPECT_TRUE(metrics_.HasClassMix());
+}
+
+TEST_F(ClassMetricsTest, HasClassMixIsFalseForAllStandardTraffic) {
+  metrics_.OnRequestComplete(
+      *MakeClassed(1, workload::SloClass::kStandard, Milliseconds(5)));
+  EXPECT_FALSE(metrics_.HasClassMix());
+}
+
+TEST_F(ClassMetricsTest, QueueDelayP99HandComputedFixture) {
+  using workload::SloClass;
+  // Four attained interactive requests with queue delays 10/20/30/40 ms.
+  // p99 rank is 0.99 * 3 = 2.97: 30 * 0.03 + 40 * 0.97 = 39.7 ms.
+  for (int i = 0; i < 4; ++i) {
+    metrics_.OnRequestComplete(*MakeClassed(
+        i, SloClass::kInteractive, Milliseconds(10 * (i + 1))));
+  }
+  const ClassMetrics& slice = metrics_.ClassSlice(SloClass::kInteractive);
+  ASSERT_EQ(slice.queue_delay_ms.size(), 4u);
+  EXPECT_NEAR(slice.QueueDelayP99(), 39.7, 1e-9);
+  // Degraded requests contribute no queue-delay samples.
+  auto shed = MakeClassed(9, SloClass::kInteractive, Milliseconds(999));
+  shed->outcome = Outcome::kShed;
+  metrics_.OnRequestComplete(*shed);
+  EXPECT_EQ(slice.queue_delay_ms.size(), 4u);
+  EXPECT_NEAR(slice.QueueDelayP99(), 39.7, 1e-9);
+}
+
+TEST_F(ClassMetricsTest, TtftAttainmentUsesPerTokenTarget) {
+  using workload::SloClass;
+  workload::SloTargets slo;  // 500 ms + 400 us/token; 200 tokens -> 580.
+  metrics_.OnRequestComplete(*MakeClassed(
+      1, SloClass::kStandard, Milliseconds(5), Milliseconds(100)));
+  metrics_.OnRequestComplete(*MakeClassed(
+      2, SloClass::kStandard, Milliseconds(5), Milliseconds(579)));
+  metrics_.OnRequestComplete(*MakeClassed(
+      3, SloClass::kStandard, Milliseconds(5), Milliseconds(581)));
+  auto shed = MakeClassed(4, SloClass::kStandard, Milliseconds(5));
+  shed->outcome = Outcome::kShed;
+  metrics_.OnRequestComplete(*shed);
+
+  const ClassMetrics& slice = metrics_.ClassSlice(SloClass::kStandard);
+  EXPECT_EQ(slice.TtftAttained(slo), 2u);
+  // Attainment is over all arrivals of the class, shed ones included:
+  // 2 within target / 4 total.
+  EXPECT_DOUBLE_EQ(slice.Attainment(slo), 0.5);
+  // An empty slice reports perfect attainment, not 0/0.
+  EXPECT_DOUBLE_EQ(
+      metrics_.ClassSlice(SloClass::kBatch).Attainment(slo), 1.0);
+}
+
 }  // namespace
 }  // namespace muxwise::serve

@@ -296,6 +296,43 @@ TEST(MuxlintTest, EventArenaSuppressible) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(MuxlintTest, FlagsQueuePushesInServingLayers) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/foo.cc", "waiting_.push_back(std::move(request));\n"),
+      "unbounded-queue"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/foo.cc", "held_[key].push_back(index);\n"),
+      "unbounded-queue"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/foo.cc", "pending_completions_.emplace_back(r);\n"),
+      "unbounded-queue"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/core/foo.cc", "waiting_.push_front(std::move(r));\n"),
+      "unbounded-queue"));
+}
+
+TEST(MuxlintTest, UnboundedQueueScopedToServingLayers) {
+  // Queues outside the serving path (and non-member locals) are fine.
+  EXPECT_FALSE(HasRule(
+      Lint("src/sim/foo.cc", "waiting_.push_back(std::move(ev));\n"),
+      "unbounded-queue"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/core/foo.cc", "requeue.push_back(std::move(r));\n"),
+      "unbounded-queue"));
+  // Metric sample vectors merely contain a queue-ish word.
+  EXPECT_FALSE(HasRule(
+      Lint("src/serve/metrics.cc", "queue_delay_ms.push_back(ms);\n"),
+      "unbounded-queue"));
+}
+
+TEST(MuxlintTest, UnboundedQueueSuppressible) {
+  const LintReport r = Lint(
+      "src/core/foo.cc",
+      "waiting_.push_back(r);  // muxlint: allow(unbounded-queue)\n");
+  EXPECT_FALSE(HasRule(r, "unbounded-queue"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   const auto rules = Rules();
   auto named = [&rules](const std::string& name) {
@@ -311,6 +348,7 @@ TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   EXPECT_TRUE(named("trace-wall-clock"));
   EXPECT_TRUE(named("priority-queue"));
   EXPECT_TRUE(named("event-arena"));
+  EXPECT_TRUE(named("unbounded-queue"));
   EXPECT_TRUE(named("include-guard"));
 }
 

@@ -25,6 +25,7 @@ void ExpectTracesEqual(const Trace& a, const Trace& b) {
     EXPECT_EQ(x.reused_tokens, y.reused_tokens) << i;
     EXPECT_EQ(x.prompt, y.prompt) << i;
     EXPECT_EQ(x.full_seq, y.full_seq) << i;
+    EXPECT_EQ(x.slo_class, y.slo_class) << i;
   }
 }
 
@@ -84,6 +85,48 @@ TEST(TraceIoDeathTest, MissingKeyIsFatal) {
       "{\"trace\":\"x\",\"requests\":1}\n{\"id\":0,\"arrival_s\":0}\n");
   EXPECT_EXIT(ReadTrace(stream), ::testing::ExitedWithCode(1),
               "missing key");
+}
+
+TEST(TraceIoTest, RoundTripsSloClasses) {
+  MmppOptions options;
+  options.duration_seconds = 60.0;
+  options.calm_rate_per_second = 3.0;
+  const Trace original = GenerateMmppTrace(options, 81);
+  std::stringstream stream;
+  WriteTrace(original, stream);
+  const Trace loaded = ReadTrace(stream);
+  ExpectTracesEqual(original, loaded);
+  bool non_standard = false;
+  for (const RequestSpec& spec : loaded.requests) {
+    non_standard |= spec.slo_class != SloClass::kStandard;
+  }
+  EXPECT_TRUE(non_standard);  // The optional key was actually exercised.
+}
+
+TEST(TraceIoTest, ClasslessTracesOmitTheClassKey) {
+  // Traces written before SLO classes existed parse unchanged, and
+  // all-standard traces keep emitting the legacy byte-identical form.
+  const Trace original = GenerateTrace(Dataset::kShareGpt, 5, 1.0, 82);
+  std::stringstream stream;
+  WriteTrace(original, stream);
+  EXPECT_EQ(stream.str().find("\"class\""), std::string::npos);
+  const Trace loaded = ReadTrace(stream);
+  for (const RequestSpec& spec : loaded.requests) {
+    EXPECT_EQ(spec.slo_class, SloClass::kStandard);
+  }
+}
+
+TEST(TraceIoDeathTest, BadSloClassIsFatal) {
+  Trace trace = GenerateTrace(Dataset::kShareGpt, 1, 1.0, 83);
+  std::stringstream stream;
+  WriteTrace(trace, stream);
+  std::string text = stream.str();
+  const std::size_t at = text.find(",\"prompt\"");
+  ASSERT_NE(at, std::string::npos);
+  text.insert(at, ",\"class\":7");
+  std::stringstream bad(text);
+  EXPECT_EXIT(ReadTrace(bad), ::testing::ExitedWithCode(1),
+              "bad SLO class");
 }
 
 TEST(TraceIoTest, FileRoundTrip) {

@@ -170,6 +170,63 @@ OneRun DriveAcceptance(int num_requests) {
   return run;
 }
 
+/**
+ * Overload goodput sweep (ISSUE 5): a Markov-modulated ShareGPT burst
+ * at 1x/2x/4x the calm arrival rate, replayed on MuxWise with overload
+ * control on and off, on chunked-prefill, and on static disaggregation.
+ * The digest folds each run's event digest and its SLO-attained
+ * goodput, so a control regression (fewer TTFT-attained completions)
+ * shows up as a digest change even when raw event counts hold steady.
+ */
+OneRun DriveOverloadGoodput(double duration_seconds) {
+  static const serve::Deployment deployment = serve::Deployment::Make(
+      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  static const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::SloTargets slo;
+
+  OneRun run;
+  run.digest = 0x452821e638d01377ULL;
+  for (const double multiplier : {1.0, 2.0, 4.0}) {
+    workload::MmppOptions options;
+    options.dataset = workload::Dataset::kShareGpt;
+    options.calm_rate_per_second = 10.0;
+    options.burst_multiplier = multiplier;
+    options.mean_calm_seconds = 15.0;
+    options.mean_burst_seconds = 10.0;
+    options.duration_seconds = duration_seconds;
+    options.class_mix = {0.2, 0.5, 0.3};
+    const workload::Trace trace = GenerateMmppTrace(options, 20250);
+
+    struct Arm {
+      harness::EngineKind kind;
+      bool control;
+    };
+    constexpr Arm kArms[] = {
+        {harness::EngineKind::kMuxWise, true},
+        {harness::EngineKind::kMuxWise, false},
+        {harness::EngineKind::kChunked, false},
+        {harness::EngineKind::kSglangPd, false},
+    };
+    for (const Arm& arm : kArms) {
+      harness::RunConfig config;
+      config.recovery.enabled = true;
+      config.overload.enabled = arm.control;
+      const harness::RunOutcome outcome = harness::RunWorkload(
+          arm.kind, deployment, trace, &estimator, config);
+      std::uint64_t goodput = 0;
+      for (const serve::ClassMetrics& slice : outcome.per_class) {
+        goodput += slice.TtftAttained(slo);
+      }
+      if (outcome.per_class.empty()) goodput = outcome.split.attained;
+      run.sim_events += outcome.executed_events;
+      run.digest = MixDigest(run.digest, outcome.event_digest);
+      run.digest = MixDigest(run.digest, goodput);
+    }
+  }
+  return run;
+}
+
 BenchResult Measure(const std::string& name, const SimcoreOptions& options,
                     const std::function<OneRun()>& body) {
   BenchResult result;
@@ -209,7 +266,7 @@ double Median(std::vector<double> samples) {
 
 std::vector<std::string> SimcoreBenchNames() {
   return {"simcore.events", "simcore.storm", "simcore.launches",
-          "simcore.acceptance"};
+          "simcore.acceptance", "overload.goodput"};
 }
 
 BenchResult RunSimcoreBench(const std::string& name,
@@ -231,6 +288,11 @@ BenchResult RunSimcoreBench(const std::string& name,
     const int requests = options.smoke ? 20 : 45;
     return Measure(name, options,
                    [requests] { return DriveAcceptance(requests); });
+  }
+  if (name == "overload.goodput") {
+    const double duration = options.smoke ? 30.0 : 120.0;
+    return Measure(name, options,
+                   [duration] { return DriveOverloadGoodput(duration); });
   }
   BenchResult unknown;
   unknown.name = name;

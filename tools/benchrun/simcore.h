@@ -44,6 +44,10 @@ struct SimcoreOptions {
  *                       concurrent streams
  *   simcore.acceptance  end-to-end acceptance scenario: every engine
  *                       replayed over the standard ShareGPT trace
+ *   overload.goodput    1x/2x/4x MMPP bursts on MuxWise with overload
+ *                       control on/off vs chunked-prefill and static
+ *                       disaggregation; digests fold SLO-attained
+ *                       goodput
  */
 std::vector<std::string> SimcoreBenchNames();
 

@@ -88,6 +88,23 @@ const std::vector<LineRule>& LineRules() {
        std::regex(R"(std::priority_queue\b)"),
        "",
        {"src/sim", "src/gpu"}},
+      // Overload control (ISSUE 5) makes every request queue in the
+      // serving path bounded: admission enforces a hard per-class queue
+      // bound before anything reaches an engine queue. A bare push into
+      // a queue-named member reintroduces an unbounded buffer that
+      // defeats that back-pressure. Sites whose boundedness is enforced
+      // elsewhere (admission-checked entry points, net-zero requeues,
+      // same-event drains) carry `// muxlint: allow(unbounded-queue)`
+      // with a justification.
+      {"unbounded-queue",
+       "push into a queue-named member without an admission bound; "
+       "overload control requires every serving-path queue to be "
+       "bounded — justify with an allow() if boundedness is enforced "
+       "elsewhere",
+       std::regex(
+           R"(\b[a-z]*(waiting|queue|pending|held|gated|backlog)[a-z_]*_(\s*\[[^\]]*\])?\s*\.\s*(push_back|push_front|emplace_back|emplace_front)\s*\()"),
+       "",
+       {"src/serve", "src/core"}},
       // Event records live in the Simulator's arena/free-list so ids
       // recycle deterministically and steady-state scheduling never
       // allocates; heap-allocating them directly bypasses both.
