@@ -19,8 +19,9 @@ LoongServeEngine::LoongServeEngine(sim::Simulator* simulator,
       deployment_.gpu.Aggregate(deployment_.num_gpus);
   device_ = std::make_unique<gpu::Gpu>(sim_, aggregate);
   host_ = std::make_unique<gpu::HostThread>(sim_);
-  link_ = std::make_unique<gpu::Interconnect>(
-      sim_, deployment_.gpu.nvlink_bandwidth, sim::Microseconds(10));
+  link_ = std::make_unique<sim::Channel>(
+      sim_, "loongserve/reshard", deployment_.gpu.nvlink_bandwidth,
+      sim::Microseconds(10));
   cost_by_tp_.resize(static_cast<std::size_t>(deployment_.num_gpus) + 1);
   for (int k = 1; k <= deployment_.num_gpus; ++k) {
     cost_by_tp_[static_cast<std::size_t>(k)] = std::make_unique<llm::CostModel>(

@@ -9,6 +9,7 @@
 #include "fault/fault_aware.h"
 #include "fault/recovery.h"
 #include "gpu/cluster.h"
+#include "sim/channel.h"
 #include "llm/cost_model.h"
 #include "serve/deployment.h"
 #include "serve/engine.h"
@@ -63,7 +64,7 @@ class LoongServeEngine : public fault::FaultAwareEngine {
   void InjectCrash(std::size_t domain) override;
   void InjectRecovery(std::size_t domain) override;
   void InjectStraggler(std::size_t domain, double slowdown) override;
-  gpu::Interconnect* FaultableLink() override { return link_.get(); }
+  sim::Channel* FaultableLink() override { return link_.get(); }
 
   /**
    * Forwards the tracer to the aggregate device ("gpu/"); prefill
@@ -96,7 +97,7 @@ class LoongServeEngine : public fault::FaultAwareEngine {
 
   std::unique_ptr<gpu::Gpu> device_;  // Aggregate of num_gpus GPUs.
   std::unique_ptr<gpu::HostThread> host_;
-  std::unique_ptr<gpu::Interconnect> link_;
+  std::unique_ptr<sim::Channel> link_;
   std::vector<std::unique_ptr<llm::CostModel>> cost_by_tp_;  // [1..n].
 
   gpu::StreamId prefill_stream_ = 0;

@@ -20,6 +20,7 @@ struct StaticDisaggEngine::Job {
   std::int64_t d_cached = 0;
 };
 
+MUX_CHANNEL_ENTRY
 StaticDisaggEngine::StaticDisaggEngine(sim::Simulator* simulator,
                                        const serve::Deployment& deployment,
                                        Options options)
@@ -93,7 +94,7 @@ void StaticDisaggEngine::OnDeadline(std::int64_t id) {
   }
 }
 
-void StaticDisaggEngine::PumpPrefill() {
+MUX_SHARD_LOCAL void StaticDisaggEngine::PumpPrefill() {
   if (DomainDown(0)) return;
   if (prefill_in_flight_ || waiting_.empty()) return;
 
@@ -189,7 +190,10 @@ void StaticDisaggEngine::OnPrefillBatchDone() {
     migrating_.push_back(std::move(job));
   }
   for (auto& req : completed) NotifyComplete(std::move(req));
-  TryMoveToDecode();
+  // Prefill-side completion hands off to the decode shard through the
+  // cluster control channel; the same-tick delivery keeps the event
+  // stream identical while making the shard crossing explicit.
+  cluster_->control().Deliver([this] { TryMoveToDecode(); });
   PumpPrefill();
 }
 
@@ -226,21 +230,21 @@ void StaticDisaggEngine::TryMoveToDecode() {
     // captured epochs fence off dead generations.
     const std::int64_t id = req.spec->id;
     decoding_.push_back(std::move(owned));
-    cluster_->link().Transfer(
-        migrate_bytes,
-        [this, id, pe = p_epoch_, de = d_epoch_] {
+    cluster_->link().Send<std::int64_t>(
+        migrate_bytes, id,
+        [this, pe = p_epoch_, de = d_epoch_](std::int64_t moved_id) {
           if (pe != p_epoch_ || de != d_epoch_) return;
           for (auto& job : decoding_) {
-            if (job->request->spec->id == id) {
+            if (job->request->spec->id == moved_id) {
               job->request->progress = 1;  // Marker: KV landed, decodable.
               break;
             }
           }
           MaybeStartDecodeIteration();
         },
-        [this, id, pe = p_epoch_, de = d_epoch_] {
+        [this, pe = p_epoch_, de = d_epoch_](std::int64_t moved_id) {
           if (pe != p_epoch_ || de != d_epoch_) return;
-          OnMigrationFailed(id);
+          OnMigrationFailed(moved_id);
         });
   }
 }
@@ -262,7 +266,7 @@ void StaticDisaggEngine::OnMigrationFailed(std::int64_t id) {
   }
 }
 
-void StaticDisaggEngine::MaybeStartDecodeIteration() {
+MUX_SHARD_LOCAL void StaticDisaggEngine::MaybeStartDecodeIteration() {
   if (DomainDown(1)) return;
   if (decode_in_flight_) return;
   std::vector<std::int64_t> ctx;
@@ -320,7 +324,9 @@ void StaticDisaggEngine::OnDecodeIterationDone() {
   for (auto& req : completed) NotifyComplete(std::move(req));
   TryMoveToDecode();
   MaybeStartDecodeIteration();
-  PumpPrefill();
+  // Decode-side drain may unblock prefill admission on the other
+  // instance: a cross-shard notification, routed via the channel.
+  cluster_->control().Deliver([this] { PumpPrefill(); });
 }
 
 void StaticDisaggEngine::Finish(Job* job) {
@@ -338,13 +344,14 @@ void StaticDisaggEngine::Finish(Job* job) {
   // next turn of this session from cache.
   const double back_bytes = static_cast<double>(req.generated) *
                             deployment_.model.KvBytesPerToken();
-  const kv::TokenSeq full = req.spec->full_seq;
   // Losing this warm-up (prefill crash, or the link giving up) only
   // costs a future cache hit, so the failure path is a no-op.
-  cluster_->link().Transfer(back_bytes, [this, full, pe = p_epoch_] {
-    if (pe != p_epoch_) return;
-    prefill_pool_->CommitSequence(full, sim_->Now());
-  });
+  cluster_->link().Send<kv::TokenSeq>(
+      back_bytes, req.spec->full_seq,
+      [this, pe = p_epoch_](kv::TokenSeq full) {
+        if (pe != p_epoch_) return;
+        prefill_pool_->CommitSequence(full, sim_->Now());
+      });
 
   MUX_CHECK(in_flight_ > 0);
   --in_flight_;
@@ -381,7 +388,7 @@ void StaticDisaggEngine::RecycleLost(
   PumpPrefill();
 }
 
-void StaticDisaggEngine::InjectCrash(std::size_t domain) {
+MUX_CHANNEL_ENTRY void StaticDisaggEngine::InjectCrash(std::size_t domain) {
   if (domain == 0) {
     MarkDown(0, true);
     ++p_epoch_;
@@ -458,13 +465,13 @@ void StaticDisaggEngine::InjectRecovery(std::size_t domain) {
   }
 }
 
-void StaticDisaggEngine::InjectStraggler(std::size_t domain,
-                                         double slowdown) {
+MUX_SHARD_LOCAL void StaticDisaggEngine::InjectStraggler(std::size_t domain,
+                                                          double slowdown) {
   if (domain >= cluster_->num_instances()) return;
   cluster_->instance(domain).device->SetSlowdown(slowdown);
 }
 
-void StaticDisaggEngine::AttachTracer(obs::Tracer tracer) {
+MUX_CHANNEL_ENTRY void StaticDisaggEngine::AttachTracer(obs::Tracer tracer) {
   fault::FaultAwareEngine::AttachTracer(tracer);
   cluster_->instance(0).device->SetTracer(tracer, "gpu0/");
   cluster_->instance(1).device->SetTracer(tracer, "gpu1/");

@@ -9,6 +9,7 @@
 #include "fault/fault_aware.h"
 #include "fault/recovery.h"
 #include "gpu/cluster.h"
+#include "sim/channel.h"
 #include "kv/kv_pool.h"
 #include "llm/cost_model.h"
 #include "serve/deployment.h"
@@ -69,7 +70,7 @@ class StaticDisaggEngine : public fault::FaultAwareEngine {
   void InjectCrash(std::size_t domain) override;
   void InjectRecovery(std::size_t domain) override;
   void InjectStraggler(std::size_t domain, double slowdown) override;
-  gpu::Interconnect* FaultableLink() override { return &cluster_->link(); }
+  sim::Channel* FaultableLink() override { return &cluster_->link(); }
 
   /**
    * Forwards the tracer to both instance devices ("gpu0/", "gpu1/") and

@@ -27,8 +27,9 @@ MuxWiseEngine::MuxWiseEngine(sim::Simulator* simulator,
                                                      options_.dispatch);
   ctl_ = std::make_unique<overload::Controller>(options_.overload);
   if (options_.overload.enabled) {
-    host_link_ = std::make_unique<gpu::Interconnect>(
-        sim_, options_.overload.spill_bandwidth_bytes_per_s,
+    host_link_ = std::make_unique<sim::Channel>(
+        sim_, "muxwise/host-spill",
+        options_.overload.spill_bandwidth_bytes_per_s,
         options_.overload.spill_latency);
   }
 }
@@ -850,10 +851,11 @@ bool MuxWiseEngine::TryPreemptForKv(const serve::Request& head) {
     entry.bytes = bytes;
     entry.request = std::move(victim);
     spilled_.push_back(std::move(entry));
-    host_link_->Transfer(bytes, [this, e = epoch(), id] {
-      if (e != epoch()) return;
-      OnSpillOutDone(id);
-    });
+    host_link_->Send<std::int64_t>(
+        bytes, id, [this, e = epoch()](std::int64_t spilled_id) {
+          if (e != epoch()) return;
+          OnSpillOutDone(spilled_id);
+        });
   } else {
     // Recompute: cheaper (or nothing computed yet) — drop the partial
     // KV and requeue the victim behind its class.
@@ -917,10 +919,11 @@ void MuxWiseEngine::MaybeRestoreSpilled() {
   entry.restoring = true;
   restore_in_flight_ = true;
   const std::int64_t id = entry.request->spec->id;
-  host_link_->Transfer(entry.bytes, [this, e = epoch(), id] {
-    if (e != epoch()) return;
-    OnRestoreDone(id);
-  });
+  host_link_->Send<std::int64_t>(
+      entry.bytes, id, [this, e = epoch()](std::int64_t restored_id) {
+        if (e != epoch()) return;
+        OnRestoreDone(restored_id);
+      });
 }
 
 void MuxWiseEngine::OnRestoreDone(std::int64_t id) {

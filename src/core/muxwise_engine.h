@@ -12,6 +12,7 @@
 #include "core/estimator.h"
 #include "core/multiplex_engine.h"
 #include "gpu/cluster.h"
+#include "sim/channel.h"
 #include "kv/kv_pool.h"
 #include "llm/cost_model.h"
 #include "overload/controller.h"
@@ -227,7 +228,7 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
 
   // --- Overload-control state (all empty / inert when disabled) ------
   std::unique_ptr<overload::Controller> ctl_;
-  std::unique_ptr<gpu::Interconnect> host_link_;
+  std::unique_ptr<sim::Channel> host_link_;
 
   /** Admission-delayed requests awaiting a bucket/deferral retry. */
   std::vector<std::unique_ptr<serve::Request>> gated_;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "gpu/cluster.h"
+#include "sim/channel.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 
@@ -63,11 +64,11 @@ void FaultInjector::Arm(serve::Engine& engine) {
   }
 
   if (!plan_.transfer_faults.empty()) {
-    gpu::Interconnect* link = engine.FaultableLink();
+    sim::Channel* link = engine.FaultableLink();
     if (link == nullptr) {
       windows_skipped_ += plan_.transfer_faults.size();
     } else {
-      gpu::Interconnect::FaultModel model;
+      sim::Channel::FaultModel model;
       model.failure_probability = 0.0;  // Armed but inert until a window.
       model.max_attempts = policy_.max_transfer_attempts;
       model.initial_backoff = policy_.transfer_retry_backoff;

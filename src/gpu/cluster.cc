@@ -7,86 +7,15 @@
 
 namespace muxwise::gpu {
 
-Interconnect::Interconnect(sim::Simulator* simulator,
-                           double bandwidth_bytes_per_s, sim::Duration latency)
-    : sim_(simulator), bandwidth_(bandwidth_bytes_per_s), latency_(latency) {
-  MUX_CHECK(sim_ != nullptr);
-  MUX_CHECK(bandwidth_ > 0.0);
-}
-
-void Interconnect::EnableFaults(FaultModel model, sim::Rng rng) {
-  MUX_CHECK(model.failure_probability >= 0.0 &&
-            model.failure_probability < 1.0);
-  MUX_CHECK(model.max_attempts >= 1);
-  MUX_CHECK(model.initial_backoff >= 0);
-  fault_model_ = model;
-  fault_rng_.emplace(std::move(rng));
-}
-
-void Interconnect::SetFailureProbability(double p) {
-  MUX_CHECK(p >= 0.0 && p < 1.0);
-  MUX_CHECK(fault_rng_.has_value());
-  fault_model_.failure_probability = p;
-}
-
-void Interconnect::Transfer(double bytes, std::function<void()> done,
-                            std::function<void()> failed) {
-  MUX_CHECK(bytes >= 0.0);
-  StartAttempt(bytes, 1, std::move(done), std::move(failed));
-}
-
-void Interconnect::StartAttempt(double bytes, int attempt,
-                                std::function<void()> done,
-                                std::function<void()> failed) {
-  const sim::Duration wire_time =
-      latency_ + static_cast<sim::Duration>(bytes / bandwidth_ * 1e9);
-  // Clamp: a link that has been idle since free_at_ passed must not make
-  // the next transfer inherit that stale serialization point.
-  free_at_ = std::max(free_at_, sim_->Now()) + wire_time;
-  // Draw per-attempt loss up front (deterministic given the seeded
-  // stream); an unarmed or zero-probability link consumes no randomness
-  // and takes the exact same single-event path as before faults existed.
-  const bool lost = fault_rng_.has_value() &&
-                    fault_model_.failure_probability > 0.0 &&
-                    fault_rng_->Bernoulli(fault_model_.failure_probability);
-  if (!lost) {
-    auto finish = [this, bytes, done = std::move(done)] {
-      bytes_transferred_ += bytes;
-      ++transfers_completed_;
-      if (done) done();
-    };
-    sim_->ScheduleAt(free_at_, std::move(finish));
-    return;
-  }
-  // The attempt occupied the wire for its full duration before being
-  // detected as lost (worst-case model: corruption found at the CRC on
-  // the far side), then the caller backs off before retrying.
-  if (attempt >= fault_model_.max_attempts) {
-    auto give_up = [this, failed = std::move(failed)] {
-      ++attempts_failed_;
-      ++transfers_failed_;
-      if (failed) failed();
-    };
-    sim_->ScheduleAt(free_at_, std::move(give_up));
-    return;
-  }
-  sim::Duration backoff = fault_model_.initial_backoff;
-  for (int i = 1; i < attempt; ++i) backoff *= 2;
-  auto retry = [this, bytes, attempt, done = std::move(done),
-                failed = std::move(failed)]() mutable {
-    ++attempts_failed_;
-    StartAttempt(bytes, attempt + 1, std::move(done), std::move(failed));
-  };
-  sim_->ScheduleAt(free_at_ + backoff, std::move(retry));
-}
-
 Cluster::Cluster(sim::Simulator* simulator, GpuSpec spec, int total_gpus)
     : sim_(simulator), spec_(std::move(spec)), total_gpus_(total_gpus) {
   MUX_CHECK(sim_ != nullptr);
   MUX_CHECK(total_gpus_ > 0);
   // Migration rides the per-GPU NVLink; latency covers handshake cost.
-  link_ = std::make_unique<Interconnect>(sim_, spec_.nvlink_bandwidth,
+  link_ = std::make_unique<sim::Channel>(sim_, "cluster/nvlink",
+                                         spec_.nvlink_bandwidth,
                                          sim::Microseconds(10));
+  control_ = std::make_unique<sim::Channel>(sim_, "cluster/control");
 }
 
 Instance& Cluster::AddInstance(int tp_degree) {

@@ -12,6 +12,7 @@
 #include "gpu/gpu.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/host.h"
+#include "sim/channel.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -19,82 +20,12 @@ namespace muxwise::gpu {
 
 /**
  * A FIFO point-to-point link used for KV-cache migration between
- * disaggregated instances. Transfers queue behind each other; duration
- * is latency + bytes / bandwidth. The idle marker is clamped to Now()
- * at enqueue time, so a transfer issued long after the link went idle
- * starts immediately instead of inheriting stale serialization state,
- * and bytes/completion counters advance only when the bytes actually
- * land (never at enqueue).
- *
- * With EnableFaults() armed, each attempt may be lost with the model's
- * probability (drawn from a seeded sim::Rng — deterministic). Lost
- * attempts retry with exponential backoff, re-occupying the wire, up to
- * max_attempts; after that the transfer permanently fails and the
- * caller's `failed` callback fires instead of `done`.
+ * disaggregated instances — now a named sim::Channel (the wire model,
+ * fault machinery, and counters live there). The alias remains because
+ * "interconnect" is the hardware-shaped name for a clocked inter-GPU
+ * channel; new code may use sim::Channel directly.
  */
-class Interconnect {
- public:
-  /** Deterministic per-attempt failure model for an armed link. */
-  struct FaultModel {
-    /** Per-attempt loss probability; retuned live by the injector. */
-    double failure_probability = 0.0;
-
-    /** Total attempts per transfer (first try included), >= 1. */
-    int max_attempts = 4;
-
-    /** Backoff before attempt k+1: initial_backoff * 2^(k-1). */
-    sim::Duration initial_backoff = sim::Milliseconds(2);
-  };
-
-  Interconnect(sim::Simulator* simulator, double bandwidth_bytes_per_s,
-               sim::Duration latency);
-
-  /**
-   * Arms the link's failure model with a seeded stream. Unarmed links
-   * (the default) draw no randomness and schedule no retry events, so
-   * fault-free runs stay bit-identical to a build without this feature.
-   */
-  void EnableFaults(FaultModel model, sim::Rng rng);
-
-  /** Retunes the armed per-attempt loss probability (fault windows). */
-  void SetFailureProbability(double p);
-
-  /**
-   * Enqueues a transfer; `done` fires when the bytes have landed. If the
-   * armed fault model exhausts its attempts, `failed` (when provided)
-   * fires instead — the permanent-failure path.
-   */
-  void Transfer(double bytes, std::function<void()> done,
-                std::function<void()> failed = {});
-
-  /** Total bytes that actually landed (retries count once, on success). */
-  double bytes_transferred() const { return bytes_transferred_; }
-
-  /** Number of completed transfers. */
-  std::size_t transfers_completed() const { return transfers_completed_; }
-
-  /** Attempts lost and retried (transient failures). */
-  std::size_t attempts_failed() const { return attempts_failed_; }
-
-  /** Transfers that exhausted their attempts (permanent failures). */
-  std::size_t transfers_failed() const { return transfers_failed_; }
-
- private:
-  /** Occupies the wire for one attempt and schedules its landing. */
-  void StartAttempt(double bytes, int attempt, std::function<void()> done,
-                    std::function<void()> failed);
-
-  sim::Simulator* sim_;
-  double bandwidth_;
-  sim::Duration latency_;
-  sim::Time free_at_ = 0;
-  double bytes_transferred_ = 0.0;
-  std::size_t transfers_completed_ = 0;
-  std::size_t attempts_failed_ = 0;
-  std::size_t transfers_failed_ = 0;
-  FaultModel fault_model_;
-  std::optional<sim::Rng> fault_rng_;
-};
+using Interconnect = sim::Channel;
 
 /**
  * One serving instance: a symmetric tensor-parallel group of `tp_degree`
@@ -139,7 +70,18 @@ class Cluster {
   sim::Simulator* simulator() const { return sim_; }
 
   /** NVLink fabric used for inter-instance KV migration. */
-  Interconnect& link() { return *link_; }
+  sim::Channel& link() { return *link_; }
+
+  /**
+   * The control channel for cluster-level callbacks: every same-tick
+   * hand-off between instances (prefill batch done -> decode admission,
+   * decode drain -> prefill pump) is delivered through here instead of
+   * one shard calling into another directly. Deliveries run inline, so
+   * the event stream is identical to a direct call — but the crossing
+   * is explicit, counted, and enforceable by muxlint's shard-safety
+   * rule, which is the prerequisite for sharding the event loop.
+   */
+  sim::Channel& control() { return *control_; }
 
   /**
    * Registers GPU-conservation audits (instances never over-allocate
@@ -154,7 +96,8 @@ class Cluster {
   int total_gpus_;
   int allocated_gpus_ = 0;
   std::vector<std::unique_ptr<Instance>> instances_;
-  std::unique_ptr<Interconnect> link_;
+  std::unique_ptr<sim::Channel> link_;
+  std::unique_ptr<sim::Channel> control_;
 };
 
 }  // namespace muxwise::gpu

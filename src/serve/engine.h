@@ -10,9 +10,9 @@
 #include "obs/trace.h"
 #include "serve/request.h"
 
-namespace muxwise::gpu {
-class Interconnect;
-}  // namespace muxwise::gpu
+namespace muxwise::sim {
+class Channel;
+}  // namespace muxwise::sim
 
 namespace muxwise::serve {
 
@@ -67,8 +67,12 @@ class Engine {
     (void)slowdown;
   }
 
-  /** The link transfer faults apply to; nullptr when the engine has none. */
-  virtual gpu::Interconnect* FaultableLink() { return nullptr; }
+  /**
+   * The channel transfer faults apply to; nullptr when the engine has
+   * none. All cross-instance transfers ride sim::Channel, so the
+   * injector arms the channel's deterministic loss model directly.
+   */
+  virtual sim::Channel* FaultableLink() { return nullptr; }
 
   /**
    * Attaches a tracing handle. Overrides forward the tracer to the

@@ -92,7 +92,7 @@ TEST(RecoveryPolicyTest, DeadlineScalesWithRequestLength) {
 
 TEST(InterconnectFaultTest, PermanentLossExhaustsAttemptsWithBackoff) {
   sim::Simulator simulator;
-  gpu::Interconnect link(&simulator, 600e9, 0);
+  gpu::Interconnect link(&simulator, "test/link", 600e9, 0);
   gpu::Interconnect::FaultModel model;
   model.failure_probability = 0.999999;  // Every attempt is lost.
   model.max_attempts = 2;
@@ -115,7 +115,7 @@ TEST(InterconnectFaultTest, PermanentLossExhaustsAttemptsWithBackoff) {
 
 TEST(InterconnectFaultTest, LossyLinkConservesTransferAccounting) {
   sim::Simulator simulator;
-  gpu::Interconnect link(&simulator, 600e9, 0);
+  gpu::Interconnect link(&simulator, "test/link", 600e9, 0);
   gpu::Interconnect::FaultModel model;
   model.failure_probability = 0.5;
   model.max_attempts = 3;
@@ -139,7 +139,8 @@ TEST(InterconnectFaultTest, UnarmedLinkBehaviorIsUnchanged) {
   // A link that never had EnableFaults() called must take the exact
   // fault-free path: same completion time, no failure accounting.
   sim::Simulator simulator;
-  gpu::Interconnect link(&simulator, 600e9, sim::Microseconds(10));
+  gpu::Interconnect link(&simulator, "test/link", 600e9,
+                         sim::Microseconds(10));
   sim::Time done = -1;
   link.Transfer(600e6, [&] { done = simulator.Now(); });
   simulator.Run();

@@ -12,7 +12,7 @@
 //   benchrun --diff BASE.json CANDIDATE.json
 //            [--threshold=0.10] [--no-wall] [--allow-missing]
 
-#include <chrono>  // muxlint: allow(wall-clock) — benchmarks measure real time.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -1,7 +1,7 @@
 #include "benchrun/simcore.h"
 
 #include <algorithm>
-#include <chrono>  // muxlint: allow(wall-clock) — benchmarks measure real time.
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <utility>
