@@ -109,7 +109,15 @@ void MultiplexEngine::RegisterAudits(check::InvariantRegistry& registry) const {
         // prefill context could actually execute.
         const bool prefill_parked =
             decode_sms_ == total && device_->StreamIdle(prefill_stream_);
-        ctx.Check(decode_sms_ + prefill_sms_ <= total || prefill_parked,
+        // The mirror state: decode terminated mid-prefill (bubble
+        // type 2), the later prefill layers moved to a full-device
+        // context, and no decode ran afterwards (e.g. the final
+        // request needed zero decode iterations).
+        const bool decode_parked =
+            prefill_sms_ == total && device_->StreamIdle(decode_stream_);
+        ctx.Check(
+            decode_sms_ + prefill_sms_ <= total || prefill_parked ||
+                decode_parked,
                   "partition " + std::to_string(decode_sms_) + "+" +
                       std::to_string(prefill_sms_) + " oversubscribes " +
                       std::to_string(total) + " SMs with prefill runnable");

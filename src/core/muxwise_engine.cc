@@ -708,6 +708,34 @@ void MuxWiseEngine::InjectCrash(std::size_t domain) {
   FlushCompletions();
 }
 
+std::vector<std::unique_ptr<serve::Request>>
+MuxWiseEngine::ExtractForRehoming() {
+  std::vector<std::unique_ptr<serve::Request>> extracted;
+  extracted.reserve(waiting_.size() + gated_.size());
+  for (auto& request : waiting_) {
+    if (FaultsEnabled()) waiting_demand_ -= DemandTokens(*request);
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    request->phase = serve::Phase::kQueued;
+    extracted.push_back(std::move(request));
+  }
+  waiting_.clear();
+  // Gated arrivals never entered waiting_demand_ (the class controller
+  // bounds them instead), so only the in-flight count is returned.
+  for (auto& request : gated_) {
+    MUX_CHECK(in_flight_ > 0);
+    --in_flight_;
+    request->phase = serve::Phase::kQueued;
+    extracted.push_back(std::move(request));
+  }
+  gated_.clear();
+  return extracted;
+}
+
+void MuxWiseEngine::WarmCachePrefix(const kv::TokenSeq& prefix) {
+  pool_->CommitSequence(prefix, sim_->Now());
+}
+
 void MuxWiseEngine::InjectRecovery(std::size_t domain) {
   if (domain != 0) return;
   MarkDown(0, false);

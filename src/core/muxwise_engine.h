@@ -123,6 +123,28 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   /** Spilled requests restored to HBM and resumed. */
   std::size_t kv_restores() const { return kv_restores_; }
 
+  // --- Fleet-router surface (src/route/) ----------------------------
+
+  /**
+   * Drains every request that has not started compute — the waiting
+   * queue (FIFO order) plus admission-gated arrivals — handing
+   * ownership to the fleet router for re-homing once this replica is
+   * declared down. In-flight and queued-demand accounting is settled
+   * here; the extracted requests' pending deadline/retry events become
+   * no-ops (they look the requests up by id and find nothing).
+   * Single-replica runs never call this, so their event streams are
+   * bit-identical to builds without a router.
+   */
+  std::vector<std::unique_ptr<serve::Request>> ExtractForRehoming();
+
+  /**
+   * Lands a migrated KV prefix in this replica's cache: the pages are
+   * committed unpinned (evictable), so the next admission of the
+   * re-homed request matches them instead of recomputing. The wire
+   * time was already paid on the router's fleet link.
+   */
+  void WarmCachePrefix(const kv::TokenSeq& prefix);
+
   /** Samples of (time, decode_sms) at each partition decision (Fig. 18). */
   struct PartitionSample {
     sim::Time time;

@@ -1,6 +1,9 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "sim/logging.h"
 
@@ -30,6 +33,40 @@ void FaultPlan::Validate() const {
       sim::Fatal("fault plan: crash at t=" + std::to_string(crash.at) +
                  " recovers at t=" + std::to_string(crash.recover_at) +
                  " (must be strictly later, or kTimeNever)");
+    }
+  }
+  // Cross-entry ordering per instance: crash windows must not overlap.
+  // Without this check a plan whose second crash fires inside (or
+  // before) an earlier crash's window interleaves crash/recover events
+  // in an order the plan never intended — e.g. an instance silently
+  // resurrected by a stale recovery, or left down forever because its
+  // recovery landed before a later crash — and the run is "valid" but
+  // meaningless.
+  std::map<std::size_t, std::vector<const CrashEvent*>> by_instance;
+  for (const CrashEvent& crash : crashes) {
+    by_instance[crash.instance].push_back(&crash);
+  }
+  for (auto& [instance, events] : by_instance) {
+    std::sort(events.begin(), events.end(),
+              [](const CrashEvent* a, const CrashEvent* b) {
+                return a->at < b->at;
+              });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      const CrashEvent& prev = *events[i - 1];
+      const CrashEvent& next = *events[i];
+      if (prev.recover_at == sim::kTimeNever) {
+        sim::Fatal("fault plan: instance " + std::to_string(instance) +
+                   " crashes at t=" + std::to_string(next.at) +
+                   " after never recovering from its crash at t=" +
+                   std::to_string(prev.at));
+      }
+      if (next.at < prev.recover_at) {
+        sim::Fatal("fault plan: instance " + std::to_string(instance) +
+                   " crashes again at t=" + std::to_string(next.at) +
+                   " before recovering at t=" +
+                   std::to_string(prev.recover_at) +
+                   " (overlapping crash windows)");
+      }
     }
   }
   for (const StragglerWindow& window : stragglers) {

@@ -70,7 +70,13 @@ struct FaultPlan {
                       double slowdown);
   FaultPlan& DropTransfers(sim::Time from, sim::Time to, double p);
 
-  /** Fatal on malformed entries (inverted windows, slowdown < 1, ...). */
+  /**
+   * Fatal on malformed entries: inverted windows, slowdown < 1, a
+   * recover time at or before its crash time, or overlapping crash
+   * windows on one instance (a second crash inside — or after a
+   * never-recovering — window would silently misorder the injected
+   * crash/recover events).
+   */
   void Validate() const;
 
   /** Human-readable one-line-per-entry schedule (logs, diagnostics). */

@@ -147,9 +147,13 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
 
   fault::RecoveryPolicy policy = config.recovery;
   if (config.fault_plan.has_value()) policy.enabled = true;
+  // Fleet routing replicates MuxWiseEngine; baselines have no replica
+  // construction path, so a fleet config on one is a harness misuse.
+  MUX_CHECK(!config.fleet.enabled || IsMuxWiseFamily(kind));
 
   std::unique_ptr<serve::Engine> engine;
   core::MuxWiseEngine* muxwise = nullptr;
+  route::FleetRouter* fleet = nullptr;
   baselines::ChunkedPrefillEngine* chunked = nullptr;
   baselines::StaticDisaggEngine* disagg = nullptr;
   baselines::LoongServeEngine* loong = nullptr;
@@ -165,10 +169,17 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
     }
     options.recovery = policy;
     if (config.overload.enabled) options.overload = config.overload;
-    auto owned = std::make_unique<core::MuxWiseEngine>(
-        &simulator, deployment, *shared_estimator, options);
-    muxwise = owned.get();
-    engine = std::move(owned);
+    if (config.fleet.enabled) {
+      auto owned = std::make_unique<route::FleetRouter>(
+          &simulator, deployment, *shared_estimator, options, config.fleet);
+      fleet = owned.get();
+      engine = std::move(owned);
+    } else {
+      auto owned = std::make_unique<core::MuxWiseEngine>(
+          &simulator, deployment, *shared_estimator, options);
+      muxwise = owned.get();
+      engine = std::move(owned);
+    }
   } else if (kind == EngineKind::kChunked || kind == EngineKind::kNanoFlow) {
     baselines::ChunkedPrefillEngine::Options options;
     options.token_budget =
@@ -236,7 +247,25 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   outcome.token_throughput = metrics.TokenThroughput(0, end);
   outcome.request_throughput = metrics.RequestThroughput(0, end);
 
-  if (muxwise != nullptr) {
+  if (fleet != nullptr) {
+    outcome.fleet_active = true;
+    outcome.fleet = fleet->Stats();
+    double hit_rate = 0.0;
+    for (std::size_t r = 0; r < fleet->num_replicas(); ++r) {
+      core::MuxWiseEngine& replica = fleet->replica(r);
+      outcome.gpu_utilization.push_back(
+          UtilPercent(replica.mux().device(), end));
+      outcome.preemptions += replica.preemptions();
+      outcome.kv_spills += replica.kv_spills();
+      outcome.kv_recomputes += replica.kv_recomputes();
+      outcome.kv_restores += replica.kv_restores();
+      hit_rate += replica.pool().HitRate();
+    }
+    outcome.cache_hit_rate =
+        hit_rate / static_cast<double>(fleet->num_replicas());
+    outcome.overload_active =
+        fleet->replica(0).overload_controller().enabled();
+  } else if (muxwise != nullptr) {
     outcome.gpu_utilization = {UtilPercent(muxwise->mux().device(), end)};
     outcome.bubble_ratio = muxwise->mux().AverageBubbleRatio();
     outcome.cache_hit_rate = muxwise->pool().HitRate();
@@ -316,6 +345,29 @@ std::uint64_t OutcomeDigest(const RunOutcome& outcome) {
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_spills));
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_recomputes));
     h = MixDigest(h, static_cast<std::uint64_t>(outcome.kv_restores));
+  }
+  // Fleet-era fields: folded only when the router was enabled, so every
+  // single-replica run keeps its historical digest bit-for-bit.
+  if (outcome.fleet_active) {
+    const route::FleetStats& fleet = outcome.fleet;
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.replicas));
+    for (std::size_t routed : fleet.routed_per_replica) {
+      h = MixDigest(h, static_cast<std::uint64_t>(routed));
+    }
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.affinity_hits));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.session_hits));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.rehomed));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.rehome_migrations));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.rehome_recomputes));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.rehome_shed));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.rehome_failed));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.fleet_shed));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.failovers));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.health_transitions));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.mode_transitions));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.scale_ups));
+    h = MixDigest(h, static_cast<std::uint64_t>(fleet.scale_downs));
+    h = MixSummary(h, fleet.failover_latency);
   }
   for (unsigned char c : outcome.diagnostic) {
     h = MixDigest(h, static_cast<std::uint64_t>(c));

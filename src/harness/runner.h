@@ -13,6 +13,7 @@
 #include "fault/recovery.h"
 #include "obs/trace.h"
 #include "overload/controller.h"
+#include "route/fleet_router.h"
 #include "serve/deployment.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
@@ -86,6 +87,18 @@ struct RunConfig {
   overload::Policy overload;
 
   /**
+   * Fleet routing (MuxWise-family engines only): when `fleet.enabled`,
+   * the run constructs `fleet.replicas` MuxWiseEngine instances behind
+   * a route::FleetRouter instead of one engine — cache-affinity
+   * dispatch, health-tracked failover with session re-homing, and the
+   * fleet degradation ladder. Fault-plan instances then map onto
+   * replicas (one fault domain per replica). Disabled (the default)
+   * leaves every engine's event stream bit-identical to pre-fleet
+   * builds.
+   */
+  route::FleetOptions fleet;
+
+  /**
    * When set, the engine (and the fault injector, if any) are
    * instrumented into this recorder. Tracing never schedules events or
    * alters behaviour, so the simulated event stream — and its digest —
@@ -147,6 +160,15 @@ struct RunOutcome {
   std::size_t kv_spills = 0;
   std::size_t kv_recomputes = 0;
   std::size_t kv_restores = 0;
+
+  /**
+   * Fleet-routing activity (RunConfig::fleet.enabled runs only; the
+   * stats stay default elsewhere and are folded into the digest only
+   * when `fleet_active` — per-class goodput, re-home counts, and the
+   * failover-latency summary the fleet report card needs).
+   */
+  bool fleet_active = false;
+  route::FleetStats fleet;
 
   /**
    * Empty on a run that terminated normally. Non-empty when the drive

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/backoff.h"
 #include "sim/logging.h"
 
 namespace muxwise::overload {
@@ -136,10 +137,11 @@ AdmissionDecision Controller::Admit(workload::SloClass slo_class,
   if (slo_class == workload::SloClass::kBatch &&
       mode_ >= policy_.defer_batch_at) {
     // Brownout parks batch arrivals; the engine sheds them if the
-    // deferral outlives max_admission_delay.
+    // deferral outlives max_admission_delay. The re-offer delay is the
+    // first rung of the shared backoff policy (DeferralBackoff), so it
+    // paces identically to the other deterministic retry paths.
     decision.action = AdmissionDecision::Action::kDelay;
-    decision.retry_at = now + std::max<sim::Duration>(
-                                  policy_.min_dwell, sim::Milliseconds(100));
+    decision.retry_at = now + sim::BackoffDelay(DeferralBackoff(), 1);
     ++delayed_[rank];
     return decision;
   }
@@ -180,6 +182,15 @@ bool Controller::DeferBatch() const {
 
 bool Controller::PreemptionEligible() const {
   return policy_.enabled && policy_.preemption && mode_ >= Mode::kPressure;
+}
+
+sim::ExponentialBackoff Controller::DeferralBackoff() const {
+  sim::ExponentialBackoff backoff;
+  backoff.initial =
+      std::max<sim::Duration>(policy_.min_dwell, sim::Milliseconds(100));
+  backoff.multiplier = 2.0;
+  backoff.cap = policy_.max_admission_delay;
+  return backoff;
 }
 
 bool Controller::SpillCheaper(double spill_bytes,

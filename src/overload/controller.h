@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/backoff.h"
 #include "sim/time.h"
 #include "workload/slo.h"
 
@@ -160,6 +161,15 @@ class Controller {
    * over the host link against redoing `recompute_seconds` of prefill.
    */
   bool SpillCheaper(double spill_bytes, double recompute_seconds) const;
+
+  /**
+   * Shared backoff policy for brownout admission deferrals: the first
+   * rung is max(min_dwell, 100 ms) — the historical constant re-offer
+   * delay — doubling per attempt up to max_admission_delay. The
+   * controller itself only issues rung 1 (Admit is stateless per call);
+   * callers that track attempts (the fleet router) climb the ladder.
+   */
+  sim::ExponentialBackoff DeferralBackoff() const;
 
   // --- Introspection for audits, traces, and outcomes ---------------
   std::size_t mode_transitions() const { return mode_transitions_; }

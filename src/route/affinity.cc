@@ -1,0 +1,41 @@
+#include "route/affinity.h"
+
+namespace muxwise::route {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed, and stable across runs. */
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t PrefixAffinityKey(const kv::TokenSeq& prompt,
+                                std::int64_t prefix_tokens) {
+  const std::int64_t len = SeqLength(prompt);
+  const kv::TokenSeq prefix =
+      SeqPrefix(prompt, prefix_tokens < len ? prefix_tokens : len);
+  std::uint64_t key = 0x517cc1b727220a95ull;
+  for (const kv::TokenSpan& span : prefix) {
+    key = Mix(key ^ static_cast<std::uint64_t>(span.stream));
+    key = Mix(key ^ static_cast<std::uint64_t>(span.begin));
+    key = Mix(key ^ static_cast<std::uint64_t>(span.end));
+  }
+  return key;
+}
+
+void AffinityTable::EvictReplica(std::size_t replica) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second == replica) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace muxwise::route

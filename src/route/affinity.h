@@ -1,0 +1,57 @@
+#ifndef MUXWISE_ROUTE_AFFINITY_H_
+#define MUXWISE_ROUTE_AFFINITY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "kv/token_seq.h"
+
+namespace muxwise::route {
+
+/**
+ * Deterministic cache-affinity key of a request's prompt: a hash over
+ * the token spans of the first `prefix_tokens` prompt tokens. Two
+ * requests share a key exactly when they share that prompt prefix
+ * (spans identify (stream, begin, end) ranges, so equal spans mean
+ * equal tokens), which is the same prefix the replica's radix KV cache
+ * would deduplicate — a key hit means the mapped replica already holds
+ * reusable KV pages for this prompt.
+ */
+std::uint64_t PrefixAffinityKey(const kv::TokenSeq& prompt,
+                                std::int64_t prefix_tokens);
+
+/**
+ * Prefix-key -> replica map behind cache-affinity routing. The router
+ * records where each prefix was last dispatched and prefers that
+ * replica for future requests with the same key; when a replica dies
+ * its entries are evicted (the KV they pointed at is gone), so stale
+ * affinity can never pin traffic to a cold or dead instance.
+ *
+ * Ordered map on purpose: iteration order is part of the deterministic
+ * event stream, and keys are value hashes, never pointers.
+ */
+class AffinityTable {
+ public:
+  void Record(std::uint64_t key, std::size_t replica) {
+    table_[key] = replica;
+  }
+
+  std::optional<std::size_t> Lookup(std::uint64_t key) const {
+    const auto it = table_.find(key);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /** Drops every entry mapped to `replica` (its cache is lost). */
+  void EvictReplica(std::size_t replica);
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::size_t> table_;
+};
+
+}  // namespace muxwise::route
+
+#endif  // MUXWISE_ROUTE_AFFINITY_H_

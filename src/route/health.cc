@@ -1,0 +1,122 @@
+#include "route/health.h"
+
+#include "sim/logging.h"
+
+namespace muxwise::route {
+
+const char* HealthName(ReplicaHealth state) {
+  switch (state) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kDown:
+      return "down";
+    case ReplicaHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(const HealthPolicy& policy, std::size_t replicas)
+    : policy_(policy), states_(replicas) {
+  MUX_CHECK(policy_.suspect_after_misses >= 1);
+  MUX_CHECK(policy_.down_after_misses >= policy_.suspect_after_misses);
+  MUX_CHECK(policy_.recovery_probation_beats >= 0);
+}
+
+HealthTracker::Transition HealthTracker::To(State& s, ReplicaHealth next) {
+  Transition t;
+  t.from = s.state;
+  t.to = next;
+  t.changed = next != s.state;
+  s.state = next;
+  return t;
+}
+
+void HealthTracker::OnCrashSignal(std::size_t r, sim::Time now) {
+  MUX_CHECK(r < states_.size());
+  State& s = states_[r];
+  s.alive = false;
+  // First signal of this outage wins: the failover latency measured is
+  // crash -> Down declaration, and a re-crash mid-detection is the
+  // same outage from the router's point of view.
+  if (s.crash_signal_at == sim::kTimeNever) s.crash_signal_at = now;
+}
+
+void HealthTracker::OnRecoverySignal(std::size_t r) {
+  MUX_CHECK(r < states_.size());
+  State& s = states_[r];
+  s.alive = true;
+  s.crash_signal_at = sim::kTimeNever;
+}
+
+bool HealthTracker::OnStragglerSignal(std::size_t r, double slowdown) {
+  MUX_CHECK(r < states_.size());
+  State& s = states_[r];
+  const bool was = s.straggling;
+  s.straggling = slowdown > 1.0;
+  if (s.straggling && s.state == ReplicaHealth::kHealthy) {
+    To(s, ReplicaHealth::kSuspect);
+    return true;
+  }
+  if (!s.straggling && was && s.state == ReplicaHealth::kSuspect &&
+      s.alive && s.misses == 0) {
+    To(s, ReplicaHealth::kHealthy);
+    return true;
+  }
+  return false;
+}
+
+HealthTracker::Transition HealthTracker::Beat(std::size_t r, sim::Time now) {
+  MUX_CHECK(r < states_.size());
+  (void)now;  // Transitions are beat-counted; `now` kept for symmetry.
+  State& s = states_[r];
+  if (s.alive) {
+    s.misses = 0;
+    switch (s.state) {
+      case ReplicaHealth::kDown:
+        s.probation = 0;
+        return To(s, ReplicaHealth::kRecovering);
+      case ReplicaHealth::kRecovering:
+        if (++s.probation >= policy_.recovery_probation_beats) {
+          return To(s, ReplicaHealth::kHealthy);
+        }
+        return Transition{};
+      case ReplicaHealth::kSuspect:
+        // A suspect that answers and is not straggling was a transient
+        // miss (e.g. crash signal raced a recovery): clear it.
+        if (!s.straggling) return To(s, ReplicaHealth::kHealthy);
+        return Transition{};
+      case ReplicaHealth::kHealthy:
+        return Transition{};
+    }
+    return Transition{};
+  }
+  // Missed beat.
+  if (s.state == ReplicaHealth::kDown) return Transition{};
+  ++s.misses;
+  if (s.misses >= policy_.down_after_misses) {
+    return To(s, ReplicaHealth::kDown);
+  }
+  if (s.misses >= policy_.suspect_after_misses &&
+      s.state != ReplicaHealth::kSuspect) {
+    return To(s, ReplicaHealth::kSuspect);
+  }
+  return Transition{};
+}
+
+bool HealthTracker::Stable(std::size_t r) const {
+  MUX_CHECK(r < states_.size());
+  const State& s = states_[r];
+  if (s.alive) {
+    // Fixed points while alive: Healthy, or Suspect pinned by an
+    // uncleared straggler window. Recovering/Down still progress.
+    return s.state == ReplicaHealth::kHealthy ||
+           (s.state == ReplicaHealth::kSuspect && s.straggling);
+  }
+  // Dead replicas converge to Down and stay there.
+  return s.state == ReplicaHealth::kDown;
+}
+
+}  // namespace muxwise::route

@@ -1,0 +1,118 @@
+#ifndef MUXWISE_ROUTE_HEALTH_H_
+#define MUXWISE_ROUTE_HEALTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace muxwise::route {
+
+/**
+ * Router-side view of one replica, driven by heartbeat deadlines on
+ * the sim clock:
+ *
+ *             misses >= suspect     misses >= down
+ *   Healthy ------------------> Suspect ---------> Down
+ *      ^  ^                        |                 |
+ *      |  | straggle cleared /     | (more misses)   | good beat
+ *      |  |  probation served      v                 v
+ *      |  +--------------------- (stays) <----- Recovering
+ *      +-------------------------------------------(probation beats)
+ *
+ * Suspect is also entered directly on a straggler signal (the replica
+ * answers, slowly); it returns to Healthy when the slowdown clears.
+ * Down is the edge that triggers failover — it fires once per outage.
+ */
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDown = 2,
+  kRecovering = 3,
+};
+
+const char* HealthName(ReplicaHealth state);
+
+struct HealthPolicy {
+  /** Heartbeat cadence; every transition happens on a beat. */
+  sim::Duration heartbeat_interval = sim::Milliseconds(500);
+
+  /** Consecutive missed beats before Healthy -> Suspect. */
+  int suspect_after_misses = 1;
+
+  /** Consecutive missed beats before Suspect -> Down (failover). */
+  int down_after_misses = 2;
+
+  /** Good beats a Recovering replica serves before Healthy again. */
+  int recovery_probation_beats = 2;
+};
+
+/**
+ * Per-replica health state machine. Pure state over sim time: the
+ * router owns the heartbeat events and calls Beat() per replica per
+ * tick; crash/recovery/straggler signals from fault::FaultInjector
+ * arrive between beats and only change what the next beat observes.
+ * Everything is deterministic — no wall clock, no randomness.
+ */
+class HealthTracker {
+ public:
+  HealthTracker(const HealthPolicy& policy, std::size_t replicas);
+
+  std::size_t size() const { return states_.size(); }
+  ReplicaHealth state(std::size_t r) const { return states_[r].state; }
+  bool alive(std::size_t r) const { return states_[r].alive; }
+  bool straggling(std::size_t r) const { return states_[r].straggling; }
+
+  /** Time of the crash signal behind the current outage (latency). */
+  sim::Time crash_signal_at(std::size_t r) const {
+    return states_[r].crash_signal_at;
+  }
+
+  /** Replica stopped answering heartbeats (crash injected). */
+  void OnCrashSignal(std::size_t r, sim::Time now);
+
+  /** Replica answers heartbeats again; beats drive the FSM forward. */
+  void OnRecoverySignal(std::size_t r);
+
+  /**
+   * Straggler signal: slowdown > 1 marks the replica Suspect (alive but
+   * slow — routed to only as a last resort); slowdown == 1 clears it.
+   * Returns true when the visible state changed.
+   */
+  bool OnStragglerSignal(std::size_t r, double slowdown);
+
+  struct Transition {
+    bool changed = false;
+    ReplicaHealth from = ReplicaHealth::kHealthy;
+    ReplicaHealth to = ReplicaHealth::kHealthy;
+  };
+
+  /** One heartbeat evaluation of replica `r`. */
+  Transition Beat(std::size_t r, sim::Time now);
+
+  /**
+   * True when `r` can make no further progress without a new signal —
+   * the router stops ticking heartbeats once every replica is stable
+   * and no work is in flight, so quiesced scenarios terminate.
+   */
+  bool Stable(std::size_t r) const;
+
+ private:
+  struct State {
+    ReplicaHealth state = ReplicaHealth::kHealthy;
+    bool alive = true;
+    bool straggling = false;
+    int misses = 0;
+    int probation = 0;
+    sim::Time crash_signal_at = sim::kTimeNever;
+  };
+
+  Transition To(State& s, ReplicaHealth next);
+
+  HealthPolicy policy_;
+  std::vector<State> states_;
+};
+
+}  // namespace muxwise::route
+
+#endif  // MUXWISE_ROUTE_HEALTH_H_

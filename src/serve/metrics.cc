@@ -23,8 +23,6 @@ double Percentile(std::vector<double> samples, double p) {
   return PercentileSorted(samples, p);
 }
 
-namespace {
-
 LatencySummary Summarize(const std::vector<double>& samples_ms) {
   LatencySummary s;
   s.count = samples_ms.size();
@@ -39,8 +37,6 @@ LatencySummary Summarize(const std::vector<double>& samples_ms) {
   s.p99_ms = PercentileSorted(sorted, 0.99);
   return s;
 }
-
-}  // namespace
 
 double ClassMetrics::QueueDelayP99() const {
   std::vector<double> sorted = queue_delay_ms;

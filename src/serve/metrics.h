@@ -35,6 +35,13 @@ struct LatencySummary {
 };
 
 /**
+ * Mean/p50/p99 of one latency population (zeros when empty). The
+ * single summarisation path shared by MetricsCollector and the fleet
+ * router's failover-latency reporting.
+ */
+LatencySummary Summarize(const std::vector<double>& samples_ms);
+
+/**
  * Goodput split by terminal disposition (paper's goodput, degraded by
  * faults): only `attained` requests carry latency samples and count
  * toward throughput; the other three are the failure-recovery layer's

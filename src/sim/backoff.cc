@@ -1,0 +1,26 @@
+#include "sim/backoff.h"
+
+#include "sim/logging.h"
+
+namespace muxwise::sim {
+
+Duration BackoffDelay(const ExponentialBackoff& policy, int attempt) {
+  MUX_CHECK(policy.initial >= 0);
+  MUX_CHECK(policy.multiplier >= 1.0);
+  Duration delay = policy.initial;
+  if (delay >= policy.cap) return policy.cap;
+  for (int i = 1; i < attempt; ++i) {
+    // Doubling stays in integer arithmetic so the shared helper is
+    // bit-identical to the retry loop it replaced in sim::Channel.
+    const Duration next =
+        policy.multiplier == 2.0
+            ? delay * 2
+            : static_cast<Duration>(static_cast<double>(delay) *
+                                    policy.multiplier);
+    if (next >= policy.cap || next < delay) return policy.cap;
+    delay = next;
+  }
+  return delay;
+}
+
+}  // namespace muxwise::sim

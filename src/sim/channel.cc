@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/backoff.h"
 #include "sim/logging.h"
 
 namespace muxwise::sim {
@@ -79,8 +80,9 @@ void Channel::StartAttempt(double bytes, int attempt,
     sim_->ScheduleAt(free_at_, std::move(give_up));
     return;
   }
-  Duration backoff = fault_model_.initial_backoff;
-  for (int i = 1; i < attempt; ++i) backoff *= 2;
+  const Duration backoff = BackoffDelay(
+      ExponentialBackoff{fault_model_.initial_backoff, 2.0, kTimeNever},
+      attempt);
   auto retry = [this, bytes, attempt, done = std::move(done),
                 failed = std::move(failed)]() mutable {
     ++attempts_failed_;

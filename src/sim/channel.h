@@ -72,7 +72,10 @@ class Channel {
     /** Total attempts per transfer (first try included), >= 1. */
     int max_attempts = 4;
 
-    /** Backoff before attempt k+1: initial_backoff * 2^(k-1). */
+    /**
+     * Backoff before attempt k+1: initial_backoff * 2^(k-1), uncapped
+     * (computed via the shared sim::BackoffDelay helper).
+     */
     Duration initial_backoff = Milliseconds(2);
   };
 

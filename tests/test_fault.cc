@@ -59,6 +59,41 @@ TEST(FaultPlanDeathTest, ValidateRejectsRecoveryBeforeCrash) {
   EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1), "");
 }
 
+TEST(FaultPlanDeathTest, ValidateRejectsRecoveryAtTheCrashInstant) {
+  // recover_at == at silently produced an always-down instance before
+  // the strictly-later rule; regression-pin the rejection.
+  FaultPlan plan;
+  plan.Crash(0, sim::Seconds(10), sim::Seconds(10));
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsOverlappingCrashWindows) {
+  // The second crash fires before the first recovery: the injected
+  // event order would resurrect the instance with a stale recovery.
+  FaultPlan plan;
+  plan.Crash(0, sim::Seconds(10), sim::Seconds(40))
+      .Crash(0, sim::Seconds(20), sim::Seconds(30));
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsCrashAfterNeverRecoveringCrash) {
+  // A crash scheduled after a never-recovering crash of the same
+  // instance can never fire against a live instance.
+  FaultPlan plan;
+  plan.Crash(0, sim::Seconds(10))  // kTimeNever: never recovers.
+      .Crash(0, sim::Seconds(50), sim::Seconds(60));
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(FaultPlanTest, ValidateAcceptsSequentialCrashWindowsPerInstance) {
+  FaultPlan plan;
+  plan.Crash(0, sim::Seconds(10), sim::Seconds(20))
+      .Crash(0, sim::Seconds(20), sim::Seconds(30))  // Back-to-back OK.
+      .Crash(1, sim::Seconds(15), sim::Seconds(25))  // Other instance.
+      .Crash(1, sim::Seconds(40));                   // Final, never back.
+  plan.Validate();  // Must not abort.
+}
+
 // ------------------------------------------------------------- deadlines
 
 TEST(RecoveryPolicyTest, DisabledPolicyNeverExpires) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/estimator.h"
+#include "fault/fault_plan.h"
 #include "gpu/gpu.h"
 #include "gpu/gpu_spec.h"
 #include "gpu/kernel.h"
@@ -227,6 +228,63 @@ OneRun DriveOverloadGoodput(double duration_seconds) {
   return run;
 }
 
+/**
+ * Fleet goodput scaling (ISSUE 7): the MMPP burst replayed through the
+ * fleet router at 1/2/4 replicas, each with and without a replica
+ * crash at t=30 s (never recovering). The digest folds every run's
+ * event digest, SLO-attained goodput, and re-home counters, so a
+ * routing or failover regression — fewer attained completions, orphans
+ * shed instead of re-homed — shows up as a digest change.
+ */
+OneRun DriveFleetGoodput(double duration_seconds) {
+  static const serve::Deployment deployment = serve::Deployment::Make(
+      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  static const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::SloTargets slo;
+
+  workload::MmppOptions options;
+  options.dataset = workload::Dataset::kShareGpt;
+  options.calm_rate_per_second = 2.0;
+  options.burst_multiplier = 4.0;
+  options.mean_calm_seconds = 15.0;
+  options.mean_burst_seconds = 10.0;
+  options.duration_seconds = duration_seconds;
+  options.class_mix = {0.3, 0.5, 0.2};
+  const workload::Trace trace = GenerateMmppTrace(options, 20260);
+
+  OneRun run;
+  run.digest = 0x13198a2e03707344ULL;
+  for (const std::size_t replicas : {1, 2, 4}) {
+    for (const bool crash : {false, true}) {
+      harness::RunConfig config;
+      config.fleet.enabled = true;
+      config.fleet.replicas = replicas;
+      if (crash) {
+        config.fault_plan = fault::FaultPlan();
+        // A fleet of one has no survivor: the crash arm then measures
+        // the total-outage shed path instead of failover.
+        config.fault_plan->Crash(replicas > 1 ? 1 : 0, sim::Seconds(30));
+      }
+      const harness::RunOutcome outcome =
+          harness::RunWorkload(harness::EngineKind::kMuxWise, deployment,
+                               trace, &estimator, config);
+      std::uint64_t goodput = 0;
+      for (const serve::ClassMetrics& slice : outcome.per_class) {
+        goodput += slice.TtftAttained(slo);
+      }
+      run.sim_events += outcome.executed_events;
+      run.digest = MixDigest(run.digest, outcome.event_digest);
+      run.digest = MixDigest(run.digest, goodput);
+      run.digest = MixDigest(
+          run.digest, static_cast<std::uint64_t>(outcome.fleet.rehomed));
+      run.digest = MixDigest(
+          run.digest, static_cast<std::uint64_t>(outcome.fleet.fleet_shed));
+    }
+  }
+  return run;
+}
+
 BenchResult Measure(const std::string& name, const SimcoreOptions& options,
                     const std::function<OneRun()>& body) {
   BenchResult result;
@@ -265,8 +323,8 @@ double Median(std::vector<double> samples) {
 }
 
 std::vector<std::string> SimcoreBenchNames() {
-  return {"simcore.events", "simcore.storm", "simcore.launches",
-          "simcore.acceptance", "overload.goodput"};
+  return {"simcore.events",     "simcore.storm",    "simcore.launches",
+          "simcore.acceptance", "overload.goodput", "fleet.goodput"};
 }
 
 BenchResult RunSimcoreBench(const std::string& name,
@@ -293,6 +351,11 @@ BenchResult RunSimcoreBench(const std::string& name,
     const double duration = options.smoke ? 30.0 : 120.0;
     return Measure(name, options,
                    [duration] { return DriveOverloadGoodput(duration); });
+  }
+  if (name == "fleet.goodput") {
+    const double duration = options.smoke ? 40.0 : 90.0;
+    return Measure(name, options,
+                   [duration] { return DriveFleetGoodput(duration); });
   }
   BenchResult unknown;
   unknown.name = name;

@@ -48,6 +48,10 @@ struct SimcoreOptions {
  *                       control on/off vs chunked-prefill and static
  *                       disaggregation; digests fold SLO-attained
  *                       goodput
+ *   fleet.goodput       the MMPP burst through the fleet router at
+ *                       1/2/4 replicas, with and without a mid-run
+ *                       replica crash; digests fold attained goodput
+ *                       and the re-home/shed counters
  */
 std::vector<std::string> SimcoreBenchNames();
 

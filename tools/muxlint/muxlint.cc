@@ -134,7 +134,8 @@ const std::vector<LineRule>& LineRules() {
 //   band 3: serve, overload     (serving abstractions + admission)
 //   band 4: fault               (injection drives engines via serve)
 //   band 5: baselines, core     (engines; core consumes overload)
-//   band 6: harness             (scenario runner over everything)
+//   band 6: route               (fleet router over replica engines)
+//   band 7: harness             (scenario runner over everything)
 //
 // Note the refinement over the coarse sketch "core/serve < overload":
 // overload is a *library* the MuxWise engine consumes (admission
@@ -147,7 +148,8 @@ const std::map<std::string, int>& LayerBands() {
       {"serve", 3}, {"overload", 3},
       {"fault", 4},
       {"baselines", 5}, {"core", 5},
-      {"harness", 6},
+      {"route", 6},
+      {"harness", 7},
   };
   return *bands;
 }
