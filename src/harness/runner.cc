@@ -47,13 +47,21 @@ std::uint64_t MixSummary(std::uint64_t h, const serve::LatencySummary& s) {
 /**
  * Runs every audit the scenario's components registered; aborts on any
  * violation. Called at scenario end, once the event queue has quiesced.
+ * When the run was hosted on the parallel kernel, the kernel's audits
+ * (which subsume the shard simulators') run in place of the plain
+ * simulator's.
  */
 void RunScenarioAudits(const sim::Simulator& simulator,
+                       const sim::ParallelSimulator* parallel,
                        const serve::Engine& engine,
                        const serve::MetricsCollector& metrics,
                        const fault::FaultInjector* injector) {
   check::InvariantRegistry registry;
-  simulator.RegisterAudits(registry);
+  if (parallel != nullptr) {
+    parallel->RegisterAudits(registry);
+  } else {
+    simulator.RegisterAudits(registry);
+  }
   engine.RegisterAudits(registry);
   metrics.RegisterAudits(registry);
   if (injector != nullptr) injector->RegisterAudits(registry);
@@ -64,32 +72,18 @@ void RunScenarioAudits(const sim::Simulator& simulator,
   }
 }
 
-}  // namespace
-
-const char* EngineKindName(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kMuxWise:
-      return "MuxWise";
-    case EngineKind::kChunked:
-      return "Chunked";
-    case EngineKind::kNanoFlow:
-      return "NanoFlow";
-    case EngineKind::kSglangPd:
-      return "SGLang-PD";
-    case EngineKind::kLoongServe:
-      return "LoongServe";
-    case EngineKind::kWindServe:
-      return "WindServe*";
-    case EngineKind::kTemporal:
-      return "Temporal*";
-  }
-  return "?";
-}
-
-DriveResult DriveScenario(sim::Simulator& simulator,
-                          const serve::Frontend& frontend,
-                          const workload::Trace& trace,
-                          const RunConfig& config) {
+/**
+ * The drive loop, generic over the event-loop host: `SimT` is either the
+ * plain sequential sim::Simulator or the sharded ParallelSimulator. Both
+ * expose the same RunUntil/Step/Empty surface with identical semantics
+ * (the parallel kernel's merged event stream is bit-identical to the
+ * sequential one), so one body serves both and the overloads below are
+ * thin dispatchers.
+ */
+template <typename SimT>
+DriveResult DriveScenarioImpl(SimT& simulator, const serve::Frontend& frontend,
+                              const workload::Trace& trace,
+                              const RunConfig& config) {
   DriveResult result;
   const double last_arrival =
       trace.requests.empty() ? 0.0
@@ -136,11 +130,63 @@ DriveResult DriveScenario(sim::Simulator& simulator,
   return result;
 }
 
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMuxWise:
+      return "MuxWise";
+    case EngineKind::kChunked:
+      return "Chunked";
+    case EngineKind::kNanoFlow:
+      return "NanoFlow";
+    case EngineKind::kSglangPd:
+      return "SGLang-PD";
+    case EngineKind::kLoongServe:
+      return "LoongServe";
+    case EngineKind::kWindServe:
+      return "WindServe*";
+    case EngineKind::kTemporal:
+      return "Temporal*";
+  }
+  return "?";
+}
+
+DriveResult DriveScenario(sim::Simulator& simulator,
+                          const serve::Frontend& frontend,
+                          const workload::Trace& trace,
+                          const RunConfig& config) {
+  return DriveScenarioImpl(simulator, frontend, trace, config);
+}
+
+DriveResult DriveScenario(sim::ParallelSimulator& simulator,
+                          const serve::Frontend& frontend,
+                          const workload::Trace& trace,
+                          const RunConfig& config) {
+  return DriveScenarioImpl(simulator, frontend, trace, config);
+}
+
 RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
                        const workload::Trace& trace,
                        const core::ContentionEstimator* shared_estimator,
                        const RunConfig& config) {
-  sim::Simulator simulator;
+  MUX_CHECK(config.threads >= 1);
+  // threads == 1 keeps the plain sequential simulator (zero-risk path,
+  // bit-identical to every earlier build). threads > 1 hosts the same
+  // scenario on the parallel kernel's single-shard fast path: the engine
+  // drives shard 0, the event loop runs on a worker thread, and the
+  // digest below proves the streams match.
+  std::optional<sim::ParallelSimulator> parallel;
+  std::optional<sim::Simulator> sequential;
+  if (config.threads != 1) {
+    sim::ParallelSimulator::Options parallel_options;
+    parallel_options.shards = 1;
+    parallel_options.threads = config.threads;
+    parallel.emplace(parallel_options);
+  } else {
+    sequential.emplace();
+  }
+  sim::Simulator& simulator = parallel ? parallel->shard(0) : *sequential;
   RunOutcome outcome;
   outcome.engine = EngineKindName(kind);
   outcome.total = trace.requests.size();
@@ -223,7 +269,9 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   serve::Frontend frontend(&simulator, engine.get(), &trace, &metrics);
   frontend.Start();
 
-  const DriveResult drive = DriveScenario(simulator, frontend, trace, config);
+  const DriveResult drive =
+      parallel ? DriveScenario(*parallel, frontend, trace, config)
+               : DriveScenario(simulator, frontend, trace, config);
   outcome.stable = drive.stable;
   outcome.diagnostic = drive.diagnostic;
 
@@ -289,11 +337,16 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   } else if (loong != nullptr) {
     outcome.gpu_utilization = {UtilPercent(loong->device(), end)};
   }
-  outcome.event_digest = simulator.EventDigest();
-  outcome.executed_events = simulator.ExecutedEvents();
+  // On the parallel host, EventDigest/ExecutedEvents come from the
+  // kernel; its single-shard fast path reports shard 0's values, so the
+  // digest is comparable across threads settings by construction.
+  outcome.event_digest =
+      parallel ? parallel->EventDigest() : simulator.EventDigest();
+  outcome.executed_events =
+      parallel ? parallel->ExecutedEvents() : simulator.ExecutedEvents();
   if (outcome.diagnostic.empty()) {
-    RunScenarioAudits(simulator, *engine, metrics,
-                      injector ? &*injector : nullptr);
+    RunScenarioAudits(simulator, parallel ? &*parallel : nullptr, *engine,
+                      metrics, injector ? &*injector : nullptr);
   }
   return outcome;
 }

@@ -17,6 +17,7 @@
 #include "serve/deployment.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
+#include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 #include "workload/request_spec.h"
 
@@ -105,6 +106,19 @@ struct RunConfig {
    * is identical with or without a recorder attached.
    */
   obs::TraceRecorder* trace = nullptr;
+
+  /**
+   * Event-loop threading. 1 (the default) drives the plain sequential
+   * simulator, bit-identical to every pre-parallel build. N > 1 hosts
+   * the same scenario on the parallel kernel's single-shard sequential
+   * fast path — the event loop executes on a worker thread with
+   * mutex-ordered hand-offs, preserving the event stream and every
+   * digest bit-for-bit while proving under TSan that engine state is
+   * shard-confined. (Engines run against one simulator, so harness
+   * scenarios stay single-shard; multi-shard windowed execution is
+   * exercised by tests/test_parallel_sim.cc and simcore.parallel.)
+   */
+  int threads = 1;
 };
 
 /** Everything the paper's tables/figures report about one run. */
@@ -215,6 +229,12 @@ struct DriveResult {
  * RunConfig::drain_timeout_seconds).
  */
 DriveResult DriveScenario(sim::Simulator& simulator,
+                          const serve::Frontend& frontend,
+                          const workload::Trace& trace,
+                          const RunConfig& config = RunConfig());
+
+/** The same drive loop over the sharded parallel kernel. */
+DriveResult DriveScenario(sim::ParallelSimulator& simulator,
                           const serve::Frontend& frontend,
                           const workload::Trace& trace,
                           const RunConfig& config = RunConfig());

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "sim/rng.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -162,6 +163,27 @@ class Channel {
   /** Same-tick control deliveries routed through this channel. */
   std::size_t deliveries() const { return deliveries_; }
 
+  /** The wire's fixed latency term (0 on control-only channels). */
+  Duration latency() const { return latency_; }
+
+  /**
+   * Declares which shards this channel crosses — the partition-map
+   * metadata a sharded kernel reads to derive its lookahead bound.
+   * kNoShard on either side means "any shard" (a fabric link shared by
+   * all instance pairs, or a host-tier endpoint outside the partition).
+   * Annotation never changes behaviour on the sequential simulator.
+   */
+  void AnnotateShards(ShardId src_shard, ShardId dst_shard) {
+    src_shard_ = src_shard;
+    dst_shard_ = dst_shard;
+    shard_annotated_ = true;
+  }
+
+  /** True once AnnotateShards has declared the crossing. */
+  bool shard_annotated() const { return shard_annotated_; }
+  ShardId src_shard() const { return src_shard_; }
+  ShardId dst_shard() const { return dst_shard_; }
+
  private:
   /** Occupies the wire for one attempt and schedules its landing. */
   void StartAttempt(double bytes, int attempt, std::function<void()> done,
@@ -177,6 +199,9 @@ class Channel {
   std::size_t attempts_failed_ = 0;
   std::size_t transfers_failed_ = 0;
   std::size_t deliveries_ = 0;
+  ShardId src_shard_ = kNoShard;
+  ShardId dst_shard_ = kNoShard;
+  bool shard_annotated_ = false;
   FaultModel fault_model_;
   std::optional<Rng> fault_rng_;
 };

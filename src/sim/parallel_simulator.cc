@@ -1,0 +1,514 @@
+#include "sim/parallel_simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace muxwise::sim {
+
+namespace {
+
+/** Same order-sensitive fold as Simulator::FoldDigest. */
+std::uint64_t MixDigest(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/** Time addition saturating at kTimeNever (b >= 0). */
+Time SatAddTime(Time a, Duration b) {
+  if (a == kTimeNever || b >= kTimeNever - a) return kTimeNever;
+  return a + b;
+}
+
+/**
+ * The shard whose window slice this thread is executing, kNoShard in
+ * coordinator context. ShardChannel::Post uses it to enforce that a
+ * send really originates on the channel's source shard.
+ */
+ShardId& CurrentShardSlot() {
+  static thread_local ShardId current = kNoShard;
+  return current;
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(Options options) : options_(options) {
+  if (options_.shards == 0) {
+    Fatal("ParallelSimulator requires at least one shard");
+  }
+  if (options_.threads < 1) {
+    Fatal("ParallelSimulator requires threads >= 1");
+  }
+  if (options_.lookahead < 0) {
+    Fatal("ParallelSimulator lookahead must be non-negative");
+  }
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  logs_.resize(options_.shards);
+  send_seq_.assign(options_.shards, 0);
+  if (shards_.size() > 1) {
+    // Multi-shard mode records every shard's execution so window
+    // barriers can merge the global stream. The single-shard fast path
+    // skips logging entirely: its digest IS the shard's digest.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->SetExecutionLog(&logs_[s]);
+    }
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() { StopWorkers(); }
+
+Simulator& ParallelSimulator::shard(ShardId s) {
+  MUX_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+const Simulator& ParallelSimulator::shard(ShardId s) const {
+  MUX_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+Duration ParallelSimulator::Lookahead() const {
+  if (options_.lookahead > 0) return options_.lookahead;
+  Duration bound = kTimeNever;
+  for (const ShardChannel* channel : channels_) {
+    bound = std::min(bound, channel->latency_);
+  }
+  return bound;
+}
+
+MUX_CHANNEL_ENTRY void ParallelSimulator::RegisterChannel(
+    ShardChannel* channel) {
+  if (sequential_fast_path()) {
+    Fatal("ShardChannel '" + channel->name_ +
+          "': a single-shard ParallelSimulator has no cross-shard "
+          "surface to register against");
+  }
+  if (channel->src_ >= shards_.size() || channel->dst_ >= shards_.size()) {
+    Fatal("ShardChannel '" + channel->name_ + "' endpoint out of range (" +
+          std::to_string(channel->src_) + " -> " +
+          std::to_string(channel->dst_) + " with " +
+          std::to_string(shards_.size()) + " shards)");
+  }
+  if (channel->src_ == channel->dst_) {
+    Fatal("ShardChannel '" + channel->name_ +
+          "' must cross two distinct shards; same-shard work schedules "
+          "directly on its simulator");
+  }
+  if (channel->latency_ <= 0) {
+    Fatal("ShardChannel '" + channel->name_ +
+          "' needs a positive latency: a zero-latency crossing leaves "
+          "no conservative lookahead window");
+  }
+  if (options_.lookahead > 0 && channel->latency_ < options_.lookahead) {
+    Fatal("ShardChannel '" + channel->name_ + "' latency " +
+          FormatDuration(channel->latency_) +
+          " is below the declared lookahead " +
+          FormatDuration(options_.lookahead) +
+          "; the window protocol would miss its deliveries");
+  }
+  channels_.push_back(channel);
+}
+
+MUX_CHANNEL_ENTRY void ParallelSimulator::StageSend(ShardChannel* channel,
+                                                    Duration extra_delay,
+                                                    std::function<void()> fn) {
+  MUX_CHECK(fn != nullptr);
+  MUX_CHECK(extra_delay >= 0);
+  const ShardId current = CurrentShardSlot();
+  // A send must originate on the channel's source shard (or from the
+  // coordinator before/between runs — scenario setup).
+  MUX_CHECK(current == kNoShard || current == channel->src_);
+  const ShardId src = channel->src_;
+  const Time when =
+      shards_[src]->Now() + channel->latency_ + extra_delay;
+  channel->staged_.push_back(ShardChannel::Staged{
+      when, GlobalEventId(src, ++send_seq_[src]), std::move(fn)});
+}
+
+MUX_CHANNEL_ENTRY void ParallelSimulator::DrainMailboxes() {
+  struct Delivery {
+    ShardId dst = 0;
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  std::vector<Delivery> deliveries;
+  for (ShardChannel* channel : channels_) {
+    for (ShardChannel::Staged& msg : channel->staged_) {
+      deliveries.push_back(
+          Delivery{channel->dst_, msg.when, msg.seq, std::move(msg.fn)});
+    }
+    channel->delivered_ += channel->staged_.size();
+    channel->staged_.clear();
+  }
+  if (deliveries.empty()) return;
+  // Deterministic drain order per destination: (arrival time, sender
+  // sequence). The sequence embeds the sender shard in its high bits,
+  // so same-tick arrivals order by (src shard, per-src send serial) —
+  // and the destination's FIFO tie-break then preserves exactly this
+  // order among same-tick deliveries.
+  std::sort(deliveries.begin(), deliveries.end(),
+            [](const Delivery& a, const Delivery& b) {
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.when != b.when) return a.when < b.when;
+              return a.seq < b.seq;
+            });
+  for (Delivery& d : deliveries) {
+    // Conservative-lookahead guarantee: a message can never arrive in a
+    // destination shard's past.
+    MUX_CHECK(d.when >= shards_[d.dst]->Now());
+    shards_[d.dst]->ScheduleAt(d.when, std::move(d.fn));
+  }
+}
+
+MUX_SHARD_LOCAL void ParallelSimulator::RunShardSlice(ShardId s, Time w_end,
+                                                      std::size_t budget) {
+  ShardId& current = CurrentShardSlot();
+  current = s;
+  counts_[s] = shards_[s]->RunBefore(w_end, budget);
+  current = kNoShard;
+}
+
+void ParallelSimulator::ExecuteWindow(Time w_end, std::size_t budget) {
+  const std::size_t k = shards_.size();
+  counts_.assign(k, 0);
+  const int wanted = std::min<int>(options_.threads, static_cast<int>(k));
+  if (wanted <= 1) {
+    // Reference interleaving: shards run inline in ascending order.
+    // Thread-count invariance holds because window slices are
+    // independent — the same per-shard streams emerge in any order.
+    for (std::size_t s = 0; s < k; ++s) {
+      RunShardSlice(static_cast<ShardId>(s), w_end, budget);
+    }
+  } else {
+    EnsureWorkers(wanted);
+    const int stride = static_cast<int>(workers_.size());
+    RunOnWorkers([this, w_end, budget, stride](int worker_id) {
+      for (std::size_t s = static_cast<std::size_t>(worker_id);
+           s < shards_.size(); s += static_cast<std::size_t>(stride)) {
+        RunShardSlice(static_cast<ShardId>(s), w_end, budget);
+      }
+    });
+  }
+  ++windows_;
+}
+
+void ParallelSimulator::MergeExecutionLogs() {
+  const std::size_t k = shards_.size();
+  cursors_.assign(k, 0);
+  while (true) {
+    std::size_t best = k;
+    Time best_when = 0;
+    std::uint64_t best_gid = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (cursors_[s] >= logs_[s].size()) continue;
+      const Simulator::ExecutedEvent& e = logs_[s][cursors_[s]];
+      const std::uint64_t gid = GlobalEventId(static_cast<ShardId>(s), e.id);
+      if (best == k || e.when < best_when ||
+          (e.when == best_when && gid < best_gid)) {
+        best = s;
+        best_when = e.when;
+        best_gid = gid;
+      }
+    }
+    if (best == k) break;
+    ++cursors_[best];
+    merged_digest_ = MixDigest(merged_digest_,
+                               static_cast<std::uint64_t>(best_when));
+    merged_digest_ = MixDigest(merged_digest_, best_gid);
+    ++merged_events_;
+  }
+  for (std::vector<Simulator::ExecutedEvent>& log : logs_) log.clear();
+}
+
+Time ParallelSimulator::NextGlobalEventTime() const {
+  Time m = kTimeNever;
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    m = std::min(m, sh->NextEventTime());
+  }
+  return m;
+}
+
+MUX_CHANNEL_ENTRY std::size_t ParallelSimulator::RunWindows(
+    Time until, std::size_t max_events) {
+  std::size_t total = 0;
+  // A batched run supersedes any window a Step() sequence left open; a
+  // later Step() must re-barrier rather than trust the stale bound.
+  step_window_end_ = kTimeZero;
+  while (true) {
+    DrainMailboxes();
+    const Time m = NextGlobalEventTime();
+    if (m == kTimeNever || m > until) break;
+    if (total >= max_events) {
+      // Budget exhausted with work still pending: shard clocks stay at
+      // their last executed events (the sequential RunUntil contract).
+      now_ = MaxShardNow();
+      return total;
+    }
+    const std::size_t remaining = max_events - total;
+    const Time w_end =
+        std::min(SatAddTime(m, Lookahead()), SatAddTime(until, 1));
+    ExecuteWindow(w_end, remaining);
+    MergeExecutionLogs();
+    for (std::size_t c : counts_) total += c;
+  }
+  if (until == kTimeNever) {
+    now_ = MaxShardNow();
+  } else {
+    for (const std::unique_ptr<Simulator>& sh : shards_) {
+      sh->AdvanceTo(until);
+    }
+    now_ = until;
+  }
+  return total;
+}
+
+std::size_t ParallelSimulator::RunOnShardZero(
+    const std::function<std::size_t()>& fn) {
+  if (options_.threads <= 1) {
+    ShardId& current = CurrentShardSlot();
+    current = 0;
+    const std::size_t n = fn();
+    current = kNoShard;
+    return n;
+  }
+  // Host the sequential algorithm on a worker thread: identical event
+  // semantics and digest, but the hand-off is a real cross-thread one —
+  // the TSan proof that engine state is shard-confined.
+  EnsureWorkers(1);
+  std::size_t n = 0;
+  RunOnWorkers([this, &fn, &n](int worker_id) {
+    if (worker_id != 0) return;
+    ShardId& current = CurrentShardSlot();
+    current = 0;
+    n = fn();
+    current = kNoShard;
+  });
+  return n;
+}
+
+std::size_t ParallelSimulator::Run() {
+  if (sequential_fast_path()) {
+    const std::size_t n = RunOnShardZero([this] { return shards_[0]->Run(); });
+    now_ = shards_[0]->Now();
+    return n;
+  }
+  return RunWindows(kTimeNever, std::numeric_limits<std::size_t>::max());
+}
+
+std::size_t ParallelSimulator::RunUntil(Time until) {
+  MUX_CHECK(until >= now_);
+  if (sequential_fast_path()) {
+    const std::size_t n =
+        RunOnShardZero([this, until] { return shards_[0]->RunUntil(until); });
+    now_ = shards_[0]->Now();
+    return n;
+  }
+  return RunWindows(until, std::numeric_limits<std::size_t>::max());
+}
+
+std::size_t ParallelSimulator::RunUntil(Time until, std::size_t max_events) {
+  MUX_CHECK(until >= now_);
+  if (sequential_fast_path()) {
+    const std::size_t n = RunOnShardZero([this, until, max_events] {
+      return shards_[0]->RunUntil(until, max_events);
+    });
+    now_ = shards_[0]->Now();
+    return n;
+  }
+  return RunWindows(until, max_events);
+}
+
+MUX_CHANNEL_ENTRY bool ParallelSimulator::Step() {
+  if (sequential_fast_path()) {
+    const bool stepped = shards_[0]->Step();
+    now_ = shards_[0]->Now();
+    return stepped;
+  }
+  // Replay the window protocol one event at a time. The barrier
+  // (mailbox drain + new lookahead window) fires exactly when the
+  // earliest pending event crosses the current window bound — the same
+  // point RunWindows drains — so destination shards see deliveries
+  // scheduled in the same order, local event ids match, and the merged
+  // digest is bit-identical to a batched run.
+  Time m = NextGlobalEventTime();
+  if (m == kTimeNever || m >= step_window_end_) {
+    DrainMailboxes();
+    m = NextGlobalEventTime();
+    if (m == kTimeNever) {
+      step_window_end_ = kTimeZero;
+      return false;
+    }
+    step_window_end_ = SatAddTime(m, Lookahead());
+  }
+  // The globally earliest event: minimum (when, GlobalEventId). Shards
+  // tie-break by index because the shard id occupies the gid's high
+  // bits — the same order the window merge emits.
+  std::size_t best = shards_.size();
+  Time best_when = kTimeNever;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Time t = shards_[s]->NextEventTime();
+    if (t < best_when) {
+      best_when = t;
+      best = s;
+    }
+  }
+  MUX_CHECK(best < shards_.size());
+  ShardId& current = CurrentShardSlot();
+  current = static_cast<ShardId>(best);
+  shards_[best]->Step();
+  current = kNoShard;
+  MergeExecutionLogs();
+  now_ = std::max(now_, shards_[best]->Now());
+  return true;
+}
+
+bool ParallelSimulator::Empty() const {
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    if (!sh->Empty()) return false;
+  }
+  for (const ShardChannel* channel : channels_) {
+    if (!channel->staged_.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t ParallelSimulator::PendingEvents() const {
+  std::size_t pending = 0;
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    pending += sh->PendingEvents();
+  }
+  for (const ShardChannel* channel : channels_) {
+    pending += channel->staged_.size();
+  }
+  return pending;
+}
+
+std::size_t ParallelSimulator::ExecutedEvents() const {
+  std::size_t executed = 0;
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    executed += sh->ExecutedEvents();
+  }
+  return executed;
+}
+
+std::uint64_t ParallelSimulator::EventDigest() const {
+  if (sequential_fast_path()) return shards_[0]->EventDigest();
+  return merged_digest_;
+}
+
+std::size_t ParallelSimulator::cross_shard_posts() const {
+  std::size_t posts = 0;
+  for (const ShardChannel* channel : channels_) {
+    posts += channel->delivered_ + channel->staged_.size();
+  }
+  return posts;
+}
+
+void ParallelSimulator::RegisterAudits(
+    check::InvariantRegistry& registry) const {
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    sh->RegisterAudits(registry);
+  }
+  registry.Register(
+      "ParallelSimulator", "mailbox-causality",
+      [this](check::AuditContext& ctx) {
+        for (const ShardChannel* channel : channels_) {
+          for (const ShardChannel::Staged& msg : channel->staged_) {
+            ctx.Check(msg.when >= shards_[channel->dst_]->Now(),
+                      "staged message on '" + channel->name_ + "' at t=" +
+                          std::to_string(msg.when) +
+                          " precedes the destination shard's clock");
+          }
+        }
+      });
+  if (!sequential_fast_path()) {
+    registry.Register(
+        "ParallelSimulator", "merged-stream-complete",
+        [this](check::AuditContext& ctx) {
+          std::size_t logged = 0;
+          for (const std::vector<Simulator::ExecutedEvent>& log : logs_) {
+            logged += log.size();
+          }
+          std::size_t executed = 0;
+          for (const std::unique_ptr<Simulator>& sh : shards_) {
+            executed += sh->ExecutedEvents();
+          }
+          ctx.Check(merged_events_ + logged == executed,
+                    "merged stream holds " + std::to_string(merged_events_) +
+                        " events (+" + std::to_string(logged) +
+                        " unmerged) but shards executed " +
+                        std::to_string(executed) +
+                        "; some execution bypassed the kernel");
+        });
+  }
+}
+
+void ParallelSimulator::EnsureWorkers(int count) {
+  while (static_cast<int>(workers_.size()) < count) {
+    const int id = static_cast<int>(workers_.size());
+    // Capture the current generation on the coordinator so a worker
+    // spawned between dispatches never mistakes an old job for new.
+    const std::uint64_t start_generation = generation_;
+    workers_.emplace_back(
+        [this, id, start_generation] { WorkerLoop(id, start_generation); });
+  }
+}
+
+void ParallelSimulator::RunOnWorkers(const std::function<void(int)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    pending_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+}
+
+void ParallelSimulator::WorkerLoop(int worker_id,
+                                   std::uint64_t seen_generation) {
+  while (true) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    job(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_workers_;
+      if (pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelSimulator::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+Time ParallelSimulator::MaxShardNow() const {
+  Time latest = kTimeZero;
+  for (const std::unique_ptr<Simulator>& sh : shards_) {
+    latest = std::max(latest, sh->Now());
+  }
+  return latest;
+}
+
+}  // namespace muxwise::sim

@@ -1,0 +1,236 @@
+#ifndef MUXWISE_SIM_PARALLEL_SIMULATOR_H_
+#define MUXWISE_SIM_PARALLEL_SIMULATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "check/invariant_registry.h"
+#include "sim/channel.h"
+#include "sim/shard.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace muxwise::sim {
+
+/**
+ * Sharded discrete-event simulation kernel with conservative lookahead.
+ *
+ * The event space is partitioned into per-shard sim::Simulator
+ * instances (one per GPU instance, by convention — see gpu::Cluster's
+ * partition map), each keeping the PR 4 pooled arena + POD min-heap.
+ * Shards only interact through ShardChannel crossings, whose declared
+ * minimum latency L is the lookahead bound: if the globally earliest
+ * pending event sits at time m, every shard can safely execute its
+ * events in the window [m, m + L) in parallel, because any cross-shard
+ * send issued at s >= m arrives at s + latency >= m + L — beyond the
+ * window. At the window barrier the coordinator drains every mailbox
+ * in deterministic (arrival time, sender shard, per-sender sequence)
+ * order and merges the per-shard execution logs into one global event
+ * stream ordered by (when, GlobalEventId). The merged stream — and its
+ * digest — is therefore a pure function of the scenario, identical at
+ * every thread count.
+ *
+ * Determinism argument, in three pieces:
+ *  1. Each shard's execution within a window is the sequential
+ *     Simulator algorithm — deterministic in isolation, and window
+ *     boundaries never reorder a shard's own events.
+ *  2. Mailbox drains happen only at barriers, on the coordinator, in a
+ *     total order independent of which thread ran which shard.
+ *  3. The merged digest folds the (when, GlobalEventId)-sorted
+ *     interleaving, which windows already emit in globally sorted
+ *     order (window i+1 starts at or after window i's end).
+ *
+ * A single-shard ParallelSimulator collapses to the sequential fast
+ * path: no windows, no barriers, no mailboxes — calls delegate to the
+ * one underlying Simulator (hosted on a worker thread when threads > 1,
+ * which preserves the algorithm and digest bit-for-bit while proving
+ * shard confinement under TSan), and EventDigest() is that shard's
+ * digest exactly.
+ *
+ * Threading contract: the public API is coordinator-only (call it from
+ * one thread, as with Simulator). Worker threads exist solely to
+ * execute window slices; all cross-thread hand-off is mutex/condvar
+ * ordered, so TSan-instrumented runs are clean by construction.
+ */
+class ParallelSimulator {
+ public:
+  struct Options {
+    /** Number of event-loop shards (>= 1). */
+    std::size_t shards = 1;
+
+    /**
+     * Worker threads for window execution, clamped to the shard count.
+     * 1 runs shards inline on the coordinator in shard order — the
+     * reference interleaving every other thread count must reproduce.
+     */
+    int threads = 1;
+
+    /**
+     * Declared conservative lookahead. 0 (the default) derives the
+     * window bound from the minimum registered ShardChannel latency;
+     * a positive value pins it, and registering a channel faster than
+     * the declaration is then a fatal configuration error.
+     */
+    Duration lookahead = 0;
+  };
+
+  explicit ParallelSimulator(Options options);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /** The shard-local simulator; schedule intra-shard events directly. */
+  Simulator& shard(ShardId s);
+  const Simulator& shard(ShardId s) const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  int threads() const { return options_.threads; }
+
+  /** True when single-shard: no windows, no barriers, no mailboxes. */
+  bool sequential_fast_path() const { return shards_.size() == 1; }
+
+  /**
+   * The conservative window bound: the declared lookahead when pinned,
+   * else the minimum registered ShardChannel latency (kTimeNever with
+   * no channels — independent shards, one unbounded window).
+   */
+  Duration Lookahead() const;
+
+  /** Barrier time of the latest completed window (or run horizon). */
+  Time Now() const { return now_; }
+
+  /** Runs until every shard and every mailbox drains. */
+  std::size_t Run();
+
+  /**
+   * Runs all events with timestamp <= `until` across all shards, then
+   * aligns every shard clock (and Now()) to `until` — the parallel
+   * equivalent of Simulator::RunUntil.
+   */
+  std::size_t RunUntil(Time until);
+
+  /**
+   * Like RunUntil, with a livelock budget. The budget is re-checked at
+   * window barriers, and each shard's window slice is individually
+   * capped by the remainder, so a run may overshoot `max_events` by up
+   * to one window — deterministically. When the budget cuts the run
+   * short, shard clocks stay at their last executed event.
+   */
+  std::size_t RunUntil(Time until, std::size_t max_events);
+
+  /**
+   * Executes the globally earliest pending event — minimum (when,
+   * GlobalEventId) across shards. Steps replay the window protocol one
+   * event at a time: mailboxes drain exactly where RunWindows would
+   * place the barrier, so a run driven entirely by Step() produces the
+   * same merged stream — and digest — as a batched Run().
+   */
+  bool Step();
+
+  /** True when every shard is drained and no mailbox holds a message. */
+  bool Empty() const;
+
+  /** Pending events across shards, staged mailbox messages included. */
+  std::size_t PendingEvents() const;
+
+  /** Total events executed across all shards. */
+  std::size_t ExecutedEvents() const;
+
+  /**
+   * Order-sensitive digest of the merged event stream. Single-shard:
+   * the underlying Simulator's digest, bit-for-bit. Multi-shard: the
+   * same fold over the (when, GlobalEventId)-merged stream — identical
+   * at every thread count.
+   */
+  std::uint64_t EventDigest() const;
+
+  /** Lookahead windows executed (0 on the sequential fast path). */
+  std::size_t windows_executed() const { return windows_; }
+
+  /** Cross-shard messages posted through registered channels. */
+  std::size_t cross_shard_posts() const;
+
+  /**
+   * Registers every shard's event-queue audits plus the kernel's own:
+   * staged messages never precede their destination clock, and the
+   * merged stream accounts for every executed event.
+   */
+  void RegisterAudits(check::InvariantRegistry& registry) const;
+
+ private:
+  friend class ShardChannel;
+
+  /** Validates and adopts a channel (called from its constructor). */
+  void RegisterChannel(ShardChannel* channel);
+
+  /** Stages one cross-shard send into the channel's mailbox. */
+  void StageSend(ShardChannel* channel, Duration extra_delay,
+                 std::function<void()> fn);
+
+  /** Drains all mailboxes into destination shards, in global order. */
+  void DrainMailboxes();
+
+  /** Runs one window [*, w_end) on every shard, budget per shard. */
+  void ExecuteWindow(Time w_end, std::size_t budget);
+
+  /** Executes shard `s`'s slice of the current window. */
+  void RunShardSlice(ShardId s, Time w_end, std::size_t budget);
+
+  /** Merges per-shard execution logs into the global digest. */
+  void MergeExecutionLogs();
+
+  /** The multi-shard window loop shared by Run / RunUntil. */
+  std::size_t RunWindows(Time until, std::size_t max_events);
+
+  /** Earliest pending event time across all shards (mailboxes aside). */
+  Time NextGlobalEventTime() const;
+
+  /** Runs `fn` with shard 0 current (on the worker when threaded). */
+  std::size_t RunOnShardZero(const std::function<std::size_t()>& fn);
+
+  void EnsureWorkers(int count);
+  void RunOnWorkers(const std::function<void(int)>& job);
+  void WorkerLoop(int worker_id, std::uint64_t seen_generation);
+  void StopWorkers();
+
+  Time MaxShardNow() const;
+
+  Options options_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::vector<Simulator::ExecutedEvent>> logs_;
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> cursors_;
+  std::vector<ShardChannel*> channels_;
+  Time now_ = kTimeZero;
+  std::uint64_t merged_digest_ = 0x9e3779b97f4a7c15ULL;
+  std::size_t merged_events_ = 0;
+  std::size_t windows_ = 0;
+
+  // Step()'s replay of the window protocol: the current window's end
+  // bound. A step whose earliest event reaches it fires the barrier
+  // (mailbox drain + fresh lookahead window) first, matching where
+  // RunWindows drains — kTimeZero forces a barrier on the next step.
+  Time step_window_end_ = kTimeZero;
+
+  // Worker pool: generation-stamped jobs under one mutex. Workers are
+  // spawned lazily on the first threaded run and joined on destruction.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::function<void(int)> job_;
+  std::uint64_t generation_ = 0;
+  int pending_workers_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace muxwise::sim
+
+#endif  // MUXWISE_SIM_PARALLEL_SIMULATOR_H_

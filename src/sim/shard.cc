@@ -1,0 +1,23 @@
+#include "sim/shard.h"
+
+#include <utility>
+
+#include "sim/parallel_simulator.h"
+
+namespace muxwise::sim {
+
+ShardChannel::ShardChannel(ParallelSimulator* psim, std::string name,
+                           ShardId src, ShardId dst, Duration latency)
+    : psim_(psim),
+      name_(std::move(name)),
+      src_(src),
+      dst_(dst),
+      latency_(latency) {
+  psim_->RegisterChannel(this);
+}
+
+void ShardChannel::Post(Duration extra_delay, std::function<void()> fn) {
+  psim_->StageSend(this, extra_delay, std::move(fn));
+}
+
+}  // namespace muxwise::sim

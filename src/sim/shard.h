@@ -1,0 +1,104 @@
+#ifndef MUXWISE_SIM_SHARD_H_
+#define MUXWISE_SIM_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace muxwise::sim {
+
+class ParallelSimulator;
+
+/**
+ * Identifies one event-loop shard of a ParallelSimulator. The partition
+ * map is by GPU instance: gpu::Cluster assigns every instance the shard
+ * id equal to its instance index, so "instance i" and "shard i" name
+ * the same slice of the event space.
+ */
+using ShardId = std::uint32_t;
+
+/** Sentinel: not on any shard (coordinator context / unannotated). */
+inline constexpr ShardId kNoShard = 0xffffffffu;
+
+/**
+ * Globally ordered event id: the shard index in the high 16 bits, the
+ * shard-local monotonic serial in the low 48. Shard 0 ids equal the
+ * sequential Simulator's ids exactly, which is what makes a
+ * single-shard ParallelSimulator's merged digest bit-identical to the
+ * plain Simulator's. Comparing global ids orders same-timestamp events
+ * first by shard, then by each shard's FIFO serial — the documented
+ * cross-shard tie-break.
+ */
+constexpr std::uint64_t GlobalEventId(ShardId shard, std::uint64_t local_id) {
+  return (static_cast<std::uint64_t>(shard) << 48) | local_id;
+}
+
+/** Number of low bits reserved for the shard-local serial. */
+inline constexpr int kShardLocalIdBits = 48;
+
+/**
+ * A typed cross-shard crossing: the only way an event on shard `src`
+ * may cause an event on shard `dst`. Posts are staged into a per-channel
+ * mailbox during a lookahead window and drained by the coordinator at
+ * the window barrier in deterministic (arrival time, sender shard,
+ * per-sender sequence) order, so the merged event stream is independent
+ * of thread count.
+ *
+ * The channel's `latency` is its conservative contract: every crossing
+ * takes at least this long, which is what lets the kernel run shards
+ * `min latency` ahead of each other without risking causality.
+ * Registering a channel whose latency is below the ParallelSimulator's
+ * declared lookahead is a fatal configuration error.
+ */
+class ShardChannel {
+ public:
+  ShardChannel(ParallelSimulator* psim, std::string name, ShardId src,
+               ShardId dst, Duration latency);
+
+  ShardChannel(const ShardChannel&) = delete;
+  ShardChannel& operator=(const ShardChannel&) = delete;
+
+  const std::string& name() const { return name_; }
+  ShardId src() const { return src_; }
+  ShardId dst() const { return dst_; }
+  Duration latency() const { return latency_; }
+
+  /**
+   * Posts `fn` to run on the destination shard at
+   * src.Now() + latency + extra_delay. Must be called from the source
+   * shard (its event callbacks, or the coordinator before a run).
+   */
+  void Post(std::function<void()> fn) { Post(0, std::move(fn)); }
+  void Post(Duration extra_delay, std::function<void()> fn);
+
+  /** Messages staged but not yet delivered to the destination shard. */
+  std::size_t staged() const { return staged_.size(); }
+
+  /** Messages delivered (scheduled onto the destination shard). */
+  std::size_t delivered() const { return delivered_; }
+
+ private:
+  friend class ParallelSimulator;
+
+  /** One staged crossing, ordered by (when, sender sequence) at drain. */
+  struct Staged {
+    Time when = 0;
+    std::uint64_t seq = 0;  // GlobalEventId(src, per-src send serial).
+    std::function<void()> fn;
+  };
+
+  ParallelSimulator* psim_;
+  std::string name_;
+  ShardId src_;
+  ShardId dst_;
+  Duration latency_;
+  std::vector<Staged> staged_;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace muxwise::sim
+
+#endif  // MUXWISE_SIM_SHARD_H_

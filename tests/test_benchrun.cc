@@ -29,6 +29,7 @@ BenchReport MakeReport(std::vector<BenchResult> benches) {
   report.machine.compiler = "test 1.0";
   report.machine.build_type = "release";
   report.machine.cpus = 1;
+  report.machine.hw_threads = 8;
   report.benches = std::move(benches);
   return report;
 }
@@ -116,11 +117,40 @@ TEST(BenchReportTest, JsonRoundTripsLossllessly) {
   EXPECT_EQ(parsed.suite, "smoke");
   EXPECT_EQ(parsed.repeat, 3);
   EXPECT_EQ(parsed.machine.compiler, "test 1.0");
+  EXPECT_EQ(parsed.machine.cpus, 1);
+  EXPECT_EQ(parsed.machine.hw_threads, 8);
   EXPECT_EQ(parsed.benches[0].name, "simcore.events");
   EXPECT_EQ(parsed.benches[0].sim_events, 200063u);
   EXPECT_EQ(parsed.benches[0].digest, 0x684f4e7c0c05b620ULL);
   EXPECT_DOUBLE_EQ(parsed.benches[0].wall_ms_median, 42.5);
   EXPECT_EQ(parsed.benches[0].wall_ms.size(), 3u);
+}
+
+TEST(BenchReportTest, ReportWithoutHwThreadsStillParses) {
+  // hw_threads joined the machine schema with the parallel kernel;
+  // reports recorded before it must stay readable (field defaults 0).
+  BenchReport report = MakeReport({MakeBench("a", 1.0, 10, 0x1)});
+  std::string json = ToJson(report);
+  const std::string needle = ",\n    \"hw_threads\": 8";
+  const auto pos = json.find(needle);
+  ASSERT_NE(pos, std::string::npos) << json;
+  json.erase(pos, needle.size());
+  BenchReport parsed;
+  std::string error;
+  ASSERT_TRUE(FromJson(json, parsed, error)) << error;
+  EXPECT_EQ(parsed.machine.cpus, 1);
+  EXPECT_EQ(parsed.machine.hw_threads, 0);
+}
+
+TEST(BenchReportTest, DetectedMachineReportsUsableCpuCounts) {
+  // The threads=N scaling numbers are only interpretable when the
+  // report records a real CPU count — never the hardcoded 1 the
+  // pre-parallel schema shipped on every machine.
+  const MachineInfo machine = MachineInfo::Detect();
+  EXPECT_GE(machine.cpus, 1);
+  EXPECT_GE(machine.hw_threads, 1);
+  // Affinity can only restrict below the hardware thread count.
+  EXPECT_LE(machine.cpus, machine.hw_threads);
 }
 
 TEST(BenchReportTest, SchemaVersionMismatchIsRejected) {
@@ -168,6 +198,22 @@ TEST(SimcoreBenchTest, SmokeRepetitionsAreEventIdenticalAndDigestStable) {
   EXPECT_TRUE(second.ok) << second.note;
   EXPECT_EQ(first.sim_events, second.sim_events);
   EXPECT_EQ(first.digest, second.digest);
+}
+
+TEST(SimcoreBenchTest, ParallelBenchDigestIsThreadCountInvariant) {
+  // The simcore.parallel.tN family runs one fixed sharded workload at
+  // different thread counts; benchdiff gates on its digest, so t2 must
+  // redo bit-identical work to the t1 reference interleaving.
+  SimcoreOptions options;
+  options.smoke = true;
+  options.repeat = 1;
+  const BenchResult t1 = RunSimcoreBench("simcore.parallel.t1", options);
+  const BenchResult t2 = RunSimcoreBench("simcore.parallel.t2", options);
+  EXPECT_TRUE(t1.ok) << t1.note;
+  EXPECT_TRUE(t2.ok) << t2.note;
+  EXPECT_GT(t1.sim_events, 0u);
+  EXPECT_EQ(t1.sim_events, t2.sim_events);
+  EXPECT_EQ(t1.digest, t2.digest);
 }
 
 TEST(SimcoreBenchTest, UnknownBenchNameReportsFailure) {

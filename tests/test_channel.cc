@@ -15,6 +15,8 @@
 #include "sim/time.h"
 #include "workload/datasets.h"
 
+#include "frozen_digests.h"
+
 namespace muxwise::sim {
 namespace {
 
@@ -96,42 +98,17 @@ TEST(ChannelTest, ChannelsAreNamed) {
 // Interconnect alias, typed Send payloads, control-channel deliveries)
 // must be invisible to the simulation: the per-engine event digests of
 // the acceptance scenario are bit-identical to the pre-refactor seed.
-// These constants were recorded from the seed BEFORE the refactor; any
-// drift means a channel migration changed scheduling behaviour.
-
-struct FrozenDigest {
-  harness::EngineKind kind;
-  std::uint64_t event_digest;
-  std::size_t executed_events;
-  std::uint64_t outcome_digest;
-};
+// The constants live in tests/frozen_digests.h (recorded from the seed
+// BEFORE the refactor), shared with the parallel-kernel suite; any
+// drift means a structural change altered scheduling behaviour.
 
 TEST(ChannelTest, SevenEngineDigestsMatchPreRefactorSeed) {
-  const serve::Deployment deployment = serve::Deployment::Make(
-      llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
+  const serve::Deployment deployment = tests::FrozenDeployment();
   const core::ContentionEstimator estimator =
       core::ContentionEstimator::BuildOffline(deployment);
-  const workload::Trace trace =
-      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+  const workload::Trace trace = tests::FrozenTrace();
 
-  const FrozenDigest frozen[] = {
-      {harness::EngineKind::kMuxWise, 0xb8dab88ef03c0e36ull, 5768,
-       0x64057339ff7e20ffull},
-      {harness::EngineKind::kChunked, 0x600f439cd0e9b2a9ull, 5166,
-       0xa79db285eba1ac92ull},
-      {harness::EngineKind::kNanoFlow, 0x98d55bf27e747a59ull, 8710,
-       0xc54972f3fb74e7bfull},
-      {harness::EngineKind::kSglangPd, 0x7b797a7451b6eb90ull, 5014,
-       0x50f684df4c6170f4ull},
-      {harness::EngineKind::kLoongServe, 0x7c3cf241ee03682dull, 3912,
-       0x6288a403b4628e89ull},
-      {harness::EngineKind::kWindServe, 0x4af18835f365b17eull, 6196,
-       0xec28858423c39dc5ull},
-      {harness::EngineKind::kTemporal, 0x0cddefd2e724a299ull, 6260,
-       0x7cd1c27674bb5f39ull},
-  };
-
-  for (const FrozenDigest& expect : frozen) {
+  for (const tests::FrozenDigest& expect : tests::kFrozenEngineDigests) {
     const harness::RunOutcome outcome =
         harness::RunWorkload(expect.kind, deployment, trace, &estimator);
     EXPECT_EQ(outcome.event_digest, expect.event_digest)

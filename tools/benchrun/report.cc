@@ -12,6 +12,9 @@
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace muxwise::benchrun {
 
@@ -283,7 +286,21 @@ MachineInfo MachineInfo::Detect() {
 #else
   info.build_type = "debug";
 #endif
-  info.cpus = static_cast<int>(std::thread::hardware_concurrency());
+  info.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  // Prefer the affinity mask: in a cgroup-limited container,
+  // hardware_concurrency() may report the host's full core count while
+  // the process is pinned to far fewer — and it may also return 0 when
+  // detection fails. Either way `cpus` must reflect what a parallel run
+  // can actually use, with a floor of 1.
+#if defined(__linux__)
+  cpu_set_t affinity;
+  CPU_ZERO(&affinity);
+  if (sched_getaffinity(0, sizeof(affinity), &affinity) == 0) {
+    info.cpus = CPU_COUNT(&affinity);
+  }
+#endif
+  if (info.cpus <= 0) info.cpus = info.hw_threads;
+  if (info.cpus <= 0) info.cpus = 1;
   return info;
 }
 
@@ -299,7 +316,8 @@ std::string ToJson(const BenchReport& report) {
       << "\",\n";
   out << "    \"build_type\": \"" << JsonEscape(report.machine.build_type)
       << "\",\n";
-  out << "    \"cpus\": " << report.machine.cpus << "\n";
+  out << "    \"cpus\": " << report.machine.cpus << ",\n";
+  out << "    \"hw_threads\": " << report.machine.hw_threads << "\n";
   out << "  },\n";
   out << "  \"benches\": [";
   for (std::size_t i = 0; i < report.benches.size(); ++i) {
@@ -352,6 +370,10 @@ bool FromJson(const std::string& json, BenchReport& report,
     report.machine.compiler = GetString(machine->Find("compiler"));
     report.machine.build_type = GetString(machine->Find("build_type"));
     report.machine.cpus = static_cast<int>(GetNumber(machine->Find("cpus")));
+    // hw_threads joined the schema with the parallel kernel; older
+    // reports simply leave it 0 (absent ≠ schema mismatch).
+    report.machine.hw_threads =
+        static_cast<int>(GetNumber(machine->Find("hw_threads")));
   }
   report.benches.clear();
   const JsonValue* benches = root.Find("benches");

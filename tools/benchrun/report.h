@@ -13,7 +13,21 @@ struct MachineInfo {
   std::string host;
   std::string compiler;
   std::string build_type;
+
+  /**
+   * CPUs actually available to this process (Linux: the scheduling
+   * affinity mask, so cgroup/container limits are respected), floor 1.
+   * This is the number that decides whether parallel-kernel speedup
+   * claims are meaningful on the recording machine.
+   */
   int cpus = 0;
+
+  /**
+   * std::thread::hardware_concurrency() — the machine's full thread
+   * count, ignoring affinity limits. Recorded separately so a report
+   * from a pinned container (cpus < hw_threads) is recognizable.
+   */
+  int hw_threads = 0;
 
   /** Fills in the current process's metadata. */
   static MachineInfo Detect();
