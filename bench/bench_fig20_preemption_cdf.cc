@@ -48,13 +48,13 @@ int main() {
               "without (ms/tok)");
   for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
     std::printf("%11.0f%% | %14.3f | %14.3f\n", p * 100,
-                serve::Percentile(on.ttft_per_token_samples_ms, p),
-                serve::Percentile(off.ttft_per_token_samples_ms, p));
+                on.ttft_per_token_sketch.Quantile(p),
+                off.ttft_per_token_sketch.Quantile(p));
   }
   for (double p : {0.75, 0.90, 0.99}) {
-    const double with_p = serve::Percentile(on.ttft_per_token_samples_ms, p);
+    const double with_p = on.ttft_per_token_sketch.Quantile(p);
     const double without_p =
-        serve::Percentile(off.ttft_per_token_samples_ms, p);
+        off.ttft_per_token_sketch.Quantile(p);
     if (with_p > 0) {
       std::printf("P%.0f TTFT-per-token speedup from preemption: %.2fx\n",
                   p * 100, without_p / with_p);

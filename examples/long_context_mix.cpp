@@ -45,7 +45,7 @@ int main() {
                 "p99 %7.0f ms | TTFT/token p99 %.2f ms\n",
                 preemption ? "ON" : "off", o.preemptions, o.ttft.p50_ms,
                 o.ttft.p99_ms,
-                serve::Percentile(o.ttft_per_token_samples_ms, 0.99));
+                o.ttft_per_token_sketch.Quantile(0.99));
   }
 
   std::printf(

@@ -550,9 +550,14 @@ void MuxWiseEngine::MaybeLaunchDecode() {
   } else {
     decode_sms = total;
   }
-  partition_trace_.push_back(PartitionSample{
-      sim_->Now(), decode_sms,
-      decode_sms >= total ? 0 : total - decode_sms, active_ != nullptr});
+  if (partition_trace_capacity_ == 0 ||
+      partition_trace_.size() < partition_trace_capacity_) {
+    partition_trace_.push_back(PartitionSample{
+        sim_->Now(), decode_sms,
+        decode_sms >= total ? 0 : total - decode_sms, active_ != nullptr});
+  } else {
+    ++partition_samples_dropped_;
+  }
 
   const gpu::Kernel kernel = cost_->DecodeIteration(ctx);
   const sim::Duration solo = estimator_.PredictDecodeSolo(ctx, decode_sms);

@@ -156,6 +156,20 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
     return partition_trace_;
   }
 
+  /**
+   * Bounds the partition trace to the first `capacity` samples (0 keeps
+   * it unbounded, the default). Million-request streaming runs record
+   * one sample per scheduling decision, so an unbounded trace would
+   * grow without limit; the cap keeps the earliest samples (enough for
+   * Fig. 18-style plots) and counts the rest as dropped.
+   */
+  void set_partition_trace_capacity(std::size_t capacity) {
+    partition_trace_capacity_ = capacity;
+  }
+  std::size_t partition_samples_dropped() const {
+    return partition_samples_dropped_;
+  }
+
  private:
   struct PrefillJob {
     std::vector<std::unique_ptr<serve::Request>> requests;
@@ -301,6 +315,8 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   std::size_t preemptions_ = 0;
   std::uint64_t prefill_group_serial_ = 0;
   std::vector<PartitionSample> partition_trace_;
+  std::size_t partition_trace_capacity_ = 0;  // 0 = unbounded.
+  std::size_t partition_samples_dropped_ = 0;
 };
 
 }  // namespace muxwise::core

@@ -1,0 +1,50 @@
+#ifndef MUXWISE_HARNESS_JSON_H_
+#define MUXWISE_HARNESS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muxwise::harness::json {
+
+/**
+ * Minimal JSON value model + recursive-descent parser, shared by every
+ * consumer of the repo's JSON artifacts (benchrun reports, scenario
+ * files, smoke-gate outcomes). Scoped to what those documents contain —
+ * objects, arrays, strings, doubles, bools, null — deliberately not a
+ * general-purpose library.
+ */
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /** Stable-order object representation (insertion order preserved). */
+  std::vector<std::pair<std::string, Value>> object;
+
+  /** Member lookup on an object value; nullptr when absent. */
+  const Value* Find(const std::string& key) const;
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+};
+
+/** Parses one JSON document; false + `error` on malformed input. */
+bool Parse(const std::string& text, Value& out, std::string& error);
+
+/** Escapes `s` for embedding inside a JSON string literal. */
+std::string Escape(const std::string& s);
+
+// Tolerant typed accessors: `v` may be nullptr or of another type, in
+// which case the fallback is returned — absent optional fields read as
+// their defaults without per-site null checks.
+double GetNumber(const Value* v, double fallback = 0.0);
+std::string GetString(const Value* v, const std::string& fallback = "");
+bool GetBool(const Value* v, bool fallback = false);
+
+}  // namespace muxwise::harness::json
+
+#endif  // MUXWISE_HARNESS_JSON_H_

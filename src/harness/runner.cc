@@ -24,6 +24,13 @@ bool IsMuxWiseFamily(EngineKind kind) {
          kind == EngineKind::kTemporal;
 }
 
+/** The run's recovery policy: a fault plan implies recovery is on. */
+fault::RecoveryPolicy EffectiveRecovery(const RunConfig& config) {
+  fault::RecoveryPolicy policy = config.recovery;
+  if (config.fault_plan.has_value()) policy.enabled = true;
+  return policy;
+}
+
 double UtilPercent(const gpu::Gpu& device, sim::Time end) {
   if (end <= 0) return 0.0;
   return 100.0 * device.SmUtilizationIntegral() / static_cast<double>(end);
@@ -166,6 +173,69 @@ DriveResult DriveScenario(sim::ParallelSimulator& simulator,
   return DriveScenarioImpl(simulator, frontend, trace, config);
 }
 
+EngineInstance MakeEngine(EngineKind kind, sim::Simulator* simulator,
+                          const serve::Deployment& deployment,
+                          const core::ContentionEstimator* shared_estimator,
+                          const RunConfig& config) {
+  const fault::RecoveryPolicy policy = EffectiveRecovery(config);
+  // Fleet routing replicates MuxWiseEngine; baselines have no replica
+  // construction path, so a fleet config on one is a harness misuse.
+  MUX_CHECK(!config.fleet.enabled || IsMuxWiseFamily(kind));
+
+  EngineInstance instance;
+  if (IsMuxWiseFamily(kind)) {
+    MUX_CHECK(shared_estimator != nullptr);
+    core::MuxWiseEngine::Options options =
+        config.muxwise_options.value_or(core::MuxWiseEngine::Options());
+    if (kind == EngineKind::kWindServe) {
+      options.mux.mode = core::MultiplexEngine::Mode::kUnmanaged;
+    } else if (kind == EngineKind::kTemporal) {
+      options.mux.mode = core::MultiplexEngine::Mode::kTemporal;
+    }
+    options.recovery = policy;
+    if (config.overload.enabled) options.overload = config.overload;
+    if (config.fleet.enabled) {
+      auto owned = std::make_unique<route::FleetRouter>(
+          simulator, deployment, *shared_estimator, options, config.fleet);
+      instance.fleet = owned.get();
+      instance.engine = std::move(owned);
+    } else {
+      auto owned = std::make_unique<core::MuxWiseEngine>(
+          simulator, deployment, *shared_estimator, options);
+      instance.muxwise = owned.get();
+      instance.engine = std::move(owned);
+    }
+  } else if (kind == EngineKind::kChunked || kind == EngineKind::kNanoFlow) {
+    baselines::ChunkedPrefillEngine::Options options;
+    options.token_budget =
+        config.token_budget > 0
+            ? config.token_budget
+            : baselines::ChunkedPrefillEngine::TuneTokenBudget(
+                  deployment, deployment.slo.tbt);
+    options.nano_overlap = (kind == EngineKind::kNanoFlow);
+    options.recovery = policy;
+    auto owned = std::make_unique<baselines::ChunkedPrefillEngine>(
+        simulator, deployment, options);
+    instance.chunked = owned.get();
+    instance.engine = std::move(owned);
+  } else if (kind == EngineKind::kSglangPd) {
+    baselines::StaticDisaggEngine::Options options;
+    options.recovery = policy;
+    auto owned = std::make_unique<baselines::StaticDisaggEngine>(
+        simulator, deployment, options);
+    instance.disagg = owned.get();
+    instance.engine = std::move(owned);
+  } else {
+    baselines::LoongServeEngine::Options options;
+    options.recovery = policy;
+    auto owned = std::make_unique<baselines::LoongServeEngine>(
+        simulator, deployment, options);
+    instance.loong = owned.get();
+    instance.engine = std::move(owned);
+  }
+  return instance;
+}
+
 RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
                        const workload::Trace& trace,
                        const core::ContentionEstimator* shared_estimator,
@@ -191,69 +261,15 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   outcome.engine = EngineKindName(kind);
   outcome.total = trace.requests.size();
 
-  fault::RecoveryPolicy policy = config.recovery;
-  if (config.fault_plan.has_value()) policy.enabled = true;
-  // Fleet routing replicates MuxWiseEngine; baselines have no replica
-  // construction path, so a fleet config on one is a harness misuse.
-  MUX_CHECK(!config.fleet.enabled || IsMuxWiseFamily(kind));
-
-  std::unique_ptr<serve::Engine> engine;
-  core::MuxWiseEngine* muxwise = nullptr;
-  route::FleetRouter* fleet = nullptr;
-  baselines::ChunkedPrefillEngine* chunked = nullptr;
-  baselines::StaticDisaggEngine* disagg = nullptr;
-  baselines::LoongServeEngine* loong = nullptr;
-
-  if (IsMuxWiseFamily(kind)) {
-    MUX_CHECK(shared_estimator != nullptr);
-    core::MuxWiseEngine::Options options =
-        config.muxwise_options.value_or(core::MuxWiseEngine::Options());
-    if (kind == EngineKind::kWindServe) {
-      options.mux.mode = core::MultiplexEngine::Mode::kUnmanaged;
-    } else if (kind == EngineKind::kTemporal) {
-      options.mux.mode = core::MultiplexEngine::Mode::kTemporal;
-    }
-    options.recovery = policy;
-    if (config.overload.enabled) options.overload = config.overload;
-    if (config.fleet.enabled) {
-      auto owned = std::make_unique<route::FleetRouter>(
-          &simulator, deployment, *shared_estimator, options, config.fleet);
-      fleet = owned.get();
-      engine = std::move(owned);
-    } else {
-      auto owned = std::make_unique<core::MuxWiseEngine>(
-          &simulator, deployment, *shared_estimator, options);
-      muxwise = owned.get();
-      engine = std::move(owned);
-    }
-  } else if (kind == EngineKind::kChunked || kind == EngineKind::kNanoFlow) {
-    baselines::ChunkedPrefillEngine::Options options;
-    options.token_budget =
-        config.token_budget > 0
-            ? config.token_budget
-            : baselines::ChunkedPrefillEngine::TuneTokenBudget(
-                  deployment, deployment.slo.tbt);
-    options.nano_overlap = (kind == EngineKind::kNanoFlow);
-    options.recovery = policy;
-    auto owned = std::make_unique<baselines::ChunkedPrefillEngine>(
-        &simulator, deployment, options);
-    chunked = owned.get();
-    engine = std::move(owned);
-  } else if (kind == EngineKind::kSglangPd) {
-    baselines::StaticDisaggEngine::Options options;
-    options.recovery = policy;
-    auto owned = std::make_unique<baselines::StaticDisaggEngine>(
-        &simulator, deployment, options);
-    disagg = owned.get();
-    engine = std::move(owned);
-  } else {
-    baselines::LoongServeEngine::Options options;
-    options.recovery = policy;
-    auto owned = std::make_unique<baselines::LoongServeEngine>(
-        &simulator, deployment, options);
-    loong = owned.get();
-    engine = std::move(owned);
-  }
+  const fault::RecoveryPolicy policy = EffectiveRecovery(config);
+  EngineInstance instance =
+      MakeEngine(kind, &simulator, deployment, shared_estimator, config);
+  serve::Engine* const engine = instance.engine.get();
+  core::MuxWiseEngine* const muxwise = instance.muxwise;
+  route::FleetRouter* const fleet = instance.fleet;
+  baselines::ChunkedPrefillEngine* const chunked = instance.chunked;
+  baselines::StaticDisaggEngine* const disagg = instance.disagg;
+  baselines::LoongServeEngine* const loong = instance.loong;
 
   const obs::Tracer tracer(config.trace, &simulator);
   if (tracer.enabled()) engine->AttachTracer(tracer);
@@ -265,8 +281,8 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
     injector->Arm(*engine);
   }
 
-  serve::MetricsCollector metrics;
-  serve::Frontend frontend(&simulator, engine.get(), &trace, &metrics);
+  serve::MetricsCollector metrics(deployment.slo);
+  serve::Frontend frontend(&simulator, engine, &trace, &metrics);
   frontend.Start();
 
   const DriveResult drive =
@@ -287,8 +303,34 @@ RunOutcome RunWorkload(EngineKind kind, const serve::Deployment& deployment,
   outcome.tpot = metrics.Tpot();
   outcome.e2e = metrics.E2e();
   outcome.ttft_per_token = metrics.TtftPerToken();
-  outcome.ttft_per_token_samples_ms = metrics.ttft_per_token_samples_ms();
+  outcome.ttft_per_token_sketch = metrics.ttft_per_token_sketch();
   outcome.tbt_attainment = metrics.TbtAttainment(deployment.slo.tbt);
+
+  // Canonical sketch-state witness over every population the collector
+  // keeps (aggregate and per-class): order-invariant by construction,
+  // so it is comparable at any merge order or thread count.
+  {
+    std::uint64_t sketch_digest = 0x243f6a8885a308d3ULL;
+    bool overflowed = false;
+    auto fold = [&sketch_digest, &overflowed](
+                    const serve::QuantileSketch& sketch) {
+      sketch_digest = MixDigest(sketch_digest, sketch.StateDigest());
+      overflowed = overflowed || sketch.overflowed();
+    };
+    fold(metrics.ttft_sketch());
+    fold(metrics.ttft_per_token_sketch());
+    fold(metrics.tbt_sketch());
+    fold(metrics.tpot_sketch());
+    fold(metrics.e2e_sketch());
+    for (int rank = 0; rank < workload::kNumSloClasses; ++rank) {
+      const serve::ClassMetrics& slice =
+          metrics.ClassSlice(static_cast<workload::SloClass>(rank));
+      fold(slice.queue_delay);
+      fold(slice.ttft);
+    }
+    outcome.metrics_state_digest = sketch_digest;
+    outcome.metrics_overflowed = overflowed;
+  }
   outcome.meets_slo = outcome.stable && metrics.MeetsSlo(deployment.slo);
 
   const sim::Time end = std::max<sim::Time>(frontend.last_completion(), 1);
@@ -372,6 +414,13 @@ std::uint64_t OutcomeDigest(const RunOutcome& outcome) {
   for (const auto& sample : outcome.partition_trace) {
     h = MixDigest(h, static_cast<std::uint64_t>(sample.time));
     h = MixDigest(h, static_cast<std::uint64_t>(sample.decode_sms));
+  }
+  // Sketch-era field: below the exact-tier capacity the summaries above
+  // already pin every population bit-for-bit, so folding the sketch
+  // state would only perturb historical digests; past the capacity the
+  // summaries quantise and the canonical sketch state is the witness.
+  if (outcome.metrics_overflowed) {
+    h = MixDigest(h, outcome.metrics_state_digest);
   }
   // Fault-era fields fold in only when active, so fault-free digests stay
   // comparable with pre-fault baselines.

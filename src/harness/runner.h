@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +21,12 @@
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 #include "workload/request_spec.h"
+
+namespace muxwise::baselines {
+class ChunkedPrefillEngine;
+class StaticDisaggEngine;
+class LoongServeEngine;
+}  // namespace muxwise::baselines
 
 namespace muxwise::harness {
 
@@ -121,6 +128,34 @@ struct RunConfig {
   int threads = 1;
 };
 
+/**
+ * One constructed serving engine plus typed views into it. The engine
+ * pointer owns the instance; exactly one of the typed views is non-null
+ * (which one depends on the EngineKind and on RunConfig::fleet), giving
+ * callers access to engine-specific reporting surfaces — utilization,
+ * cache hit rates, preemption counts — without downcasting.
+ */
+struct EngineInstance {
+  std::unique_ptr<serve::Engine> engine;
+  core::MuxWiseEngine* muxwise = nullptr;
+  route::FleetRouter* fleet = nullptr;
+  baselines::ChunkedPrefillEngine* chunked = nullptr;
+  baselines::StaticDisaggEngine* disagg = nullptr;
+  baselines::LoongServeEngine* loong = nullptr;
+};
+
+/**
+ * Builds the engine RunWorkload would run `kind` on, wired to
+ * `simulator`: recovery policy resolved (a fault plan implies it),
+ * overload policy and fleet routing applied per `config`. Shared with
+ * the streaming driver, which feeds an engine directly instead of
+ * replaying a materialized trace through a Frontend.
+ */
+EngineInstance MakeEngine(EngineKind kind, sim::Simulator* simulator,
+                          const serve::Deployment& deployment,
+                          const core::ContentionEstimator* shared_estimator,
+                          const RunConfig& config);
+
 /** Everything the paper's tables/figures report about one run. */
 struct RunOutcome {
   std::string engine;
@@ -133,7 +168,21 @@ struct RunOutcome {
   serve::LatencySummary tpot;
   serve::LatencySummary e2e;
   serve::LatencySummary ttft_per_token;
-  std::vector<double> ttft_per_token_samples_ms;
+
+  /** Per-token TTFT population (ms) for CDF plots — a bounded sketch
+   * instead of raw samples, exact below its exact-tier capacity. */
+  serve::QuantileSketch ttft_per_token_sketch;
+
+  /**
+   * Order-invariant digest over every metric sketch's state, and
+   * whether any population spilled past the exact tier. Folded into
+   * OutcomeDigest only when `metrics_overflowed` — below the capacity
+   * the latency summaries already pin the full population bit-for-bit,
+   * so historical digests stay untouched; past it the summaries
+   * quantise and the sketch state itself becomes the witness.
+   */
+  std::uint64_t metrics_state_digest = 0;
+  bool metrics_overflowed = false;
 
   double tbt_attainment = 0.0;  // Fraction of gaps within the target.
   bool meets_slo = false;

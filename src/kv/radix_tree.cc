@@ -1,7 +1,6 @@
 #include "kv/radix_tree.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "sim/logging.h"
 
@@ -10,6 +9,23 @@ namespace muxwise::kv {
 RadixTree::RadixTree() : root_(std::make_unique<Node>()) {}
 
 RadixTree::~RadixTree() = default;
+
+void RadixTree::Reindex(Node* node) {
+  if (node == nullptr || node == root_.get()) return;
+  const bool should_index =
+      node->children.empty() && node->ref_count == 0;
+  if (node->evict_key.second != nullptr) {
+    if (should_index && node->evict_key.first == node->last_access) {
+      return;  // Already indexed under the current key.
+    }
+    evictable_.erase(node->evict_key);
+    node->evict_key = {0, nullptr};
+  }
+  if (should_index) {
+    node->evict_key = {node->last_access, node};
+    evictable_.insert(node->evict_key);
+  }
+}
 
 RadixTree::ChildKey RadixTree::KeyFor(const TokenSeq& seq) {
   MUX_CHECK(!seq.empty());
@@ -28,6 +44,7 @@ std::int64_t RadixTree::MatchedPrefix(const TokenSeq& seq, sim::Time now) {
     MUX_CHECK(common > 0);
     matched += common;
     child->last_access = now;
+    Reindex(child);
     if (common < child->EdgeTokens()) break;
     remaining = SeqSuffix(remaining, common);
     node = child;
@@ -50,6 +67,7 @@ RadixTree::MatchResult RadixTree::MatchAndLock(const TokenSeq& seq,
     matched += common;
     child->last_access = now;
     ++child->ref_count;
+    Reindex(child);
     deepest = child;
     if (common < child->EdgeTokens()) break;
     remaining = SeqSuffix(remaining, common);
@@ -66,6 +84,7 @@ void RadixTree::Unlock(Lock lock) {
        node = node->parent) {
     MUX_CHECK(node->ref_count > 0);
     --node->ref_count;
+    Reindex(node);
   }
 }
 
@@ -115,6 +134,7 @@ std::pair<std::int64_t, RadixTree::Lock> RadixTree::InsertAndLock(
       Node* leaf_raw = leaf.get();
       node->children.emplace(KeyFor(remaining), std::move(leaf));
       ++node_count_;
+      Reindex(node);  // The parent stopped being an evictable leaf.
       deepest = leaf_raw;
       remaining.clear();
       break;
@@ -129,6 +149,7 @@ std::pair<std::int64_t, RadixTree::Lock> RadixTree::InsertAndLock(
     }
     child->last_access = now;
     ++child->ref_count;
+    Reindex(child);
     deepest = child;
     remaining = SeqSuffix(remaining, common);
     node = child;
@@ -137,46 +158,21 @@ std::pair<std::int64_t, RadixTree::Lock> RadixTree::InsertAndLock(
 }
 
 std::int64_t RadixTree::EvictLru(std::int64_t tokens_needed) {
-  // Min-heap of evictable leaves ordered by last access.
-  struct HeapEntry {
-    sim::Time last_access;
-    Node* node;
-    bool operator>(const HeapEntry& other) const {
-      if (last_access != other.last_access)
-        return last_access > other.last_access;
-      return node > other.node;
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap;
-  // DFS to seed the heap with current evictable leaves.
-  std::vector<Node*> stack = {root_.get()};
-  while (!stack.empty()) {
-    Node* node = stack.back();
-    stack.pop_back();
-    for (auto& [key, child] : node->children) stack.push_back(child.get());
-    if (node != root_.get() && node->children.empty() &&
-        node->ref_count == 0) {
-      heap.push({node->last_access, node});
-    }
-  }
-
+  // Walk the persistent evictable-leaf index in (last_access, address)
+  // order — the same victim order the historical per-call DFS + min-heap
+  // produced, but without the O(n) rescan of the whole tree.
   std::int64_t freed = 0;
-  while (freed < tokens_needed && !heap.empty()) {
-    Node* victim = heap.top().node;
-    heap.pop();
-    // The victim may have gained children/refs meanwhile — impossible in
-    // this single loop, but stay defensive.
-    if (!victim->children.empty() || victim->ref_count != 0) continue;
+  while (freed < tokens_needed && !evictable_.empty()) {
+    Node* victim = evictable_.begin()->second;
+    MUX_CHECK(victim->children.empty() && victim->ref_count == 0);
+    evictable_.erase(evictable_.begin());
+    victim->evict_key = {0, nullptr};
     Node* parent = victim->parent;
     freed += victim->EdgeTokens();
     total_tokens_ -= victim->EdgeTokens();
     --node_count_;
     parent->children.erase(KeyFor(victim->edge));
-    if (parent != root_.get() && parent->children.empty() &&
-        parent->ref_count == 0) {
-      heap.push({parent->last_access, parent});
-    }
+    Reindex(parent);  // The parent may have become an evictable leaf.
   }
   return freed;
 }
@@ -198,6 +194,7 @@ std::int64_t RadixTree::LockedTokens() const {
 void RadixTree::CheckInvariants() const {
   std::int64_t tokens = 0;
   std::size_t nodes = 0;
+  std::size_t evictable_leaves = 0;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
@@ -207,6 +204,15 @@ void RadixTree::CheckInvariants() const {
       MUX_CHECK(node->ref_count >= 0);
       tokens += node->EdgeTokens();
       ++nodes;
+      const bool should_index =
+          node->children.empty() && node->ref_count == 0;
+      if (should_index) ++evictable_leaves;
+      MUX_CHECK(should_index ==
+                (node->evict_key.second != nullptr));
+      if (should_index) {
+        MUX_CHECK(node->evict_key.first == node->last_access);
+        MUX_CHECK(evictable_.count(node->evict_key) == 1);
+      }
     }
     for (const auto& [key, child] : node->children) {
       MUX_CHECK(child->parent == node);
@@ -221,11 +227,13 @@ void RadixTree::CheckInvariants() const {
   }
   MUX_CHECK(tokens == total_tokens_);
   MUX_CHECK(nodes == node_count_);
+  MUX_CHECK(evictable_leaves == evictable_.size());
 }
 
 void RadixTree::Audit(check::AuditContext& ctx) const {
   std::int64_t tokens = 0;
   std::size_t nodes = 0;
+  std::size_t evictable_leaves = 0;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
@@ -236,6 +244,17 @@ void RadixTree::Audit(check::AuditContext& ctx) const {
                 "negative ref_count " + std::to_string(node->ref_count));
       tokens += node->EdgeTokens();
       ++nodes;
+      const bool should_index =
+          node->children.empty() && node->ref_count == 0;
+      if (should_index) ++evictable_leaves;
+      ctx.Check(should_index == (node->evict_key.second != nullptr),
+                "evictable-leaf index membership out of sync");
+      if (should_index && node->evict_key.second != nullptr) {
+        ctx.Check(node->evict_key.first == node->last_access,
+                  "evictable-leaf index key is stale");
+        ctx.Check(evictable_.count(node->evict_key) == 1,
+                  "evictable leaf marked indexed but absent from index");
+      }
     }
     for (const auto& [key, child] : node->children) {
       ctx.Check(child->parent == node, "child with stale parent link");
@@ -255,6 +274,10 @@ void RadixTree::Audit(check::AuditContext& ctx) const {
   ctx.Check(nodes == node_count_,
             "node scan " + std::to_string(nodes) +
                 " disagrees with node_count " + std::to_string(node_count_));
+  ctx.Check(evictable_leaves == evictable_.size(),
+            "evictable-leaf scan " + std::to_string(evictable_leaves) +
+                " disagrees with index size " +
+                std::to_string(evictable_.size()));
 }
 
 }  // namespace muxwise::kv

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -96,9 +97,24 @@ class RadixTree {
    */
   Node* SplitNode(Node* node, std::int64_t offset);
 
+  /**
+   * Re-derives `node`'s membership in the evictable-leaf index after any
+   * mutation of its children, ref_count or last_access. Must be called
+   * at every such mutation so EvictLru never has to rescan the tree.
+   */
+  void Reindex(Node* node);
+
   std::unique_ptr<Node> root_;
   std::int64_t total_tokens_ = 0;
   std::size_t node_count_ = 0;  // Excludes the root sentinel.
+
+  // Persistent LRU index of evictable leaves (childless, unpinned),
+  // ordered exactly like the historical per-call eviction heap:
+  // (last_access, node address) ascending. Keeping it incrementally
+  // up-to-date makes EvictLru O(victims * log n) instead of an O(n)
+  // full-tree scan per call, which dominated million-request runs once
+  // the pool filled.
+  std::set<std::pair<sim::Time, Node*>> evictable_;
 };
 
 struct RadixTree::Node {
@@ -107,6 +123,9 @@ struct RadixTree::Node {
   std::map<ChildKey, std::unique_ptr<Node>> children;
   std::int64_t ref_count = 0;
   sim::Time last_access = 0;
+  // Key under which this node currently sits in RadixTree::evictable_
+  // ({0, nullptr} when absent). Owned by Reindex().
+  std::pair<sim::Time, Node*> evict_key{0, nullptr};
 
   std::int64_t EdgeTokens() const { return SeqLength(edge); }
 };

@@ -16,6 +16,27 @@ std::uint32_t Intern(std::string_view s, std::vector<std::string>& table,
   return idx;
 }
 
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool IsSpanKind(EventKind kind) {
+  return kind == EventKind::kSpanBegin || kind == EventKind::kSpanEnd ||
+         kind == EventKind::kComplete;
+}
+
+/** Deterministic 1-in-N keep decision over the span's identity only —
+ * never its timestamps — so both ends of a span agree. */
+bool KeepSpan(const TraceEvent& event, std::uint64_t period) {
+  std::uint64_t key = SplitMix64(static_cast<std::uint64_t>(event.track));
+  key = SplitMix64(key ^ static_cast<std::uint64_t>(event.name));
+  key = SplitMix64(key ^ static_cast<std::uint64_t>(event.id));
+  return key % period == 0;
+}
+
 }  // namespace
 
 std::uint32_t TraceRecorder::InternTrack(std::string_view track) {
@@ -27,6 +48,11 @@ std::uint32_t TraceRecorder::InternName(std::string_view name) {
 }
 
 void TraceRecorder::Record(const TraceEvent& event) {
+  if (options_.span_sample_period > 1 && IsSpanKind(event.kind) &&
+      !KeepSpan(event, options_.span_sample_period)) {
+    ++sampled_out_;
+    return;
+  }
   if (options_.ring_capacity == 0) {
     events_.push_back(event);
     return;
@@ -53,6 +79,7 @@ void TraceRecorder::Clear() {
   events_.clear();
   ring_head_ = 0;
   dropped_ = 0;
+  sampled_out_ = 0;
   tracks_.clear();
   names_.clear();
   track_index_.clear();

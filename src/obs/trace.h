@@ -64,6 +64,18 @@ class TraceRecorder {
   struct Options {
     /** 0 = unbounded; otherwise max events retained (oldest dropped). */
     std::size_t ring_capacity = 0;
+
+    /**
+     * 1 = record every span. N > 1 keeps a deterministic 1-in-N subset
+     * of span events (kSpanBegin / kSpanEnd / kComplete), selected by a
+     * splitmix64 hash of (track, name, id) — a pure function of the
+     * span's identity, so a Begin and its End (and re-emissions of the
+     * same logical span) survive or drop together with no per-span
+     * state, and the sampled stream is bit-reproducible across runs.
+     * Instants and counters are always recorded. Layered under the
+     * ring: sampled-out spans never enter it (see sampled_out()).
+     */
+    std::uint64_t span_sample_period = 1;
   };
 
   TraceRecorder() = default;
@@ -96,6 +108,9 @@ class TraceRecorder {
   /** Events overwritten by the bounded ring. */
   std::uint64_t dropped() const { return dropped_; }
 
+  /** Span events skipped by 1-in-N sampling (never entered the ring). */
+  std::uint64_t sampled_out() const { return sampled_out_; }
+
   const Options& options() const { return options_; }
 
   /** Discards all events and intern tables. */
@@ -106,6 +121,7 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   std::size_t ring_head_ = 0;  // Next overwrite slot once full.
   std::uint64_t dropped_ = 0;
+  std::uint64_t sampled_out_ = 0;
   std::vector<std::string> tracks_;
   std::vector<std::string> names_;
   std::map<std::string, std::uint32_t, std::less<>> track_index_;

@@ -220,7 +220,7 @@ void FleetRouter::OnHeartbeat() {
 
 void FleetRouter::DeclareDown(std::size_t r, sim::Time now) {
   ++stats_.failovers;
-  failover_latency_ms_.push_back(
+  failover_latency_.Add(
       sim::ToMilliseconds(now - health_.crash_signal_at(r)));
   // The dead replica's cache is gone: evict its affinity entries and
   // session homes so nothing re-pins to cold state after it rejoins.
@@ -479,7 +479,7 @@ FleetStats FleetRouter::Stats() const {
   for (const Replica& replica : replicas_) {
     stats.routed_per_replica.push_back(replica.routed);
   }
-  stats.failover_latency = serve::Summarize(failover_latency_ms_);
+  stats.failover_latency = failover_latency_.Summarize();
   return stats;
 }
 

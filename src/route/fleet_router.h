@@ -239,7 +239,7 @@ class FleetRouter : public fault::FaultAwareEngine {
   std::int64_t pool_capacity_tokens_ = 0;
 
   FleetStats stats_;
-  std::vector<double> failover_latency_ms_;
+  serve::QuantileSketch failover_latency_;
 };
 
 }  // namespace muxwise::route

@@ -2,21 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "sim/logging.h"
 
 namespace muxwise::serve {
-
-double PercentileSorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  MUX_CHECK(p >= 0.0 && p <= 1.0);
-  const double idx = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
 
 double Percentile(std::vector<double> samples, double p) {
   std::sort(samples.begin(), samples.end());
@@ -24,40 +13,14 @@ double Percentile(std::vector<double> samples, double p) {
 }
 
 LatencySummary Summarize(const std::vector<double>& samples_ms) {
-  LatencySummary s;
-  s.count = samples_ms.size();
-  if (samples_ms.empty()) return s;
-  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
-              static_cast<double>(samples_ms.size());
-  // Sort one copy and take both percentiles from it; identical values
-  // to per-percentile Percentile() calls, at one sort instead of two.
-  std::vector<double> sorted = samples_ms;
-  std::sort(sorted.begin(), sorted.end());
-  s.p50_ms = PercentileSorted(sorted, 0.50);
-  s.p99_ms = PercentileSorted(sorted, 0.99);
-  return s;
+  QuantileSketch sketch;
+  for (double s : samples_ms) sketch.Add(s);
+  return sketch.Summarize();
 }
 
-double ClassMetrics::QueueDelayP99() const {
-  std::vector<double> sorted = queue_delay_ms;
-  std::sort(sorted.begin(), sorted.end());
-  return PercentileSorted(sorted, 0.99);
-}
-
-std::size_t ClassMetrics::TtftAttained(
-    const workload::SloTargets& slo) const {
-  std::size_t ok = 0;
-  for (const auto& [ttft_ms, input_tokens] : ttft) {
-    if (ttft_ms <= sim::ToMilliseconds(slo.TtftTargetFor(input_tokens))) {
-      ++ok;
-    }
-  }
-  return ok;
-}
-
-double ClassMetrics::Attainment(const workload::SloTargets& slo) const {
+double ClassMetrics::Attainment() const {
   if (split.total() == 0) return 1.0;
-  return static_cast<double>(TtftAttained(slo)) /
+  return static_cast<double>(ttft_attained) /
          static_cast<double>(split.total());
 }
 
@@ -88,27 +51,36 @@ void MetricsCollector::OnRequestComplete(const Request& request) {
   ++completed_;
   ++slice.split.attained;
   if (request.prefill_start >= request.arrival) {
-    slice.queue_delay_ms.push_back(
+    slice.queue_delay.Add(
         sim::ToMilliseconds(request.prefill_start - request.arrival));
   }
-  slice.ttft.emplace_back(sim::ToMilliseconds(request.Ttft()),
-                          request.spec->input_tokens);
   output_tokens_ += request.generated;
   input_tokens_ += request.spec->input_tokens;
 
   const double ttft_ms = sim::ToMilliseconds(request.Ttft());
-  ttft_ms_.push_back(ttft_ms);
-  ttft_per_token_ms_.push_back(
-      ttft_ms / std::max<std::int64_t>(1, request.spec->input_tokens));
-  e2e_ms_.push_back(sim::ToMilliseconds(request.E2e()));
+  const double e2e_ms = sim::ToMilliseconds(request.E2e());
+  slice.ttft.Add(ttft_ms);
+  // Attainment against the per-prompt target is judged here, while the
+  // prompt length is still in hand — the sketch keeps only the TTFT
+  // population, not per-request (latency, tokens) pairs.
+  if (ttft_ms <=
+      sim::ToMilliseconds(slo_.TtftTargetFor(request.spec->input_tokens))) {
+    ++slice.ttft_attained;
+  }
+  ttft_.Add(ttft_ms);
+  ttft_per_token_.Add(
+      ttft_ms / static_cast<double>(
+                    std::max<std::int64_t>(1, request.spec->input_tokens)));
+  e2e_.Add(e2e_ms);
+  if (e2e_ms < ttft_ms) ++e2e_before_ttft_;
 
   // Per-token gaps after the first token are the TBT population.
   for (std::size_t i = 1; i < request.token_times.size(); ++i) {
-    tbt_ms_.push_back(sim::ToMilliseconds(request.token_times[i] -
-                                          request.token_times[i - 1]));
+    tbt_.Add(sim::ToMilliseconds(request.token_times[i] -
+                                 request.token_times[i - 1]));
   }
   if (request.generated > 1) {
-    tpot_ms_.push_back(
+    tpot_.Add(
         sim::ToMilliseconds(request.completion - request.first_token) /
         static_cast<double>(request.generated - 1));
   }
@@ -129,22 +101,11 @@ bool MetricsCollector::HasClassMix() const {
          ClassSlice(SloClass::kBatch).split.total() > 0;
 }
 
-LatencySummary MetricsCollector::Ttft() const { return Summarize(ttft_ms_); }
-LatencySummary MetricsCollector::Tbt() const { return Summarize(tbt_ms_); }
-LatencySummary MetricsCollector::Tpot() const { return Summarize(tpot_ms_); }
-LatencySummary MetricsCollector::E2e() const { return Summarize(e2e_ms_); }
-
-LatencySummary MetricsCollector::TtftPerToken() const {
-  return Summarize(ttft_per_token_ms_);
-}
-
 double MetricsCollector::TbtAttainment(sim::Duration tbt_target) const {
-  if (tbt_ms_.empty()) return 1.0;
+  if (tbt_.empty()) return 1.0;
   const double target_ms = sim::ToMilliseconds(tbt_target);
-  const std::size_t ok = static_cast<std::size_t>(std::count_if(
-      tbt_ms_.begin(), tbt_ms_.end(),
-      [target_ms](double v) { return v <= target_ms; }));
-  return static_cast<double>(ok) / static_cast<double>(tbt_ms_.size());
+  return tbt_.CountLessEqual(target_ms) /
+         static_cast<double>(tbt_.Count());
 }
 
 bool MetricsCollector::MeetsSlo(const workload::SloTargets& slo) const {
@@ -167,41 +128,32 @@ void MetricsCollector::RegisterAudits(
     check::InvariantRegistry& registry) const {
   registry.Register(
       "Metrics", "latency-sanity", [this](check::AuditContext& ctx) {
-        auto non_negative = [&ctx](const std::vector<double>& samples,
+        auto non_negative = [&ctx](const QuantileSketch& sketch,
                                    const char* population) {
-          for (double s : samples) {
-            if (!ctx.Check(s >= 0.0, std::string("negative ") + population +
-                                         " sample")) {
-              break;  // One report per population is enough.
-            }
-          }
+          ctx.Check(sketch.empty() || sketch.Min() >= 0.0,
+                    std::string("negative ") + population + " sample");
         };
-        non_negative(ttft_ms_, "TTFT");
-        non_negative(ttft_per_token_ms_, "TTFT-per-token");
-        non_negative(tbt_ms_, "TBT");
-        non_negative(tpot_ms_, "TPOT");
-        non_negative(e2e_ms_, "E2E");
-        // OnRequestComplete appends one TTFT and one E2E per request,
-        // so the populations pair up elementwise.
-        for (std::size_t i = 0; i < ttft_ms_.size() && i < e2e_ms_.size();
-             ++i) {
-          if (!ctx.Check(e2e_ms_[i] >= ttft_ms_[i],
-                         "request completed before its first token "
-                         "(E2E < TTFT at index " +
-                             std::to_string(i) + ")")) {
-            break;
-          }
-        }
+        non_negative(ttft_, "TTFT");
+        non_negative(ttft_per_token_, "TTFT-per-token");
+        non_negative(tbt_, "TBT");
+        non_negative(tpot_, "TPOT");
+        non_negative(e2e_, "E2E");
+        // OnRequestComplete compares each request's E2E against its
+        // TTFT at ingest; the violation counter must have stayed zero.
+        ctx.Check(e2e_before_ttft_ == 0,
+                  "requests completed before their first token "
+                  "(E2E < TTFT for " +
+                      std::to_string(e2e_before_ttft_) + " requests)");
       });
   registry.Register(
       "Metrics", "sample-counts", [this](check::AuditContext& ctx) {
-        ctx.Check(ttft_ms_.size() == completed_,
+        ctx.Check(ttft_.Count() == completed_,
                   "TTFT sample count disagrees with completed requests");
-        ctx.Check(e2e_ms_.size() == completed_,
+        ctx.Check(e2e_.Count() == completed_,
                   "E2E sample count disagrees with completed requests");
-        ctx.Check(ttft_per_token_ms_.size() == completed_,
+        ctx.Check(ttft_per_token_.Count() == completed_,
                   "TTFT-per-token count disagrees with completed requests");
-        ctx.Check(tpot_ms_.size() <= completed_,
+        ctx.Check(tpot_.Count() <= completed_,
                   "more TPOT samples than completed requests");
         ctx.Check(output_tokens_ >= 0 && input_tokens_ >= 0,
                   "negative token counters");
@@ -223,10 +175,12 @@ void MetricsCollector::RegisterAudits(
         for (const ClassMetrics& slice : per_class_) {
           class_total += slice.split.total();
           class_attained += slice.split.attained;
-          ctx.Check(slice.ttft.size() == slice.split.attained,
+          ctx.Check(slice.ttft.Count() == slice.split.attained,
                     "class TTFT population disagrees with its split");
-          ctx.Check(slice.queue_delay_ms.size() <= slice.split.attained,
+          ctx.Check(slice.queue_delay.Count() <= slice.split.attained,
                     "more class queue-delay samples than attained");
+          ctx.Check(slice.ttft_attained <= slice.ttft.Count(),
+                    "more attained TTFTs than TTFT samples");
         }
         ctx.Check(class_total == notified(),
                   "per-class splits lose requests");

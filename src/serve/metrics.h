@@ -4,10 +4,10 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "check/invariant_registry.h"
+#include "serve/quantile_sketch.h"
 #include "serve/request.h"
 #include "sim/time.h"
 #include "workload/slo.h"
@@ -23,21 +23,11 @@ namespace muxwise::serve {
  */
 double Percentile(std::vector<double> samples, double p);
 
-/** Percentile over already ascending-sorted samples (no copy). */
-double PercentileSorted(const std::vector<double>& sorted, double p);
-
-/** Summary statistics of one latency population, milliseconds. */
-struct LatencySummary {
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  std::size_t count = 0;
-};
-
 /**
- * Mean/p50/p99 of one latency population (zeros when empty). The
- * single summarisation path shared by MetricsCollector and the fleet
- * router's failover-latency reporting.
+ * Mean/p50/p99 of one latency population (zeros when empty). Kept for
+ * callers that already hold a sample vector; the metrics pipeline
+ * itself summarises through QuantileSketch::Summarize(), which returns
+ * bit-identical values on the exact tier without copying per call.
  */
 LatencySummary Summarize(const std::vector<double>& samples_ms);
 
@@ -58,27 +48,33 @@ struct GoodputSplit {
 
 /**
  * Per-SLO-class slice of the goodput split plus the queue-delay and
- * TTFT-attainment populations the overload-control evaluation reports
+ * TTFT populations the overload-control evaluation reports
  * (interactive must degrade last: attainment ordered interactive >=
- * standard >= batch under overload).
+ * standard >= batch under overload). TTFT attainment against the
+ * per-prompt target slo.TtftTargetFor(prompt) is counted at ingest by
+ * MetricsCollector (against its bound SLO), so the slice stays O(1)
+ * in requests instead of keeping a (TTFT, prompt-tokens) pair per
+ * request.
  */
 struct ClassMetrics {
   GoodputSplit split;
 
   /** Queue delay (arrival -> prefill start) of attained requests, ms. */
-  std::vector<double> queue_delay_ms;
+  QuantileSketch queue_delay;
 
-  /** (TTFT ms, prompt tokens) pairs of attained requests. */
-  std::vector<std::pair<double, std::int64_t>> ttft;
-
-  /** p99 queue delay via the sort-once PercentileSorted path. */
-  double QueueDelayP99() const;
+  /** TTFT of attained requests, ms. */
+  QuantileSketch ttft;
 
   /** Attained requests whose TTFT met slo.TtftTargetFor(prompt). */
-  std::size_t TtftAttained(const workload::SloTargets& slo) const;
+  std::size_t ttft_attained = 0;
+
+  /** p99 queue delay (exact below the sketch's exact-tier capacity). */
+  double QueueDelayP99() const { return queue_delay.Quantile(0.99); }
+
+  std::size_t TtftAttained() const { return ttft_attained; }
 
   /** TtftAttained / total arrivals of the class (1.0 when empty). */
-  double Attainment(const workload::SloTargets& slo) const;
+  double Attainment() const;
 };
 
 /**
@@ -86,12 +82,28 @@ struct ClassMetrics {
  * metrics of the paper: TTFT, TBT (per-token gaps, strict), TPOT
  * (per-request average), E2E, token throughput, and TBT SLO attainment.
  *
+ * Populations live in QuantileSketch instances: exact (bit-identical
+ * to the historical full-sample path) below the sketch's exact-tier
+ * capacity, bounded-error histograms past it — so memory is O(1) in
+ * the number of requests and 10^7-request scenarios stream through
+ * without accumulating samples.
+ *
  * Requests arriving with a degraded Outcome (timed-out / shed / failed)
  * are tallied in the goodput split but contribute no latency samples:
  * they never produced the tokens the SLO populations measure.
  */
 class MetricsCollector {
  public:
+  /** Collects against the default SLO targets. */
+  MetricsCollector() = default;
+
+  /**
+   * Binds the SLO whose per-prompt TTFT targets the per-class
+   * attainment counters are judged against at ingest (normally the
+   * deployment's SLO).
+   */
+  explicit MetricsCollector(const workload::SloTargets& slo) : slo_(slo) {}
+
   /** Ingests a finished request's timing record. */
   void OnRequestComplete(const Request& request);
 
@@ -116,20 +128,24 @@ class MetricsCollector {
   std::int64_t output_tokens() const { return output_tokens_; }
   std::int64_t input_tokens() const { return input_tokens_; }
 
-  LatencySummary Ttft() const;
-  LatencySummary Tbt() const;   // Pooled over every token gap.
-  LatencySummary Tpot() const;  // Per-request averages.
-  LatencySummary E2e() const;
+  LatencySummary Ttft() const { return ttft_.Summarize(); }
+  LatencySummary Tbt() const { return tbt_.Summarize(); }
+  LatencySummary Tpot() const { return tpot_.Summarize(); }
+  LatencySummary E2e() const { return e2e_.Summarize(); }
 
   /**
    * TTFT normalized per prompt token (paper §4.4.3 preemption study).
    */
-  LatencySummary TtftPerToken() const;
+  LatencySummary TtftPerToken() const { return ttft_per_token_.Summarize(); }
 
-  /** Raw per-token TTFT samples (ms) for CDF plots. */
-  const std::vector<double>& ttft_per_token_samples_ms() const {
-    return ttft_per_token_ms_;
+  /** Population sketches (CDF plots, digest keying, accuracy gates). */
+  const QuantileSketch& ttft_sketch() const { return ttft_; }
+  const QuantileSketch& ttft_per_token_sketch() const {
+    return ttft_per_token_;
   }
+  const QuantileSketch& tbt_sketch() const { return tbt_; }
+  const QuantileSketch& tpot_sketch() const { return tpot_; }
+  const QuantileSketch& e2e_sketch() const { return e2e_; }
 
   /** Fraction of token gaps within the TBT target. */
   double TbtAttainment(sim::Duration tbt_target) const;
@@ -144,14 +160,16 @@ class MetricsCollector {
   double RequestThroughput(sim::Time t0, sim::Time t1) const;
 
   /**
-   * Registers latency-sanity audits: every recorded sample is
-   * non-negative, each request completed no earlier than its first
-   * token (E2E >= TTFT, recorded pairwise in completion order), and
-   * the per-population sample counts agree with `completed()`.
+   * Registers latency-sanity audits: every population minimum is
+   * non-negative, no request completed earlier than its first token
+   * (E2E >= TTFT, checked at ingest), and the per-population sample
+   * counts agree with `completed()`.
    */
   void RegisterAudits(check::InvariantRegistry& registry) const;
 
  private:
+  workload::SloTargets slo_;
+
   std::size_t completed_ = 0;
   std::size_t timed_out_ = 0;
   std::size_t shed_ = 0;
@@ -159,11 +177,14 @@ class MetricsCollector {
   std::int64_t output_tokens_ = 0;
   std::int64_t input_tokens_ = 0;
 
-  std::vector<double> ttft_ms_;
-  std::vector<double> ttft_per_token_ms_;
-  std::vector<double> tbt_ms_;
-  std::vector<double> tpot_ms_;
-  std::vector<double> e2e_ms_;
+  /** Requests whose E2E came out below their TTFT (must stay 0). */
+  std::size_t e2e_before_ttft_ = 0;
+
+  QuantileSketch ttft_;
+  QuantileSketch ttft_per_token_;
+  QuantileSketch tbt_;
+  QuantileSketch tpot_;
+  QuantileSketch e2e_;
 
   std::array<ClassMetrics, workload::kNumSloClasses> per_class_;
 };

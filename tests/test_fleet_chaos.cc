@@ -85,12 +85,11 @@ TEST_F(FleetChaosTest, ReplicaLossUnderBurstKeepsEveryRequestAccounted) {
 
   // Batch-first degradation: the shrunken fleet sheds batch arrivals
   // while interactive keeps its attainment edge.
-  const workload::SloTargets slo;
   const auto& interactive =
       o.per_class[workload::SloClassRank(workload::SloClass::kInteractive)];
   const auto& batch =
       o.per_class[workload::SloClassRank(workload::SloClass::kBatch)];
-  EXPECT_GE(interactive.Attainment(slo), batch.Attainment(slo));
+  EXPECT_GE(interactive.Attainment(), batch.Attainment());
 }
 
 TEST_F(FleetChaosTest, FailoverBeatsSheddingOnFleetGoodput) {

@@ -216,19 +216,20 @@ TEST_F(ClassMetricsTest, QueueDelayP99HandComputedFixture) {
         i, SloClass::kInteractive, Milliseconds(10 * (i + 1))));
   }
   const ClassMetrics& slice = metrics_.ClassSlice(SloClass::kInteractive);
-  ASSERT_EQ(slice.queue_delay_ms.size(), 4u);
+  ASSERT_EQ(slice.queue_delay.Count(), 4u);
   EXPECT_NEAR(slice.QueueDelayP99(), 39.7, 1e-9);
   // Degraded requests contribute no queue-delay samples.
   auto shed = MakeClassed(9, SloClass::kInteractive, Milliseconds(999));
   shed->outcome = Outcome::kShed;
   metrics_.OnRequestComplete(*shed);
-  EXPECT_EQ(slice.queue_delay_ms.size(), 4u);
+  EXPECT_EQ(slice.queue_delay.Count(), 4u);
   EXPECT_NEAR(slice.QueueDelayP99(), 39.7, 1e-9);
 }
 
 TEST_F(ClassMetricsTest, TtftAttainmentUsesPerTokenTarget) {
   using workload::SloClass;
-  workload::SloTargets slo;  // 500 ms + 400 us/token; 200 tokens -> 580.
+  // Default SLO bound at construction: 500 ms + 400 us/token; the
+  // 200-token fixture prompts put the target at 580 ms.
   metrics_.OnRequestComplete(*MakeClassed(
       1, SloClass::kStandard, Milliseconds(5), Milliseconds(100)));
   metrics_.OnRequestComplete(*MakeClassed(
@@ -240,13 +241,29 @@ TEST_F(ClassMetricsTest, TtftAttainmentUsesPerTokenTarget) {
   metrics_.OnRequestComplete(*shed);
 
   const ClassMetrics& slice = metrics_.ClassSlice(SloClass::kStandard);
-  EXPECT_EQ(slice.TtftAttained(slo), 2u);
+  EXPECT_EQ(slice.TtftAttained(), 2u);
   // Attainment is over all arrivals of the class, shed ones included:
   // 2 within target / 4 total.
-  EXPECT_DOUBLE_EQ(slice.Attainment(slo), 0.5);
+  EXPECT_DOUBLE_EQ(slice.Attainment(), 0.5);
   // An empty slice reports perfect attainment, not 0/0.
-  EXPECT_DOUBLE_EQ(
-      metrics_.ClassSlice(SloClass::kBatch).Attainment(slo), 1.0);
+  EXPECT_DOUBLE_EQ(metrics_.ClassSlice(SloClass::kBatch).Attainment(), 1.0);
+}
+
+TEST_F(ClassMetricsTest, AttainmentJudgedAgainstBoundSlo) {
+  using workload::SloClass;
+  // A collector bound to a tighter SLO counts attainment against it at
+  // ingest; the same timings then attain under the default targets but
+  // not the tight ones.
+  workload::SloTargets tight;
+  tight.ttft = Milliseconds(50);
+  tight.ttft_per_token = sim::Microseconds(100);  // 200 tokens -> 70 ms.
+  MetricsCollector strict(tight);
+  strict.OnRequestComplete(*MakeClassed(
+      1, SloClass::kStandard, Milliseconds(5), Milliseconds(100)));
+  metrics_.OnRequestComplete(*MakeClassed(
+      2, SloClass::kStandard, Milliseconds(5), Milliseconds(100)));
+  EXPECT_EQ(strict.ClassSlice(SloClass::kStandard).TtftAttained(), 0u);
+  EXPECT_EQ(metrics_.ClassSlice(SloClass::kStandard).TtftAttained(), 1u);
 }
 
 }  // namespace

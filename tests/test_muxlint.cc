@@ -329,6 +329,44 @@ TEST(MuxlintTest, UnboundedQueueScopedToServingLayers) {
       "unbounded-queue"));
 }
 
+TEST(MuxlintTest, FlagsSampleAccumulationInMetricLayers) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/metrics.cc", "queue_delay_ms.push_back(ms);\n"),
+      "unbounded-samples"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/metrics.cc", "ttft_samples_.push_back(v);\n"),
+      "unbounded-samples"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/route/fleet_router.cc", "failover_latency_.emplace_back(d);\n"),
+      "unbounded-samples"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/serve/metrics.cc", "per_class_[cls].e2e_ms.push_back(v);\n"),
+      "unbounded-samples"));
+}
+
+TEST(MuxlintTest, UnboundedSamplesScopedToMetricLayers) {
+  // The sketch-backed metrics layer owns the rule's scope; the same
+  // pattern elsewhere (harness subsamples, tests) is deliberate.
+  EXPECT_FALSE(HasRule(
+      Lint("src/harness/streaming.cc", "ttft_subsample_ms.push_back(v);\n"),
+      "unbounded-samples"));
+  // Non-sample vectors in scope stay clean.
+  EXPECT_FALSE(HasRule(
+      Lint("src/serve/engine.cc", "token_times.push_back(now);\n"),
+      "unbounded-samples"));
+  EXPECT_FALSE(HasRule(
+      Lint("src/route/fleet_router.cc", "replicas_.push_back(std::move(r));\n"),
+      "unbounded-samples"));
+}
+
+TEST(MuxlintTest, UnboundedSamplesSuppressible) {
+  const LintReport r = Lint(
+      "src/serve/metrics.cc",
+      "ttft_samples_.push_back(v);  // muxlint: allow(unbounded-samples)\n");
+  EXPECT_FALSE(HasRule(r, "unbounded-samples"));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(MuxlintTest, UnboundedQueueSuppressible) {
   const LintReport r = Lint(
       "src/core/foo.cc",
@@ -353,6 +391,7 @@ TEST(MuxlintTest, RulesListCoversEveryEmittableRule) {
   EXPECT_TRUE(named("priority-queue"));
   EXPECT_TRUE(named("event-arena"));
   EXPECT_TRUE(named("unbounded-queue"));
+  EXPECT_TRUE(named("unbounded-samples"));
   EXPECT_TRUE(named("include-guard"));
 }
 

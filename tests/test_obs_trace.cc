@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,82 @@ TEST(TraceRecorderTest, BoundedRingDropsOldestFirst) {
   EXPECT_EQ(events[1].time, 7);
   EXPECT_EQ(events[2].time, 8);
   EXPECT_EQ(events[3].time, 9);
+}
+
+TEST(TraceRecorderTest, SpanSamplingKeepsBeginEndPairsTogether) {
+  // 1-in-4 sampling keyed by (track, name, id): both ends of a span
+  // share the key, so whichever spans survive, they survive whole.
+  TraceRecorder recorder(TraceRecorder::Options{.span_sample_period = 4});
+  const std::uint32_t track = recorder.InternTrack("t");
+  const std::uint32_t name = recorder.InternName("span");
+  constexpr int kSpans = 256;
+  for (int id = 0; id < kSpans; ++id) {
+    recorder.Record({EventKind::kSpanBegin, track, name, id, id, 0.0});
+    recorder.Record({EventKind::kSpanEnd, track, name, id + 1, id, 0.0});
+  }
+  EXPECT_GT(recorder.sampled_out(), 0u);
+  EXPECT_LT(recorder.size(), 2u * kSpans);
+  EXPECT_EQ(recorder.size() + recorder.sampled_out(), 2u * kSpans);
+  std::map<std::int64_t, int> begins;
+  std::map<std::int64_t, int> ends;
+  for (const TraceEvent& event : recorder.Events()) {
+    (event.kind == EventKind::kSpanBegin ? begins : ends)[event.id]++;
+  }
+  EXPECT_EQ(begins, ends);  // No orphaned Begin or End survives.
+}
+
+TEST(TraceRecorderTest, SpanSamplingNeverDropsInstantsOrCounters) {
+  TraceRecorder recorder(TraceRecorder::Options{.span_sample_period = 1000});
+  const std::uint32_t track = recorder.InternTrack("t");
+  const std::uint32_t name = recorder.InternName("n");
+  for (int i = 0; i < 100; ++i) {
+    recorder.Record({EventKind::kInstant, track, name, i, i, 0.0});
+    recorder.Record({EventKind::kCounter, track, name, i, 0, 1.0 * i});
+  }
+  EXPECT_EQ(recorder.size(), 200u);
+  EXPECT_EQ(recorder.sampled_out(), 0u);
+}
+
+TEST(TraceRecorderTest, SpanSamplingIsIdentityAtPeriodOne) {
+  TraceRecorder sampled(TraceRecorder::Options{.span_sample_period = 1});
+  TraceRecorder plain;
+  for (TraceRecorder* recorder : {&sampled, &plain}) {
+    const std::uint32_t track = recorder->InternTrack("t");
+    const std::uint32_t name = recorder->InternName("n");
+    for (int id = 0; id < 64; ++id) {
+      recorder->Record({EventKind::kSpanBegin, track, name, id, id, 0.0});
+      recorder->Record({EventKind::kComplete, track, name, id, id, 5.0});
+      recorder->Record({EventKind::kSpanEnd, track, name, id + 1, id, 0.0});
+    }
+  }
+  EXPECT_EQ(sampled.sampled_out(), 0u);
+  EXPECT_EQ(sampled.Events(), plain.Events());
+  EXPECT_EQ(TraceDigest(sampled), TraceDigest(plain));
+}
+
+TEST(TraceRecorderTest, SpanSamplingDecisionIsAPureFunctionOfIdentity) {
+  // Same stream recorded twice (and once with events interleaved
+  // differently in time): identical survivor sets, because the keep
+  // decision never looks at timestamps or arrival order.
+  auto record = [](sim::Time skew) {
+    TraceRecorder recorder(
+        TraceRecorder::Options{.span_sample_period = 3});
+    const std::uint32_t track = recorder.InternTrack("t");
+    const std::uint32_t name = recorder.InternName("n");
+    std::vector<std::int64_t> kept;
+    for (int id = 0; id < 128; ++id) {
+      recorder.Record(
+          {EventKind::kComplete, track, name, id + skew, id, 1.0});
+    }
+    for (const TraceEvent& event : recorder.Events()) {
+      kept.push_back(event.id);
+    }
+    return kept;
+  };
+  const auto baseline = record(0);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(record(0), baseline);
+  EXPECT_EQ(record(1000), baseline);  // Time shift changes nothing.
 }
 
 TEST(TraceRecorderTest, ClearResetsEventsAndTables) {

@@ -51,10 +51,9 @@ RunConfig BurstConfig(bool control) {
 /** Goodput as the paper counts it: completions that met their TTFT
  * target, summed over the SLO classes. */
 std::size_t SloGoodput(const RunOutcome& outcome) {
-  const workload::SloTargets slo;
   std::size_t attained = 0;
   for (const serve::ClassMetrics& slice : outcome.per_class) {
-    attained += slice.TtftAttained(slo);
+    attained += slice.TtftAttained();
   }
   return attained;
 }
@@ -90,7 +89,6 @@ TEST_F(OverloadScenarioTest, ControlRaisesGoodputUnderFourXBurst) {
   EXPECT_GT(SloGoodput(on), SloGoodput(off));
 
   // Interactive degrades last: attainment ordered by class priority.
-  const workload::SloTargets slo;
   const auto& interactive =
       on.per_class[workload::SloClassRank(SloClass::kInteractive)];
   const auto& standard =
@@ -100,8 +98,8 @@ TEST_F(OverloadScenarioTest, ControlRaisesGoodputUnderFourXBurst) {
   ASSERT_GT(interactive.split.total(), 0u);
   ASSERT_GT(standard.split.total(), 0u);
   ASSERT_GT(batch.split.total(), 0u);
-  EXPECT_GE(interactive.Attainment(slo), standard.Attainment(slo));
-  EXPECT_GE(standard.Attainment(slo), batch.Attainment(slo));
+  EXPECT_GE(interactive.Attainment(), standard.Attainment());
+  EXPECT_GE(standard.Attainment(), batch.Attainment());
 
   // Every request is terminally accounted on both sides.
   EXPECT_EQ(off.split.total(), off.total);

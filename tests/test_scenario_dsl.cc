@@ -1,0 +1,186 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "harness/runner.h"
+#include "harness/streaming.h"
+#include "llm/model_config.h"
+#include "serve/deployment.h"
+#include "workload/datasets.h"
+
+namespace muxwise::harness {
+namespace {
+
+std::string RepoPath(const std::string& relative) {
+  return std::string(MUXWISE_SOURCE_DIR) + "/" + relative;
+}
+
+serve::Deployment Llama70bA100() {
+  return serve::Deployment::Make(llm::ModelConfig::Llama70B(),
+                                 gpu::GpuSpec::A100());
+}
+
+TEST(ScenarioDslTest, AcceptanceScenarioMatchesHandCodedRun) {
+  // The DSL path (parse -> build deployment/trace -> run) must be
+  // bit-identical to assembling the same scenario in C++ by hand.
+  ScenarioParseResult parsed =
+      LoadScenarioFile(RepoPath("scenarios/acceptance_sharegpt.json"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const RunOutcome dsl = RunScenario(*parsed.spec);
+
+  const serve::Deployment deployment = Llama70bA100();
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+  const RunOutcome hand =
+      RunWorkload(EngineKind::kMuxWise, deployment, trace, &estimator);
+
+  EXPECT_EQ(OutcomeDigest(dsl), OutcomeDigest(hand));
+  EXPECT_EQ(dsl.completed, hand.completed);
+  EXPECT_EQ(dsl.stable, hand.stable);
+}
+
+TEST(ScenarioDslTest, MmppScenarioMatchesHandCodedRun) {
+  ScenarioParseResult parsed =
+      LoadScenarioFile(RepoPath("scenarios/overload_mmpp_burst.json"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(parsed.spec->mmpp.has_value());
+  const RunOutcome dsl = RunScenario(*parsed.spec);
+
+  const serve::Deployment deployment = Llama70bA100();
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+  const workload::Trace trace =
+      workload::GenerateMmppTrace(*parsed.spec->mmpp, parsed.spec->mmpp_seed);
+  RunConfig config;
+  config.overload = parsed.spec->config.overload;
+  const RunOutcome hand =
+      RunWorkload(EngineKind::kMuxWise, deployment, trace, &estimator, config);
+
+  EXPECT_EQ(OutcomeDigest(dsl), OutcomeDigest(hand));
+}
+
+TEST(ScenarioDslTest, EveryCheckedInScenarioParses) {
+  std::size_t seen = 0;
+  for (const std::string dir : {"scenarios", "scenarios/nightly"}) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(RepoPath(dir))) {
+      if (entry.path().extension() != ".json") continue;
+      ++seen;
+      const ScenarioParseResult parsed =
+          LoadScenarioFile(entry.path().string());
+      EXPECT_TRUE(parsed.ok())
+          << entry.path().string() << ": " << parsed.error;
+    }
+  }
+  EXPECT_GE(seen, 8u);  // 6 matrix scenarios + 2 nightly streaming ones.
+}
+
+TEST(ScenarioDslTest, ThreadCountDoesNotChangeTheDigest) {
+  ScenarioParseResult base =
+      LoadScenarioFile(RepoPath("scenarios/acceptance_sharegpt.json"));
+  ASSERT_TRUE(base.ok()) << base.error;
+  const RunOutcome single = RunScenario(*base.spec);
+  base.spec->config.threads = 4;
+  const RunOutcome sharded = RunScenario(*base.spec);
+  EXPECT_EQ(OutcomeDigest(single), OutcomeDigest(sharded));
+  EXPECT_EQ(single.event_digest, sharded.event_digest);
+}
+
+TEST(ScenarioDslTest, StreamingSmokeIsDeterministicAndAccurate) {
+  const std::string text = R"json({
+    "name": "stream-smoke",
+    "engine": "muxwise",
+    "deployment": {"model": "Llama-70B", "gpu": "A100", "num_gpus": 8},
+    "trace": {
+      "streaming": {
+        "requests": 5000,
+        "rate_per_second": 50.0,
+        "seed": 9,
+        "exact_subsample_period": 10
+      }
+    }
+  })json";
+  ScenarioParseResult parsed = ParseScenarioJson(text, "inline");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(parsed.spec->IsStreaming());
+
+  const StreamingOutcome first = RunStreamingScenario(*parsed.spec);
+  EXPECT_TRUE(first.stable) << first.diagnostic;
+  EXPECT_EQ(first.completed, 5000u);
+  EXPECT_FALSE(first.ttft_subsample_ms.empty());
+
+  // The 1-in-10 exact subsample and the sketch describe the same
+  // population, so their medians must agree to sketch accuracy.
+  std::vector<double> subsample = first.ttft_subsample_ms;
+  std::sort(subsample.begin(), subsample.end());
+  const double exact_p50 = serve::PercentileSorted(subsample, 0.5);
+  const double sketch_p50 = first.ttft_sketch.Quantile(0.5);
+  EXPECT_NEAR(sketch_p50, exact_p50, exact_p50 * 0.10);
+
+  const StreamingOutcome second = RunStreamingScenario(*parsed.spec);
+  EXPECT_EQ(first.event_digest, second.event_digest);
+  EXPECT_EQ(first.metrics_state_digest, second.metrics_state_digest);
+}
+
+TEST(ScenarioDslTest, RejectsUnknownKeysWithQualifiedPath) {
+  const ScenarioParseResult parsed = ParseScenarioJson(
+      R"({"name": "x", "engine": "muxwise",
+          "trace": {"mix": [{"dataset": "sharegpt", "requests": 1,
+                             "rate_per_second": 1.0, "tpyo": 3}]}})",
+      "inline");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("trace.mix"), std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find("tpyo"), std::string::npos) << parsed.error;
+}
+
+TEST(ScenarioDslTest, RejectsMissingName) {
+  const ScenarioParseResult parsed = ParseScenarioJson(
+      R"({"engine": "muxwise",
+          "trace": {"mix": [{"dataset": "sharegpt", "requests": 1,
+                             "rate_per_second": 1.0}]}})",
+      "inline");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("name"), std::string::npos) << parsed.error;
+}
+
+TEST(ScenarioDslTest, RejectsTwoTraceShapes) {
+  const ScenarioParseResult parsed = ParseScenarioJson(
+      R"({"name": "x",
+          "trace": {
+            "mix": [{"dataset": "sharegpt", "requests": 1,
+                     "rate_per_second": 1.0}],
+            "streaming": {"requests": 10, "rate_per_second": 1.0}}})",
+      "inline");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("exactly one"), std::string::npos)
+      << parsed.error;
+}
+
+TEST(ScenarioDslTest, RejectsUnknownEngine) {
+  const ScenarioParseResult parsed = ParseScenarioJson(
+      R"({"name": "x", "engine": "warp-drive",
+          "trace": {"mix": [{"dataset": "sharegpt", "requests": 1,
+                             "rate_per_second": 1.0}]}})",
+      "inline");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("engine"), std::string::npos) << parsed.error;
+}
+
+TEST(ScenarioDslTest, RejectsMalformedJsonWithSourceLabel) {
+  const ScenarioParseResult parsed =
+      ParseScenarioJson("{\"name\": ", "broken.json");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("broken.json"), std::string::npos)
+      << parsed.error;
+}
+
+}  // namespace
+}  // namespace muxwise::harness

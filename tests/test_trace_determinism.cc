@@ -15,6 +15,10 @@
 namespace muxwise::harness {
 namespace {
 
+// See TraceSamplingFrozenDigests below for the pinning contract.
+constexpr std::uint64_t kFrozenUnsampledTraceDigest = 0xdc1476e73027d0b1ULL;
+constexpr std::uint64_t kFrozenSampledTraceDigest = 0xe65d9fd07aea6c09ULL;
+
 serve::Deployment Llama70bA100() {
   return serve::Deployment::Make(llm::ModelConfig::Llama70B(),
                                  gpu::GpuSpec::A100());
@@ -81,6 +85,61 @@ TEST_P(TraceDeterminismTest, DoubleRunsExportByteIdenticalTraces) {
   EXPECT_EQ(obs::TraceDigest(*first), obs::TraceDigest(*second));
   EXPECT_EQ(obs::EncodeBinary(*first), obs::EncodeBinary(*second));
   EXPECT_EQ(obs::ExportChromeJson(*first), obs::ExportChromeJson(*second));
+}
+
+TEST_P(TraceDeterminismTest, SpanSamplingNeverPerturbsTheEventStream) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+
+  auto run = [&](std::uint64_t period) {
+    auto recorder = std::make_unique<obs::TraceRecorder>(
+        obs::TraceRecorder::Options{.span_sample_period = period});
+    RunConfig config;
+    config.trace = recorder.get();
+    const RunOutcome outcome =
+        RunWorkload(GetParam(), Llama70bA100(), trace, estimator_, config);
+    return std::make_pair(std::move(recorder), outcome);
+  };
+
+  const auto [unsampled, full_outcome] = run(1);
+  const auto [sampled, sampled_outcome] = run(4);
+  // Sampling is a recorder-side filter: the simulated stream (and every
+  // reported metric) is identical whatever the period.
+  EXPECT_EQ(sampled_outcome.event_digest, full_outcome.event_digest);
+  EXPECT_EQ(sampled_outcome.executed_events, full_outcome.executed_events);
+  EXPECT_EQ(OutcomeDigest(sampled_outcome), OutcomeDigest(full_outcome));
+  // It really thinned the span stream, and accounted for every skip.
+  EXPECT_GT(sampled->sampled_out(), 0u);
+  EXPECT_LT(sampled->size(), unsampled->size());
+  EXPECT_EQ(sampled->size() + sampled->sampled_out(), unsampled->size());
+  // The sampled stream is itself reproducible.
+  EXPECT_EQ(obs::TraceDigest(*run(4).first), obs::TraceDigest(*sampled));
+}
+
+/**
+ * Frozen trace digests for the MuxWise acceptance scenario, unsampled
+ * and at 1-in-4 span sampling. Both streams are deterministic, so both
+ * digests are pinned: a change to either means the instrumentation, the
+ * binary encoding, or the sampling key changed — bump deliberately.
+ */
+TEST(TraceSamplingFrozenDigests, MuxWiseAcceptanceScenarioPinned) {
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 901);
+  const serve::Deployment deployment = Llama70bA100();
+  const core::ContentionEstimator estimator =
+      core::ContentionEstimator::BuildOffline(deployment);
+
+  auto digest = [&](std::uint64_t period) {
+    obs::TraceRecorder recorder(
+        obs::TraceRecorder::Options{.span_sample_period = period});
+    RunConfig config;
+    config.trace = &recorder;
+    RunWorkload(EngineKind::kMuxWise, deployment, trace, &estimator, config);
+    return obs::TraceDigest(recorder);
+  };
+
+  EXPECT_EQ(digest(1), kFrozenUnsampledTraceDigest);
+  EXPECT_EQ(digest(4), kFrozenSampledTraceDigest);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,13 +1,15 @@
 #include "benchrun/report.h"
 
-#include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
+
+#include "harness/json.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -20,229 +22,12 @@ namespace muxwise::benchrun {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value model + recursive-descent parser. Scoped to what
-// benchrun reports contain (objects, arrays, strings, doubles, bools);
-// deliberately not a general-purpose library.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  // Stable-order object representation (insertion order preserved).
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue& out, std::string& error) {
-    if (!ParseValue(out)) {
-      error = error_.empty() ? "malformed JSON" : error_;
-      return false;
-    }
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      error = "trailing content after JSON document";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Fail(const std::string& what) {
-    error_ = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool ParseValue(JsonValue& out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return Fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out.type = JsonValue::Type::kString;
-      return ParseString(out.string);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = false;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out.type = JsonValue::Type::kNull;
-      pos_ += 4;
-      return true;
-    }
-    return ParseNumber(out);
-  }
-
-  bool ParseObject(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    if (!Consume('{')) return false;
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWhitespace();
-      std::string key;
-      if (!ParseString(key)) return false;
-      if (!Consume(':')) return false;
-      JsonValue value;
-      if (!ParseValue(value)) return false;
-      out.object.emplace_back(std::move(key), std::move(value));
-      SkipWhitespace();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return Consume('}');
-    }
-  }
-
-  bool ParseArray(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    if (!Consume('[')) return false;
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue value;
-      if (!ParseValue(value)) return false;
-      out.array.push_back(std::move(value));
-      SkipWhitespace();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return Consume(']');
-    }
-  }
-
-  bool ParseString(std::string& out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return Fail("expected string");
-    }
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
-            // Reports only emit \u00xx control escapes; decode the low
-            // byte and drop the (always-zero) high byte.
-            const std::string hex = text_.substr(pos_ + 2, 2);
-            out.push_back(static_cast<char>(
-                std::strtol(hex.c_str(), nullptr, 16)));
-            pos_ += 4;
-            break;
-          }
-          default:
-            return Fail("unknown escape");
-        }
-        continue;
-      }
-      out.push_back(c);
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseNumber(JsonValue& out) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected number");
-    out.type = JsonValue::Type::kNumber;
-    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
-                             nullptr);
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
+// JSON parsing/escaping comes from the shared harness::json library;
+// the aliases keep this file's call sites unchanged.
+using JsonValue = harness::json::Value;
+using harness::json::GetNumber;
+using harness::json::GetString;
+const auto& JsonEscape = harness::json::Escape;
 
 std::string HexDigest(std::uint64_t digest) {
   char buf[20];
@@ -255,15 +40,6 @@ std::string FormatDouble(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
-}
-
-double GetNumber(const JsonValue* v, double fallback = 0.0) {
-  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
-                                                             : fallback;
-}
-
-std::string GetString(const JsonValue* v) {
-  return v != nullptr && v->type == JsonValue::Type::kString ? v->string : "";
 }
 
 }  // namespace
@@ -348,8 +124,7 @@ std::string ToJson(const BenchReport& report) {
 bool FromJson(const std::string& json, BenchReport& report,
               std::string& error) {
   JsonValue root;
-  JsonParser parser(json);
-  if (!parser.Parse(root, error)) return false;
+  if (!harness::json::Parse(json, root, error)) return false;
   if (root.type != JsonValue::Type::kObject) {
     error = "report root is not an object";
     return false;

@@ -187,7 +187,6 @@ OneRun DriveOverloadGoodput(double duration_seconds) {
       llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
   static const core::ContentionEstimator estimator =
       core::ContentionEstimator::BuildOffline(deployment);
-  const workload::SloTargets slo;
 
   OneRun run;
   run.digest = 0x452821e638d01377ULL;
@@ -220,7 +219,7 @@ OneRun DriveOverloadGoodput(double duration_seconds) {
           arm.kind, deployment, trace, &estimator, config);
       std::uint64_t goodput = 0;
       for (const serve::ClassMetrics& slice : outcome.per_class) {
-        goodput += slice.TtftAttained(slo);
+        goodput += slice.TtftAttained();
       }
       if (outcome.per_class.empty()) goodput = outcome.split.attained;
       run.sim_events += outcome.executed_events;
@@ -244,7 +243,6 @@ OneRun DriveFleetGoodput(double duration_seconds) {
       llm::ModelConfig::Llama70B(), gpu::GpuSpec::A100());
   static const core::ContentionEstimator estimator =
       core::ContentionEstimator::BuildOffline(deployment);
-  const workload::SloTargets slo;
 
   workload::MmppOptions options;
   options.dataset = workload::Dataset::kShareGpt;
@@ -274,7 +272,7 @@ OneRun DriveFleetGoodput(double duration_seconds) {
                                trace, &estimator, config);
       std::uint64_t goodput = 0;
       for (const serve::ClassMetrics& slice : outcome.per_class) {
-        goodput += slice.TtftAttained(slo);
+        goodput += slice.TtftAttained();
       }
       run.sim_events += outcome.executed_events;
       run.digest = MixDigest(run.digest, outcome.event_digest);

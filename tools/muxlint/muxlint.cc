@@ -106,6 +106,22 @@ const std::vector<LineRule>& LineRules() {
            R"(\b[a-z]*(waiting|queue|pending|held|gated|backlog)[a-z_]*_(\s*\[[^\]]*\])?\s*\.\s*(push_back|push_front|emplace_back|emplace_front)\s*\()"),
        "",
        {"src/serve", "src/core"}},
+      // The metrics layer (ISSUE 9) replaced full-sample percentile
+      // vectors with fixed-footprint quantile sketches so million-
+      // request runs hold O(1) metric memory. A push into a latency- or
+      // sample-named vector reintroduces per-request accumulation that
+      // grows with the request count; record into a
+      // serve::QuantileSketch instead, or allow() a buffer whose bound
+      // is enforced elsewhere (per-replica stats, fixed subsamples).
+      {"unbounded-samples",
+       "per-request sample accumulation in a latency/sample-named "
+       "vector; metric memory must stay O(1) at streaming scale — "
+       "record into a serve::QuantileSketch, or allow() a buffer whose "
+       "bound is enforced elsewhere",
+       std::regex(
+           R"(\b[a-z_]*(latenc|sampl|ttft|tbt|e2e|delay|_ms)[a-z_]*(\s*\[[^\]]*\])?\s*\.\s*(push_back|emplace_back)\s*\()"),
+       "",
+       {"src/serve", "src/route"}},
       // Event records live in the Simulator's arena/free-list so ids
       // recycle deterministically and steady-state scheduling never
       // allocates; heap-allocating them directly bypasses both.
