@@ -755,6 +755,21 @@ void MuxWiseEngine::InjectStraggler(std::size_t domain, double slowdown) {
   mux_->device().SetSlowdown(slowdown);
 }
 
+void MuxWiseEngine::InjectZombie(std::size_t domain, bool frozen) {
+  if (domain != 0) return;
+  mux_->device().SetFrozen(frozen);
+}
+
+void MuxWiseEngine::InjectDegrade(std::size_t domain, double flops_factor,
+                                  double bandwidth_factor) {
+  if (domain != 0) return;
+  mux_->device().SetDegrade(flops_factor, bandwidth_factor);
+}
+
+std::uint64_t MuxWiseEngine::ProgressWatermark() const {
+  return static_cast<std::uint64_t>(mux_->device().kernels_completed());
+}
+
 void MuxWiseEngine::AttachTracer(obs::Tracer tracer) {
   fault::FaultAwareEngine::AttachTracer(tracer);
   mux_->AttachTracer(tracer);

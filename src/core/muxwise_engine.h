@@ -92,6 +92,12 @@ class MuxWiseEngine : public fault::FaultAwareEngine {
   void InjectCrash(std::size_t domain) override;
   void InjectRecovery(std::size_t domain) override;
   void InjectStraggler(std::size_t domain, double slowdown) override;
+  void InjectZombie(std::size_t domain, bool frozen) override;
+  void InjectDegrade(std::size_t domain, double flops_factor,
+                     double bandwidth_factor) override;
+
+  /** Device kernel completions — the zombie detector's watermark. */
+  std::uint64_t ProgressWatermark() const override;
 
   /**
    * Forwards the tracer to the multiplex substrate (gpu + partition

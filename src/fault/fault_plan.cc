@@ -3,11 +3,45 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.h"
 
 namespace muxwise::fault {
+
+namespace {
+
+/**
+ * First overlap among [from, to) windows sharing one target, or empty.
+ * Shared by every windowed fault kind: two overlapping windows on one
+ * target would interleave their begin/end edges, leaving the target in
+ * whichever state the last edge happened to set — a "valid" plan whose
+ * effect is not the one it declares.
+ */
+std::string CheckWindowOverlap(const char* kind,
+                               const std::string& target,
+                               std::vector<std::pair<sim::Time, sim::Time>>
+                                   windows) {
+  std::sort(windows.begin(), windows.end());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].first < windows[i - 1].second) {
+      return "fault plan: overlapping " + std::string(kind) +
+             " windows on " + target + " ([" +
+             std::to_string(windows[i - 1].first) + ", " +
+             std::to_string(windows[i - 1].second) + ") and [" +
+             std::to_string(windows[i].first) + ", " +
+             std::to_string(windows[i].second) + "))";
+    }
+  }
+  return "";
+}
+
+std::string InstanceLabel(std::size_t instance) {
+  return "instance " + std::to_string(instance);
+}
+
+}  // namespace
 
 FaultPlan& FaultPlan::Crash(std::size_t instance, sim::Time at,
                             sim::Time recover_at) {
@@ -26,13 +60,53 @@ FaultPlan& FaultPlan::DropTransfers(sim::Time from, sim::Time to, double p) {
   return *this;
 }
 
-void FaultPlan::Validate() const {
+FaultPlan& FaultPlan::Zombie(std::size_t instance, sim::Time from,
+                             sim::Time to) {
+  zombies.push_back({instance, from, to});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Flap(std::size_t instance, sim::Time from, sim::Time to,
+                           sim::Duration period, double duty_up) {
+  flaps.push_back({instance, false, from, to, period, duty_up});
+  return *this;
+}
+
+FaultPlan& FaultPlan::FlapLink(sim::Time from, sim::Time to,
+                               sim::Duration period, double duty_up) {
+  flaps.push_back({0, true, from, to, period, duty_up});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Degrade(std::size_t instance, sim::Time from,
+                              sim::Time to, double flops_factor,
+                              double bandwidth_factor) {
+  degrades.push_back(
+      {instance, false, from, to, flops_factor, bandwidth_factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeLink(sim::Time from, sim::Time to,
+                                  double bandwidth_factor) {
+  degrades.push_back({0, true, from, to, 1.0, bandwidth_factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(std::size_t instance, sim::Time from,
+                                sim::Time to, bool drop_to_replica,
+                                bool drop_from_replica) {
+  partitions.push_back(
+      {instance, from, to, drop_to_replica, drop_from_replica});
+  return *this;
+}
+
+std::string FaultPlan::Check() const {
   for (const CrashEvent& crash : crashes) {
-    if (crash.at < 0) sim::Fatal("fault plan: crash before t=0");
+    if (crash.at < 0) return "fault plan: crash before t=0";
     if (crash.recover_at <= crash.at) {
-      sim::Fatal("fault plan: crash at t=" + std::to_string(crash.at) +
-                 " recovers at t=" + std::to_string(crash.recover_at) +
-                 " (must be strictly later, or kTimeNever)");
+      return "fault plan: crash at t=" + std::to_string(crash.at) +
+             " recovers at t=" + std::to_string(crash.recover_at) +
+             " (must be strictly later, or kTimeNever)";
     }
   }
   // Cross-entry ordering per instance: crash windows must not overlap.
@@ -55,44 +129,172 @@ void FaultPlan::Validate() const {
       const CrashEvent& prev = *events[i - 1];
       const CrashEvent& next = *events[i];
       if (prev.recover_at == sim::kTimeNever) {
-        sim::Fatal("fault plan: instance " + std::to_string(instance) +
-                   " crashes at t=" + std::to_string(next.at) +
-                   " after never recovering from its crash at t=" +
-                   std::to_string(prev.at));
+        return "fault plan: instance " + std::to_string(instance) +
+               " crashes at t=" + std::to_string(next.at) +
+               " after never recovering from its crash at t=" +
+               std::to_string(prev.at);
       }
       if (next.at < prev.recover_at) {
-        sim::Fatal("fault plan: instance " + std::to_string(instance) +
-                   " crashes again at t=" + std::to_string(next.at) +
-                   " before recovering at t=" +
-                   std::to_string(prev.recover_at) +
-                   " (overlapping crash windows)");
+        return "fault plan: instance " + std::to_string(instance) +
+               " crashes again at t=" + std::to_string(next.at) +
+               " before recovering at t=" + std::to_string(prev.recover_at) +
+               " (overlapping crash windows)";
       }
     }
   }
   for (const StragglerWindow& window : stragglers) {
     if (window.from < 0 || window.to <= window.from) {
-      sim::Fatal("fault plan: inverted straggler window [" +
-                 std::to_string(window.from) + ", " +
-                 std::to_string(window.to) + ")");
+      return "fault plan: inverted straggler window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
     }
     if (window.slowdown < 1.0) {
-      sim::Fatal("fault plan: straggler slowdown " +
-                 std::to_string(window.slowdown) + " < 1");
+      return "fault plan: straggler slowdown " +
+             std::to_string(window.slowdown) + " < 1";
     }
   }
   for (const TransferFaultWindow& window : transfer_faults) {
     if (window.from < 0 || window.to <= window.from) {
-      sim::Fatal("fault plan: inverted transfer-fault window [" +
-                 std::to_string(window.from) + ", " +
-                 std::to_string(window.to) + ")");
+      return "fault plan: inverted transfer-fault window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
     }
     if (window.failure_probability < 0.0 ||
         window.failure_probability >= 1.0) {
-      sim::Fatal("fault plan: transfer failure probability " +
-                 std::to_string(window.failure_probability) +
-                 " outside [0, 1)");
+      return "fault plan: transfer failure probability " +
+             std::to_string(window.failure_probability) + " outside [0, 1)";
     }
   }
+
+  // --- Grey-failure kinds -------------------------------------------
+
+  std::map<std::size_t, std::vector<std::pair<sim::Time, sim::Time>>>
+      zombie_windows;
+  for (const ZombieWindow& window : zombies) {
+    if (window.from < 0 || window.to <= window.from) {
+      return "fault plan: inverted zombie window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
+    }
+    if (window.to == sim::kTimeNever) {
+      return "fault plan: zombie window on instance " +
+             std::to_string(window.instance) +
+             " never ends (a frozen device would strand its work forever)";
+    }
+    zombie_windows[window.instance].emplace_back(window.from, window.to);
+  }
+  for (auto& [instance, windows] : zombie_windows) {
+    if (std::string err = CheckWindowOverlap("zombie", InstanceLabel(instance),
+                                             std::move(windows));
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  std::map<std::pair<bool, std::size_t>,
+           std::vector<std::pair<sim::Time, sim::Time>>>
+      flap_windows;
+  for (const FlapWindow& window : flaps) {
+    if (window.from < 0 || window.to <= window.from) {
+      return "fault plan: inverted flap window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
+    }
+    if (window.to == sim::kTimeNever) {
+      return "fault plan: flap window never ends";
+    }
+    if (window.period <= 0) {
+      return "fault plan: flap period " + std::to_string(window.period) +
+             " must be > 0";
+    }
+    if (window.duty_up <= 0.0 || window.duty_up >= 1.0) {
+      return "fault plan: flap duty cycle " + std::to_string(window.duty_up) +
+             " outside (0, 1)";
+    }
+    flap_windows[{window.link, window.link ? 0 : window.instance}]
+        .emplace_back(window.from, window.to);
+  }
+  for (auto& [target, windows] : flap_windows) {
+    const std::string label =
+        target.first ? "the link" : InstanceLabel(target.second);
+    if (std::string err =
+            CheckWindowOverlap("flap", label, std::move(windows));
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  std::map<std::pair<bool, std::size_t>,
+           std::vector<std::pair<sim::Time, sim::Time>>>
+      degrade_windows;
+  for (const DegradeWindow& window : degrades) {
+    if (window.from < 0 || window.to <= window.from) {
+      return "fault plan: inverted degrade window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
+    }
+    if (window.flops_factor <= 0.0 || window.flops_factor > 1.0 ||
+        window.bandwidth_factor <= 0.0 || window.bandwidth_factor > 1.0) {
+      return "fault plan: degrade factors (" +
+             std::to_string(window.flops_factor) + ", " +
+             std::to_string(window.bandwidth_factor) + ") outside (0, 1]";
+    }
+    if (window.link && window.flops_factor != 1.0) {
+      return "fault plan: link degrade carries flops_factor " +
+             std::to_string(window.flops_factor) +
+             " (a wire has no FLOPs; must be 1)";
+    }
+    degrade_windows[{window.link, window.link ? 0 : window.instance}]
+        .emplace_back(window.from, window.to);
+  }
+  for (auto& [target, windows] : degrade_windows) {
+    const std::string label =
+        target.first ? "the link" : InstanceLabel(target.second);
+    if (std::string err =
+            CheckWindowOverlap("degrade", label, std::move(windows));
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  std::map<std::size_t, std::vector<std::pair<sim::Time, sim::Time>>>
+      partition_windows;
+  for (const PartitionWindow& window : partitions) {
+    if (window.from < 0 || window.to <= window.from) {
+      return "fault plan: inverted partition window [" +
+             std::to_string(window.from) + ", " + std::to_string(window.to) +
+             ")";
+    }
+    if (window.to == sim::kTimeNever) {
+      return "fault plan: partition window never ends";
+    }
+    if (window.drop_to_replica && window.drop_from_replica) {
+      return "fault plan: partition on instance " +
+             std::to_string(window.instance) +
+             " drops both directions (indistinguishable from a crash; "
+             "use Crash)";
+    }
+    if (!window.drop_to_replica && !window.drop_from_replica) {
+      return "fault plan: partition on instance " +
+             std::to_string(window.instance) +
+             " drops neither direction (a no-op)";
+    }
+    partition_windows[window.instance].emplace_back(window.from, window.to);
+  }
+  for (auto& [instance, windows] : partition_windows) {
+    if (std::string err = CheckWindowOverlap(
+            "partition", InstanceLabel(instance), std::move(windows));
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  return "";
+}
+
+void FaultPlan::Validate() const {
+  const std::string error = Check();
+  if (!error.empty()) sim::Fatal(error);
 }
 
 std::string FaultPlan::Describe() const {
@@ -116,6 +318,31 @@ std::string FaultPlan::Describe() const {
   for (const TransferFaultWindow& window : transfer_faults) {
     out << "  transfer loss p=" << window.failure_probability << " during ["
         << sim::FormatDuration(window.from) << ", "
+        << sim::FormatDuration(window.to) << ")\n";
+  }
+  for (const ZombieWindow& window : zombies) {
+    out << "  zombie instance " << window.instance << " during ["
+        << sim::FormatDuration(window.from) << ", "
+        << sim::FormatDuration(window.to) << ")\n";
+  }
+  for (const FlapWindow& window : flaps) {
+    out << "  flap " << (window.link ? "link" : "instance ")
+        << (window.link ? "" : std::to_string(window.instance)) << " period "
+        << sim::FormatDuration(window.period) << " duty " << window.duty_up
+        << " during [" << sim::FormatDuration(window.from) << ", "
+        << sim::FormatDuration(window.to) << ")\n";
+  }
+  for (const DegradeWindow& window : degrades) {
+    out << "  degrade " << (window.link ? "link" : "instance ")
+        << (window.link ? "" : std::to_string(window.instance)) << " flops x"
+        << window.flops_factor << " bandwidth x" << window.bandwidth_factor
+        << " during [" << sim::FormatDuration(window.from) << ", "
+        << sim::FormatDuration(window.to) << ")\n";
+  }
+  for (const PartitionWindow& window : partitions) {
+    out << "  partition instance " << window.instance << " drops "
+        << (window.drop_from_replica ? "replica->router" : "router->replica")
+        << " during [" << sim::FormatDuration(window.from) << ", "
         << sim::FormatDuration(window.to) << ")\n";
   }
   return out.str();

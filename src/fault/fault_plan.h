@@ -42,6 +42,74 @@ struct TransferFaultWindow {
 };
 
 /**
+ * Grey failure: during [from, to) the instance answers heartbeats and
+ * control traffic but its kernels stop completing (the device freezes,
+ * retaining partial progress). A zombie looks Healthy to a deadline
+ * detector — only a work-progress watermark exposes it. The window must
+ * end (`to` finite) so runs can drain.
+ */
+struct ZombieWindow {
+  std::size_t instance = 0;
+  sim::Time from = 0;
+  sim::Time to = 0;
+};
+
+/**
+ * Grey failure: during [from, to) a target flaps up/down periodically.
+ * Each period starts with a down phase of length period * (1 - duty_up)
+ * followed by an up phase; the target is forced up at `to`. With
+ * `link` true the engine's FaultableLink() flaps (down-phase transfer
+ * attempts are deterministically lost and retried); otherwise the
+ * instance's replica->router heartbeat path flaps (the FSM sees
+ * intermittent silence — the hysteresis test case).
+ */
+struct FlapWindow {
+  std::size_t instance = 0;
+  bool link = false;
+  sim::Time from = 0;
+  sim::Time to = 0;
+  sim::Duration period = 0;
+  double duty_up = 0.5;
+};
+
+/**
+ * Grey failure: during [from, to) capacity silently degrades by
+ * constant factors in (0, 1]. With `link` false the instance's device
+ * roofline shrinks — effective FLOPs scale by `flops_factor`, the HBM
+ * share by `bandwidth_factor` — while the planner's predictions stay
+ * untouched (degradation is exactly a model/reality gap). With `link`
+ * true the engine's FaultableLink() bandwidth scales by
+ * `bandwidth_factor` (flops_factor must stay 1), feeding the
+ * spill-vs-recompute costing a slower wire.
+ */
+struct DegradeWindow {
+  std::size_t instance = 0;
+  bool link = false;
+  sim::Time from = 0;
+  sim::Time to = 0;
+  double flops_factor = 1.0;
+  double bandwidth_factor = 1.0;
+};
+
+/**
+ * Grey failure: an asymmetric partition during [from, to). With
+ * `drop_from_replica` the replica->router direction is cut — heartbeats
+ * go silent while the replica keeps serving (deadline detection fires
+ * and fails over a live instance). With `drop_to_replica` the
+ * router->replica direction is cut — new dispatches cannot reach it
+ * while its heartbeats still arrive (the router must stop routing to an
+ * instance that looks alive). Exactly one direction must be set: both
+ * is indistinguishable from a crash (use Crash), neither is a no-op.
+ */
+struct PartitionWindow {
+  std::size_t instance = 0;
+  sim::Time from = 0;
+  sim::Time to = 0;
+  bool drop_to_replica = false;
+  bool drop_from_replica = false;
+};
+
+/**
  * A deterministic chaos schedule. All times are simulator times — the
  * injector schedules plan entries as ordinary events, so a plan is as
  * reproducible as the workload trace it runs against; `seed` forks the
@@ -59,9 +127,15 @@ struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<StragglerWindow> stragglers;
   std::vector<TransferFaultWindow> transfer_faults;
+  std::vector<ZombieWindow> zombies;
+  std::vector<FlapWindow> flaps;
+  std::vector<DegradeWindow> degrades;
+  std::vector<PartitionWindow> partitions;
 
   bool Empty() const {
-    return crashes.empty() && stragglers.empty() && transfer_faults.empty();
+    return crashes.empty() && stragglers.empty() && transfer_faults.empty() &&
+           zombies.empty() && flaps.empty() && degrades.empty() &&
+           partitions.empty();
   }
 
   FaultPlan& Crash(std::size_t instance, sim::Time at,
@@ -69,14 +143,31 @@ struct FaultPlan {
   FaultPlan& Straggle(std::size_t instance, sim::Time from, sim::Time to,
                       double slowdown);
   FaultPlan& DropTransfers(sim::Time from, sim::Time to, double p);
+  FaultPlan& Zombie(std::size_t instance, sim::Time from, sim::Time to);
+  FaultPlan& Flap(std::size_t instance, sim::Time from, sim::Time to,
+                  sim::Duration period, double duty_up);
+  FaultPlan& FlapLink(sim::Time from, sim::Time to, sim::Duration period,
+                      double duty_up);
+  FaultPlan& Degrade(std::size_t instance, sim::Time from, sim::Time to,
+                     double flops_factor, double bandwidth_factor);
+  FaultPlan& DegradeLink(sim::Time from, sim::Time to,
+                         double bandwidth_factor);
+  FaultPlan& Partition(std::size_t instance, sim::Time from, sim::Time to,
+                       bool drop_to_replica, bool drop_from_replica);
 
   /**
-   * Fatal on malformed entries: inverted windows, slowdown < 1, a
-   * recover time at or before its crash time, or overlapping crash
-   * windows on one instance (a second crash inside — or after a
-   * never-recovering — window would silently misorder the injected
-   * crash/recover events).
+   * Non-fatal validation: empty string when well-formed, else the first
+   * defect found (the fuzzer filters generated plans through this
+   * without dying). Rules: inverted or overlapping same-target windows,
+   * slowdown < 1, a recover time at or before its crash time, infinite
+   * zombie/flap/partition windows, flap period <= 0 or duty outside
+   * (0, 1), degrade factors outside (0, 1] (link degrades must keep
+   * flops_factor == 1), partitions with both directions dropped
+   * (indistinguishable from a crash) or neither (a no-op).
    */
+  std::string Check() const;
+
+  /** Fatal on malformed entries: sim::Fatal(Check()) when non-empty. */
   void Validate() const;
 
   /** Human-readable one-line-per-entry schedule (logs, diagnostics). */

@@ -16,15 +16,19 @@ namespace muxwise::fault {
  * Turns a FaultPlan into ordinary simulator events against one engine.
  *
  * Everything rides the simulated clock: crashes, recoveries, straggler
- * window edges and transfer-fault window edges are ScheduleAt() events,
- * and transfer losses draw from an Rng forked off the plan seed — so a
- * chaos run is exactly as deterministic as a fault-free one, and
- * VerifyDeterminism applies unchanged.
+ * window edges, transfer-fault window edges, and the grey-failure
+ * edges (zombie freeze/thaw, flap toggle trains, degrade begin/end,
+ * partition begin/heal) are ScheduleAt() events, and transfer losses
+ * draw from an Rng forked off the plan seed — so a chaos run is
+ * exactly as deterministic as a fault-free one, and VerifyDeterminism
+ * applies unchanged. (A flapped-down link loses attempts without
+ * drawing randomness, so it never perturbs the loss stream.)
  *
  * Plan instance indices map onto the engine's fault domains modulo
- * Engine::NumFaultDomains(); transfer-fault windows arm the engine's
- * FaultableLink() (and are dropped, counted in `windows_skipped`, for
- * engines with no inter-instance link).
+ * Engine::NumFaultDomains(); link-targeted windows (transfer faults,
+ * link flaps, link degrades) arm the engine's FaultableLink() (and are
+ * dropped, counted in `windows_skipped`, for engines with no
+ * inter-instance link).
  *
  * The injector must outlive the simulation and is bound to a single
  * engine per instance.
@@ -54,8 +58,17 @@ class FaultInjector {
   std::size_t transfer_edges_injected() const {
     return transfer_edges_injected_;
   }
+  std::size_t zombie_edges_injected() const { return zombie_edges_injected_; }
+  std::size_t flap_edges_injected() const { return flap_edges_injected_; }
+  std::size_t degrade_edges_injected() const {
+    return degrade_edges_injected_;
+  }
+  std::size_t partition_edges_injected() const {
+    return partition_edges_injected_;
+  }
 
-  /** Transfer-fault windows dropped because the engine has no link. */
+  /** Link-targeted windows (transfer, link flap, link degrade) dropped
+   * because the engine has no FaultableLink(). */
   std::size_t windows_skipped() const { return windows_skipped_; }
 
   /**
@@ -68,8 +81,10 @@ class FaultInjector {
   /**
    * Attaches a tracer: every injection firing emits an instant on the
    * "fault" track ("crash", "recovery", "straggler-begin/-end",
-   * "transfer-window-begin/-end", id = the target domain). Set before
-   * Arm(); injection timing is plan-driven and never changes.
+   * "transfer-window-begin/-end", "zombie-begin/-end", "flap-down/-up",
+   * "degrade-begin/-end", "partition-begin/-end", id = the target
+   * domain). Set before Arm(); injection timing is plan-driven and
+   * never changes.
    */
   void SetTracer(obs::Tracer tracer) { tracer_ = tracer; }
 
@@ -84,6 +99,10 @@ class FaultInjector {
   std::size_t recoveries_injected_ = 0;
   std::size_t straggler_edges_injected_ = 0;
   std::size_t transfer_edges_injected_ = 0;
+  std::size_t zombie_edges_injected_ = 0;
+  std::size_t flap_edges_injected_ = 0;
+  std::size_t degrade_edges_injected_ = 0;
+  std::size_t partition_edges_injected_ = 0;
   std::size_t windows_skipped_ = 0;
   obs::Tracer tracer_;
 };

@@ -304,6 +304,30 @@ void Gpu::Rerate() {
   const sim::Time now = sim_->Now();
 
   if (active_streams_.empty()) return;
+  if (frozen_) {
+    // Zombie freeze: bank each running kernel's progress under the old
+    // rate, then stop its clock — cancel the completion and zero
+    // current_total, so the thaw-time Rerate advances nothing across
+    // the frozen span and reschedules from the banked fraction.
+    for (const StreamId id : active_streams_) {
+      Stream& s = streams_[static_cast<std::size_t>(id)];
+      RunningKernel& run = *s.running;
+      if (run.current_total > 0) {
+        const double elapsed = static_cast<double>(now - run.last_update);
+        run.fraction_done = std::min(
+            1.0,
+            run.fraction_done + elapsed / static_cast<double>(run.current_total));
+        s.stats.busy_time += now - run.last_update;
+      }
+      run.last_update = now;
+      run.current_total = 0;
+      if (run.completion != sim::kInvalidEventId) {
+        sim_->Cancel(run.completion);
+        run.completion = sim::kInvalidEventId;
+      }
+    }
+    return;
+  }
   int total_granted = 0;
   for (const StreamId id : active_streams_) {
     total_granted += streams_[static_cast<std::size_t>(id)].running->granted_sms;
@@ -316,7 +340,7 @@ void Gpu::Rerate() {
           : 1.0;
 
   const double interference = InterferenceFactor();
-  double pool = spec_.hbm_bandwidth * (1.0 - interference);
+  double pool = spec_.hbm_bandwidth * degrade_bandwidth_ * (1.0 - interference);
   // Unmanaged SM oversubscription (plain streams, no green contexts)
   // interleaves thread blocks of unrelated kernels, thrashing caches:
   // effective bandwidth drops beyond the fair-share loss. Managed
@@ -345,8 +369,8 @@ void Gpu::Rerate() {
         1, static_cast<int>(std::floor(run.granted_sms * sm_scale)));
     Rated r;
     r.id = id;
-    r.compute_seconds = ComputeTimeSeconds(run.kernel, eff_sms);
-    const double cap = spec_.BandwidthCap(eff_sms);
+    r.compute_seconds = ComputeTimeSeconds(run.kernel, eff_sms) / degrade_flops_;
+    const double cap = spec_.BandwidthCap(eff_sms) * degrade_bandwidth_;
     if (run.kernel.bytes <= 0.0) {
       r.demand = 0.0;
     } else if (r.compute_seconds <= 0.0) {
@@ -404,6 +428,26 @@ void Gpu::SetSlowdown(double factor) {
   if (factor == slowdown_) return;
   slowdown_ = factor;
   Rerate();  // Running kernels stretch (or recover) immediately.
+}
+
+void Gpu::SetFrozen(bool frozen) {
+  if (frozen == frozen_) return;
+  frozen_ = frozen;
+  // Freeze banks progress and cancels completions; thaw re-rates from
+  // the banked fractions and reschedules them.
+  Rerate();
+}
+
+void Gpu::SetDegrade(double flops_factor, double bandwidth_factor) {
+  MUX_CHECK(flops_factor > 0.0 && flops_factor <= 1.0);
+  MUX_CHECK(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
+  if (flops_factor == degrade_flops_ &&
+      bandwidth_factor == degrade_bandwidth_) {
+    return;
+  }
+  degrade_flops_ = flops_factor;
+  degrade_bandwidth_ = bandwidth_factor;
+  Rerate();  // Running kernels re-rate under the degraded roofline.
 }
 
 std::size_t Gpu::AbortAll() {

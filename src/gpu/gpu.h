@@ -132,6 +132,27 @@ class Gpu {
   double slowdown() const { return slowdown_; }
 
   /**
+   * Zombie injection: freezing the device advances every running
+   * kernel's progress up to now, cancels its completion event, and
+   * stops the clock for it — launches still queue and start (the device
+   * accepts work; it just never finishes any), which is exactly what
+   * makes a zombie look busy. Thawing re-rates from the retained
+   * progress. Idempotent; predictions are unaffected.
+   */
+  void SetFrozen(bool frozen);
+  bool frozen() const { return frozen_; }
+
+  /**
+   * Silent degradation: effective FLOPs and the HBM bandwidth pool/cap
+   * scale by factors in (0, 1] for running and future kernels (applied
+   * in Rerate only — SoloDurationSeconds stays at spec, the same
+   * model/reality gap as SetSlowdown). (1.0, 1.0) restores the device.
+   */
+  void SetDegrade(double flops_factor, double bandwidth_factor);
+  double degrade_flops_factor() const { return degrade_flops_; }
+  double degrade_bandwidth_factor() const { return degrade_bandwidth_; }
+
+  /**
    * Crash injection: aborts every running and queued kernel on every
    * stream. Completion events are cancelled and their callbacks dropped
    * — exactly the dangling-callback hazard engines must guard against
@@ -269,6 +290,9 @@ class Gpu {
   std::size_t kernels_aborted_ = 0;
   std::uint64_t next_kernel_serial_ = 0;
   double slowdown_ = 1.0;  // Straggler stretch factor (>= 1).
+  bool frozen_ = false;    // Zombie: completions stalled, progress kept.
+  double degrade_flops_ = 1.0;      // Silent FLOPs derating, (0, 1].
+  double degrade_bandwidth_ = 1.0;  // Silent HBM derating, (0, 1].
 
   // Streams with a running kernel, ascending id. Rerate, interference
   // hashing and the utilization integrals walk this instead of scanning

@@ -220,6 +220,89 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+std::string DumpNumber(double number) {
+  // Integral values print without a decimal point (scenario files are
+  // written by hand with "30", not "30.0" — round-tripping should not
+  // reformat them); everything else round-trips through %.17g.
+  const auto integral = static_cast<long long>(number);
+  if (static_cast<double>(integral) == number && number > -1e15 &&
+      number < 1e15) {
+    return std::to_string(integral);
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  return buf;
+}
+
+void DumpTo(const Value& v, int indent, int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (v.type) {
+    case Value::Type::kNull:
+      out += "null";
+      return;
+    case Value::Type::kBool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case Value::Type::kNumber:
+      out += DumpNumber(v.number);
+      return;
+    case Value::Type::kString:
+      out += '"';
+      out += Escape(v.string);
+      out += '"';
+      return;
+    case Value::Type::kArray: {
+      if (v.array.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        out += pad;
+        DumpTo(v.array[i], indent, depth + 1, out);
+        if (i + 1 < v.array.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      return;
+    }
+    case Value::Type::kObject: {
+      if (v.object.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += Escape(v.object[i].first);
+        out += "\": ";
+        DumpTo(v.object[i].second, indent, depth + 1, out);
+        if (i + 1 < v.object.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Dump(const Value& v, int indent) {
+  std::string out;
+  DumpTo(v, indent, 0, out);
+  return out;
+}
+
 double GetNumber(const Value* v, double fallback) {
   return v != nullptr && v->type == Value::Type::kNumber ? v->number
                                                          : fallback;

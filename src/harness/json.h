@@ -38,6 +38,16 @@ bool Parse(const std::string& text, Value& out, std::string& error);
 /** Escapes `s` for embedding inside a JSON string literal. */
 std::string Escape(const std::string& s);
 
+/**
+ * Serializes a value back to JSON text. Deterministic: object members
+ * keep insertion order, integral numbers print without a decimal
+ * point, and non-integral numbers use shortest-round-trip-safe %.17g —
+ * so the same Value always yields byte-identical text (the property
+ * chaos repros rely on). `indent` > 0 pretty-prints with that many
+ * spaces per level; 0 emits one line.
+ */
+std::string Dump(const Value& v, int indent = 2);
+
 // Tolerant typed accessors: `v` may be nullptr or of another type, in
 // which case the fallback is returned — absent optional fields read as
 // their defaults without per-site null checks.

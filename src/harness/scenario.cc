@@ -412,7 +412,12 @@ bool ParseFleet(const json::Value& root, ScenarioSpec& spec,
   const json::Value* v = root.Find("fleet");
   if (v == nullptr) return true;
   if (!RequireObject(v, "fleet", ctx)) return false;
-  if (!CheckKeys(*v, "fleet", {"enabled", "replicas", "failover", "migration"},
+  if (!CheckKeys(*v, "fleet",
+                 {"enabled", "replicas", "failover", "migration",
+                  "heartbeat_ms", "suspect_after_misses", "down_after_misses",
+                  "recovery_probation_beats", "suspect_exit_beats",
+                  "zombie_detection", "zombie_after_beats",
+                  "zombie_down_beats", "partition_detection"},
                  ctx)) {
     return false;
   }
@@ -430,6 +435,61 @@ bool ParseFleet(const json::Value& root, ScenarioSpec& spec,
       json::GetBool(v->Find("failover"), spec.config.fleet.failover);
   spec.config.fleet.migration =
       json::GetBool(v->Find("migration"), spec.config.fleet.migration);
+
+  route::HealthPolicy& health = spec.config.fleet.health;
+  double heartbeat_ms = sim::ToMilliseconds(health.heartbeat_interval);
+  std::int64_t suspect = health.suspect_after_misses;
+  std::int64_t down = health.down_after_misses;
+  std::int64_t probation = health.recovery_probation_beats;
+  std::int64_t exit_beats = health.suspect_exit_beats;
+  std::int64_t zombie_after = health.zombie_after_beats;
+  std::int64_t zombie_down = health.zombie_down_beats;
+  if (!GetDouble(*v, "fleet", "heartbeat_ms", false, heartbeat_ms,
+                 &heartbeat_ms, ctx) ||
+      !GetInteger(*v, "fleet", "suspect_after_misses", false, suspect,
+                  &suspect, ctx) ||
+      !GetInteger(*v, "fleet", "down_after_misses", false, down, &down,
+                  ctx) ||
+      !GetInteger(*v, "fleet", "recovery_probation_beats", false, probation,
+                  &probation, ctx) ||
+      !GetInteger(*v, "fleet", "suspect_exit_beats", false, exit_beats,
+                  &exit_beats, ctx) ||
+      !GetInteger(*v, "fleet", "zombie_after_beats", false, zombie_after,
+                  &zombie_after, ctx) ||
+      !GetInteger(*v, "fleet", "zombie_down_beats", false, zombie_down,
+                  &zombie_down, ctx)) {
+    return false;
+  }
+  if (heartbeat_ms <= 0.0) return ctx.Fail("fleet.heartbeat_ms", "must be > 0");
+  if (suspect < 1) return ctx.Fail("fleet.suspect_after_misses", "must be >= 1");
+  if (down < suspect) {
+    return ctx.Fail("fleet.down_after_misses",
+                    "must be >= suspect_after_misses");
+  }
+  if (probation < 0) {
+    return ctx.Fail("fleet.recovery_probation_beats", "must be >= 0");
+  }
+  if (exit_beats < 1) {
+    return ctx.Fail("fleet.suspect_exit_beats", "must be >= 1");
+  }
+  if (zombie_after < 1) {
+    return ctx.Fail("fleet.zombie_after_beats", "must be >= 1");
+  }
+  if (zombie_down < zombie_after) {
+    return ctx.Fail("fleet.zombie_down_beats",
+                    "must be >= zombie_after_beats");
+  }
+  health.heartbeat_interval = sim::Milliseconds(heartbeat_ms);
+  health.suspect_after_misses = static_cast<int>(suspect);
+  health.down_after_misses = static_cast<int>(down);
+  health.recovery_probation_beats = static_cast<int>(probation);
+  health.suspect_exit_beats = static_cast<int>(exit_beats);
+  health.zombie_after_beats = static_cast<int>(zombie_after);
+  health.zombie_down_beats = static_cast<int>(zombie_down);
+  health.zombie_detection =
+      json::GetBool(v->Find("zombie_detection"), health.zombie_detection);
+  health.partition_detection =
+      json::GetBool(v->Find("partition_detection"), health.partition_detection);
   return true;
 }
 
@@ -439,7 +499,9 @@ bool ParseFaults(const json::Value& root, ScenarioSpec& spec,
   if (v == nullptr) return true;
   if (!RequireObject(v, "faults", ctx)) return false;
   if (!CheckKeys(*v, "faults",
-                 {"seed", "crashes", "stragglers", "transfer_drops"}, ctx)) {
+                 {"seed", "crashes", "stragglers", "transfer_drops", "zombies",
+                  "flaps", "degrades", "partitions"},
+                 ctx)) {
     return false;
   }
   fault::FaultPlan plan;
@@ -546,9 +608,162 @@ bool ParseFaults(const json::Value& root, ScenarioSpec& spec,
     }
   }
 
+  if (const json::Value* zombies = v->Find("zombies"); zombies != nullptr) {
+    if (!zombies->IsArray()) {
+      return ctx.Fail("faults.zombies", "expected an array");
+    }
+    for (std::size_t i = 0; i < zombies->array.size(); ++i) {
+      const std::string path = "faults.zombies[" + std::to_string(i) + "]";
+      const json::Value& entry = zombies->array[i];
+      if (!RequireObject(&entry, path, ctx)) return false;
+      if (!CheckKeys(entry, path, {"instance", "from_seconds", "to_seconds"},
+                     ctx)) {
+        return false;
+      }
+      std::int64_t inst = 0;
+      double from = 0.0, to = 0.0;
+      if (!GetInteger(entry, path, "instance", false, 0, &inst, ctx) ||
+          !GetDouble(entry, path, "from_seconds", true, 0.0, &from, ctx) ||
+          !GetDouble(entry, path, "to_seconds", true, 0.0, &to, ctx)) {
+        return false;
+      }
+      if (inst < 0 || from < 0.0 || to <= from) {
+        return ctx.Fail(path, "requires instance >= 0 and 0 <= from < to");
+      }
+      plan.Zombie(static_cast<std::size_t>(inst), sim::Seconds(from),
+                  sim::Seconds(to));
+    }
+  }
+
+  if (const json::Value* flaps = v->Find("flaps"); flaps != nullptr) {
+    if (!flaps->IsArray()) {
+      return ctx.Fail("faults.flaps", "expected an array");
+    }
+    for (std::size_t i = 0; i < flaps->array.size(); ++i) {
+      const std::string path = "faults.flaps[" + std::to_string(i) + "]";
+      const json::Value& entry = flaps->array[i];
+      if (!RequireObject(&entry, path, ctx)) return false;
+      if (!CheckKeys(entry, path,
+                     {"instance", "link", "from_seconds", "to_seconds",
+                      "period_seconds", "duty_up"},
+                     ctx)) {
+        return false;
+      }
+      std::int64_t inst = 0;
+      double from = 0.0, to = 0.0, period = 0.0, duty_up = 0.5;
+      if (!GetInteger(entry, path, "instance", false, 0, &inst, ctx) ||
+          !GetDouble(entry, path, "from_seconds", true, 0.0, &from, ctx) ||
+          !GetDouble(entry, path, "to_seconds", true, 0.0, &to, ctx) ||
+          !GetDouble(entry, path, "period_seconds", true, 0.0, &period,
+                     ctx) ||
+          !GetDouble(entry, path, "duty_up", false, 0.5, &duty_up, ctx)) {
+        return false;
+      }
+      const bool link = json::GetBool(entry.Find("link"), false);
+      if (inst < 0 || from < 0.0 || to <= from || period <= 0.0 ||
+          duty_up <= 0.0 || duty_up >= 1.0) {
+        return ctx.Fail(path,
+                        "requires 0 <= from < to, period > 0, and duty_up "
+                        "in (0, 1)");
+      }
+      if (link) {
+        plan.FlapLink(sim::Seconds(from), sim::Seconds(to),
+                      sim::Seconds(period), duty_up);
+      } else {
+        plan.Flap(static_cast<std::size_t>(inst), sim::Seconds(from),
+                  sim::Seconds(to), sim::Seconds(period), duty_up);
+      }
+    }
+  }
+
+  if (const json::Value* degrades = v->Find("degrades"); degrades != nullptr) {
+    if (!degrades->IsArray()) {
+      return ctx.Fail("faults.degrades", "expected an array");
+    }
+    for (std::size_t i = 0; i < degrades->array.size(); ++i) {
+      const std::string path = "faults.degrades[" + std::to_string(i) + "]";
+      const json::Value& entry = degrades->array[i];
+      if (!RequireObject(&entry, path, ctx)) return false;
+      if (!CheckKeys(entry, path,
+                     {"instance", "link", "from_seconds", "to_seconds",
+                      "flops_factor", "bandwidth_factor"},
+                     ctx)) {
+        return false;
+      }
+      std::int64_t inst = 0;
+      double from = 0.0, to = 0.0, ff = 1.0, bf = 1.0;
+      if (!GetInteger(entry, path, "instance", false, 0, &inst, ctx) ||
+          !GetDouble(entry, path, "from_seconds", true, 0.0, &from, ctx) ||
+          !GetDouble(entry, path, "to_seconds", true, 0.0, &to, ctx) ||
+          !GetDouble(entry, path, "flops_factor", false, 1.0, &ff, ctx) ||
+          !GetDouble(entry, path, "bandwidth_factor", false, 1.0, &bf, ctx)) {
+        return false;
+      }
+      const bool link = json::GetBool(entry.Find("link"), false);
+      if (inst < 0 || from < 0.0 || to <= from || ff <= 0.0 || ff > 1.0 ||
+          bf <= 0.0 || bf > 1.0) {
+        return ctx.Fail(path,
+                        "requires 0 <= from < to and factors in (0, 1]");
+      }
+      if (link) {
+        if (ff != 1.0) {
+          return ctx.Fail(path,
+                          "a link degrade cannot carry a flops_factor");
+        }
+        plan.DegradeLink(sim::Seconds(from), sim::Seconds(to), bf);
+      } else {
+        plan.Degrade(static_cast<std::size_t>(inst), sim::Seconds(from),
+                     sim::Seconds(to), ff, bf);
+      }
+    }
+  }
+
+  if (const json::Value* partitions = v->Find("partitions");
+      partitions != nullptr) {
+    if (!partitions->IsArray()) {
+      return ctx.Fail("faults.partitions", "expected an array");
+    }
+    for (std::size_t i = 0; i < partitions->array.size(); ++i) {
+      const std::string path = "faults.partitions[" + std::to_string(i) + "]";
+      const json::Value& entry = partitions->array[i];
+      if (!RequireObject(&entry, path, ctx)) return false;
+      if (!CheckKeys(entry, path,
+                     {"instance", "from_seconds", "to_seconds",
+                      "drop_to_replica", "drop_from_replica"},
+                     ctx)) {
+        return false;
+      }
+      std::int64_t inst = 0;
+      double from = 0.0, to = 0.0;
+      if (!GetInteger(entry, path, "instance", false, 0, &inst, ctx) ||
+          !GetDouble(entry, path, "from_seconds", true, 0.0, &from, ctx) ||
+          !GetDouble(entry, path, "to_seconds", true, 0.0, &to, ctx)) {
+        return false;
+      }
+      const bool drop_to = json::GetBool(entry.Find("drop_to_replica"), false);
+      const bool drop_from =
+          json::GetBool(entry.Find("drop_from_replica"), false);
+      if (inst < 0 || from < 0.0 || to <= from) {
+        return ctx.Fail(path, "requires instance >= 0 and 0 <= from < to");
+      }
+      if (drop_to && drop_from) {
+        return ctx.Fail(path,
+                        "dropping both directions is a crash, not a "
+                        "partition; use faults.crashes");
+      }
+      if (!drop_to && !drop_from) {
+        return ctx.Fail(path, "must drop at least one direction");
+      }
+      plan.Partition(static_cast<std::size_t>(inst), sim::Seconds(from),
+                     sim::Seconds(to), drop_to, drop_from);
+    }
+  }
+
   if (plan.Empty()) {
     return ctx.Fail("faults", "declared but contains no fault entries");
   }
+  const std::string plan_error = plan.Check();
+  if (!plan_error.empty()) return ctx.Fail("faults", plan_error);
   spec.config.fault_plan = std::move(plan);
   return true;
 }

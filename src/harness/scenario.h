@@ -49,7 +49,13 @@ namespace muxwise::harness {
  *             "event_budget": 100000000, "token_budget": 0},
  *     "overload": {"enabled": true},
  *     "fleet": {"enabled": true, "replicas": 4, "failover": true,
- *               "migration": true},
+ *               "migration": true,
+ *               // Health policy (all optional; defaults in HealthPolicy):
+ *               "heartbeat_ms": 500, "suspect_after_misses": 1,
+ *               "down_after_misses": 2, "recovery_probation_beats": 2,
+ *               "suspect_exit_beats": 1, "zombie_detection": true,
+ *               "zombie_after_beats": 2, "zombie_down_beats": 4,
+ *               "partition_detection": true},
  *     "faults": {
  *       "seed": 257,
  *       "crashes": [{"instance": 1, "at_seconds": 30,
@@ -57,7 +63,23 @@ namespace muxwise::harness {
  *       "stragglers": [{"instance": 0, "from_seconds": 10,
  *                       "to_seconds": 20, "slowdown": 2.0}],
  *       "transfer_drops": [{"from_seconds": 0, "to_seconds": 120,
- *                           "probability": 0.01}]
+ *                           "probability": 0.01}],
+ *       // Grey failures: heartbeats answer, work stalls ("zombies"),
+ *       // links wink in and out ("flaps", link: true targets the
+ *       // fleet host link), capacity silently shrinks ("degrades"),
+ *       // and one direction of router<->replica traffic drops
+ *       // ("partitions" — both directions would be a crash).
+ *       "zombies": [{"instance": 0, "from_seconds": 10,
+ *                    "to_seconds": 20}],
+ *       "flaps": [{"instance": 0, "link": false, "from_seconds": 10,
+ *                  "to_seconds": 20, "period_seconds": 2,
+ *                  "duty_up": 0.5}],
+ *       "degrades": [{"instance": 0, "link": false, "from_seconds": 10,
+ *                     "to_seconds": 20, "flops_factor": 0.5,
+ *                     "bandwidth_factor": 0.5}],
+ *       "partitions": [{"instance": 0, "from_seconds": 10,
+ *                       "to_seconds": 20, "drop_to_replica": false,
+ *                       "drop_from_replica": true}]
  *     },
  *     "recovery": {"enabled": true}
  *   }

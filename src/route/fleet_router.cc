@@ -67,6 +67,10 @@ FleetRouter::~FleetRouter() = default;
 bool FleetRouter::Routable(std::size_t r) const {
   const Replica& replica = replicas_[r];
   if (replica.parked || replica.draining) return false;
+  // Asymmetric partition, router->replica direction cut: the replica
+  // looks alive (its heartbeats arrive) but new dispatches cannot
+  // reach it. Unroutable without being failed over.
+  if (health_.unreachable(r)) return false;
   // The FSM state is the router's knowledge: a crashed replica stays
   // routable until heartbeat misses declare it Down, so the detection
   // window's misrouted arrivals queue there and ride the failover.
@@ -131,6 +135,10 @@ void FleetRouter::Dispatch(std::unique_ptr<serve::Request> request,
   // re-enters through the completion callback, after the accounting
   // above, so the books stay balanced.
   replica.engine->Enqueue(std::move(request));
+  // A grey fleet watches progress while work is in flight: this
+  // dispatch may be the first work a zombie can stall, so the watermark
+  // sampler must be ticking.
+  if (grey_active_) EnsureHeartbeat();
 }
 
 void FleetRouter::Enqueue(std::unique_ptr<serve::Request> request) {
@@ -189,6 +197,12 @@ bool FleetRouter::HeartbeatNeeded() const {
     if (replicas_[r].parked) continue;
     if (replicas_[r].draining) return true;
     if (!health_.Stable(r)) return true;
+    // Grey runs: a zombie only betrays itself through a frozen
+    // watermark, so keep sampling any replica with work in flight.
+    if (grey_active_ && options_.health.zombie_detection &&
+        replicas_[r].engine->InFlight() > 0) {
+      return true;
+    }
   }
   return options_.autoscale && in_flight_ > 0;
 }
@@ -205,6 +219,23 @@ void FleetRouter::OnHeartbeat() {
   const sim::Time now = fault_sim_->Now();
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     if (replicas_[r].parked) continue;
+    // Zombie detection first: sample the replica's work-progress
+    // watermark, then let the deadline FSM take its ordinary beat.
+    if (grey_active_ && options_.health.zombie_detection) {
+      const HealthTracker::Transition verdict = health_.ObserveProgress(
+          r, replicas_[r].engine->ProgressWatermark(),
+          replicas_[r].engine->InFlight(), now);
+      if (verdict.changed) {
+        ++stats_.health_transitions;
+        tracer_.Instant("route", HealthName(verdict.to),
+                        static_cast<std::int64_t>(r),
+                        static_cast<double>(verdict.from));
+        if (verdict.to == ReplicaHealth::kDown) {
+          ++stats_.zombie_downs;
+          DeclareDown(r, now);
+        }
+      }
+    }
     const HealthTracker::Transition transition = health_.Beat(r, now);
     if (!transition.changed) continue;
     ++stats_.health_transitions;
@@ -220,8 +251,12 @@ void FleetRouter::OnHeartbeat() {
 
 void FleetRouter::DeclareDown(std::size_t r, sim::Time now) {
   ++stats_.failovers;
-  failover_latency_.Add(
-      sim::ToMilliseconds(now - health_.crash_signal_at(r)));
+  // Every detection path timestamps its outage (crash signal, partition
+  // silence onset, zombie stall onset); the guard is belt-and-braces.
+  if (health_.crash_signal_at(r) != sim::kTimeNever) {
+    failover_latency_.Add(
+        sim::ToMilliseconds(now - health_.crash_signal_at(r)));
+  }
   // The dead replica's cache is gone: evict its affinity entries and
   // session homes so nothing re-pins to cold state after it rejoins.
   affinity_.EvictReplica(r);
@@ -278,7 +313,12 @@ void FleetRouter::Rehome(std::unique_ptr<serve::Request> request) {
     bytes = kv_bytes_per_token_ * static_cast<double>(durable);
     const double recompute_seconds = sim::ToSeconds(estimator_.PredictPrefill(
         {llm::SeqWork{durable, 0}}, deployment_.gpu.sm_count));
-    migrate = costing_->SpillCheaper(bytes, recompute_seconds);
+    // A silently degraded link stretches the effective wire time; feed
+    // the costing the equivalent byte count so migration loses exactly
+    // when the degraded wire is slower than recomputing (scale 1.0 is
+    // exact, so fault-free decisions are bit-identical).
+    const double wire_bytes = bytes / link_->bandwidth_scale();
+    migrate = costing_->SpillCheaper(wire_bytes, recompute_seconds);
   }
 
   const sim::Duration delay =
@@ -446,6 +486,39 @@ void FleetRouter::InjectStraggler(std::size_t domain, double slowdown) {
     ++stats_.health_transitions;
     tracer_.Instant("route", HealthName(health_.state(domain)),
                     static_cast<std::int64_t>(domain), slowdown);
+  }
+  EnsureHeartbeat();
+}
+
+void FleetRouter::InjectZombie(std::size_t domain, bool frozen) {
+  if (domain >= replicas_.size()) return;
+  // Freeze the replica's device: heartbeats keep answering (the engine
+  // is alive), kernel completions stall. Only the watermark tells.
+  replicas_[domain].engine->InjectZombie(0, frozen);
+  grey_active_ = true;
+  EnsureHeartbeat();
+}
+
+void FleetRouter::InjectDegrade(std::size_t domain, double flops_factor,
+                                double bandwidth_factor) {
+  if (domain >= replicas_.size()) return;
+  // Silent capacity loss: no health signal fires — the replica is
+  // merely slower, and only observable symptoms (straggling latency,
+  // missed deadlines) may eventually surface it.
+  replicas_[domain].engine->InjectDegrade(0, flops_factor, bandwidth_factor);
+}
+
+void FleetRouter::InjectPartition(std::size_t domain, bool drop_to,
+                                  bool drop_from) {
+  if (domain >= replicas_.size()) return;
+  grey_active_ = true;
+  const HealthTracker::Transition t = health_.OnPartitionSignal(
+      domain, drop_to, drop_from, fault_sim_->Now());
+  if (t.changed) {
+    ++stats_.health_transitions;
+    tracer_.Instant("route", HealthName(t.to),
+                    static_cast<std::int64_t>(domain),
+                    static_cast<double>(t.from));
   }
   EnsureHeartbeat();
 }

@@ -106,6 +106,8 @@ struct FleetStats {
   std::size_t fleet_shed = 0;
 
   std::size_t failovers = 0;
+  /** Zombie verdicts that reached Down (watermark-stall failovers). */
+  std::size_t zombie_downs = 0;
   std::size_t health_transitions = 0;
   std::size_t mode_transitions = 0;
   std::size_t scale_ups = 0;
@@ -149,6 +151,11 @@ class FleetRouter : public fault::FaultAwareEngine {
   void InjectCrash(std::size_t domain) override;
   void InjectRecovery(std::size_t domain) override;
   void InjectStraggler(std::size_t domain, double slowdown) override;
+  void InjectZombie(std::size_t domain, bool frozen) override;
+  void InjectDegrade(std::size_t domain, double flops_factor,
+                     double bandwidth_factor) override;
+  void InjectPartition(std::size_t domain, bool drop_to,
+                       bool drop_from) override;
   sim::Channel* FaultableLink() override { return link_.get(); }
 
   /**
@@ -172,6 +179,9 @@ class FleetRouter : public fault::FaultAwareEngine {
   core::MuxWiseEngine& replica(std::size_t r) { return *replicas_[r].engine; }
   ReplicaHealth replica_health(std::size_t r) const {
     return health_.state(r);
+  }
+  SuspectReason replica_suspect_reason(std::size_t r) const {
+    return health_.reason(r);
   }
   bool replica_parked(std::size_t r) const { return replicas_[r].parked; }
   bool replica_draining(std::size_t r) const { return replicas_[r].draining; }
@@ -232,6 +242,14 @@ class FleetRouter : public fault::FaultAwareEngine {
   std::vector<RehomeEntry> rehoming_;
   std::size_t in_flight_ = 0;
   bool heartbeat_scheduled_ = false;
+
+  /**
+   * Latched by the first grey injection (zombie/partition). While set,
+   * heartbeats also tick whenever work is in flight, so the zombie
+   * watermark is sampled; non-grey runs never set it, keeping their
+   * heartbeat dormancy — and event streams — bit-identical.
+   */
+  bool grey_active_ = false;
   overload::Mode mode_ = overload::Mode::kNormal;
   int low_util_beats_ = 0;
 

@@ -18,11 +18,30 @@ const char* HealthName(ReplicaHealth state) {
   return "unknown";
 }
 
+const char* SuspectReasonName(SuspectReason reason) {
+  switch (reason) {
+    case SuspectReason::kNone:
+      return "none";
+    case SuspectReason::kSlow:
+      return "slow";
+    case SuspectReason::kLying:
+      return "lying";
+    case SuspectReason::kUnreachable:
+      return "unreachable";
+    case SuspectReason::kMisses:
+      return "misses";
+  }
+  return "unknown";
+}
+
 HealthTracker::HealthTracker(const HealthPolicy& policy, std::size_t replicas)
     : policy_(policy), states_(replicas) {
   MUX_CHECK(policy_.suspect_after_misses >= 1);
   MUX_CHECK(policy_.down_after_misses >= policy_.suspect_after_misses);
   MUX_CHECK(policy_.recovery_probation_beats >= 0);
+  MUX_CHECK(policy_.suspect_exit_beats >= 1);
+  MUX_CHECK(policy_.zombie_after_beats >= 1);
+  MUX_CHECK(policy_.zombie_down_beats >= policy_.zombie_after_beats);
 }
 
 HealthTracker::Transition HealthTracker::To(State& s, ReplicaHealth next) {
@@ -31,6 +50,10 @@ HealthTracker::Transition HealthTracker::To(State& s, ReplicaHealth next) {
   t.to = next;
   t.changed = next != s.state;
   s.state = next;
+  if (next == ReplicaHealth::kHealthy) s.reason = SuspectReason::kNone;
+  if (next == ReplicaHealth::kHealthy || next == ReplicaHealth::kSuspect) {
+    s.good_beats = 0;
+  }
   return t;
 }
 
@@ -57,6 +80,7 @@ bool HealthTracker::OnStragglerSignal(std::size_t r, double slowdown) {
   const bool was = s.straggling;
   s.straggling = slowdown > 1.0;
   if (s.straggling && s.state == ReplicaHealth::kHealthy) {
+    s.reason = SuspectReason::kSlow;
     To(s, ReplicaHealth::kSuspect);
     return true;
   }
@@ -68,14 +92,94 @@ bool HealthTracker::OnStragglerSignal(std::size_t r, double slowdown) {
   return false;
 }
 
+HealthTracker::Transition HealthTracker::OnPartitionSignal(std::size_t r,
+                                                           bool drop_to,
+                                                           bool drop_from,
+                                                           sim::Time now) {
+  MUX_CHECK(r < states_.size());
+  if (!policy_.partition_detection) return Transition{};
+  State& s = states_[r];
+  if (!drop_to && !drop_from) {
+    // Heal. The replica never stopped being alive; clear the partition
+    // flags and the outage timestamp so a later real outage measures
+    // its own latency. Beats walk any Down/Suspect state back.
+    s.silenced = false;
+    s.unreachable = false;
+    if (s.alive) s.crash_signal_at = sim::kTimeNever;
+    return Transition{};
+  }
+  if (drop_from) {
+    // Silence onset is this outage's timestamp: misses now accumulate
+    // toward Down exactly as for a crash, though the replica is alive.
+    s.silenced = true;
+    if (s.crash_signal_at == sim::kTimeNever) s.crash_signal_at = now;
+  }
+  if (drop_to) {
+    s.unreachable = true;
+    if (s.state == ReplicaHealth::kHealthy) {
+      s.reason = SuspectReason::kUnreachable;
+      return To(s, ReplicaHealth::kSuspect);
+    }
+  }
+  return Transition{};
+}
+
+HealthTracker::Transition HealthTracker::ObserveProgress(std::size_t r,
+                                                         std::uint64_t
+                                                             watermark,
+                                                         std::size_t in_flight,
+                                                         sim::Time now) {
+  MUX_CHECK(r < states_.size());
+  if (!policy_.zombie_detection) return Transition{};
+  State& s = states_[r];
+  if (in_flight == 0 || !s.watermark_seen || watermark != s.last_watermark) {
+    // Progress, or nothing to progress (an idle replica is
+    // indistinguishable from a healthy one — no work is being lost):
+    // reset the stall clock and lift any zombie verdict. Beat()'s
+    // ordinary edges walk a previously-held Down back up from here.
+    s.last_watermark = watermark;
+    s.watermark_seen = true;
+    s.stall_beats = 0;
+    if (s.reason == SuspectReason::kLying) {
+      s.reason = s.state == ReplicaHealth::kSuspect ? SuspectReason::kMisses
+                                                    : SuspectReason::kNone;
+      if (s.alive && !s.silenced) s.crash_signal_at = sim::kTimeNever;
+    }
+    return Transition{};
+  }
+  // The watermark is frozen with work in flight: the replica answers
+  // heartbeats but lies about doing work.
+  ++s.stall_beats;
+  if (s.stall_beats == 1 && s.crash_signal_at == sim::kTimeNever) {
+    s.crash_signal_at = now;  // Stall onset: the outage being measured.
+  }
+  if (s.stall_beats >= policy_.zombie_down_beats &&
+      s.state != ReplicaHealth::kDown) {
+    s.reason = SuspectReason::kLying;
+    return To(s, ReplicaHealth::kDown);
+  }
+  if (s.stall_beats >= policy_.zombie_after_beats &&
+      s.state == ReplicaHealth::kHealthy) {
+    s.reason = SuspectReason::kLying;
+    return To(s, ReplicaHealth::kSuspect);
+  }
+  return Transition{};
+}
+
 HealthTracker::Transition HealthTracker::Beat(std::size_t r, sim::Time now) {
   MUX_CHECK(r < states_.size());
   (void)now;  // Transitions are beat-counted; `now` kept for symmetry.
   State& s = states_[r];
-  if (s.alive) {
+  // A silenced replica is alive but its heartbeats do not arrive: the
+  // router observes a missed beat (the whole point of the asymmetric
+  // partition — deadline detection fires against a live instance).
+  if (s.alive && !s.silenced) {
     s.misses = 0;
     switch (s.state) {
       case ReplicaHealth::kDown:
+        // A lying replica's good heartbeats are the lie: hold it Down
+        // until ObserveProgress sees its watermark move again.
+        if (s.reason == SuspectReason::kLying) return Transition{};
         s.probation = 0;
         return To(s, ReplicaHealth::kRecovering);
       case ReplicaHealth::kRecovering:
@@ -84,16 +188,32 @@ HealthTracker::Transition HealthTracker::Beat(std::size_t r, sim::Time now) {
         }
         return Transition{};
       case ReplicaHealth::kSuspect:
-        // A suspect that answers and is not straggling was a transient
-        // miss (e.g. crash signal raced a recovery): clear it.
-        if (!s.straggling) return To(s, ReplicaHealth::kHealthy);
+        // Pinned suspects: an uncleared straggler window, an uncleared
+        // zombie verdict, or an unhealed router->replica partition.
+        if (s.straggling || s.unreachable ||
+            s.reason == SuspectReason::kLying) {
+          return Transition{};
+        }
+        // A suspect that answers was a transient miss (e.g. crash
+        // signal raced a recovery, or a flap's up phase): clear it
+        // after suspect_exit_beats consecutive good beats.
+        if (++s.good_beats >= policy_.suspect_exit_beats) {
+          return To(s, ReplicaHealth::kHealthy);
+        }
         return Transition{};
       case ReplicaHealth::kHealthy:
+        if (s.unreachable) {
+          // Entered unreachable while not Healthy (e.g. mid-recovery);
+          // converge to the pinned Suspect the signal edge produces.
+          s.reason = SuspectReason::kUnreachable;
+          return To(s, ReplicaHealth::kSuspect);
+        }
         return Transition{};
     }
     return Transition{};
   }
   // Missed beat.
+  s.good_beats = 0;
   if (s.state == ReplicaHealth::kDown) return Transition{};
   ++s.misses;
   if (s.misses >= policy_.down_after_misses) {
@@ -101,6 +221,7 @@ HealthTracker::Transition HealthTracker::Beat(std::size_t r, sim::Time now) {
   }
   if (s.misses >= policy_.suspect_after_misses &&
       s.state != ReplicaHealth::kSuspect) {
+    s.reason = SuspectReason::kMisses;
     return To(s, ReplicaHealth::kSuspect);
   }
   return Transition{};
@@ -109,13 +230,18 @@ HealthTracker::Transition HealthTracker::Beat(std::size_t r, sim::Time now) {
 bool HealthTracker::Stable(std::size_t r) const {
   MUX_CHECK(r < states_.size());
   const State& s = states_[r];
-  if (s.alive) {
+  if (s.alive && !s.silenced) {
+    // A lying replica is never a fixed point: beats keep sampling its
+    // watermark — toward Down while it stalls, back up once it moves.
+    if (s.reason == SuspectReason::kLying) return false;
+    // An unreachable replica pins at Suspect until the partition heals.
+    if (s.unreachable) return s.state == ReplicaHealth::kSuspect;
     // Fixed points while alive: Healthy, or Suspect pinned by an
     // uncleared straggler window. Recovering/Down still progress.
     return s.state == ReplicaHealth::kHealthy ||
            (s.state == ReplicaHealth::kSuspect && s.straggling);
   }
-  // Dead replicas converge to Down and stay there.
+  // Dead (or silenced) replicas converge to Down and stay there.
   return s.state == ReplicaHealth::kDown;
 }
 

@@ -23,6 +23,17 @@ namespace muxwise::route {
  * Suspect is also entered directly on a straggler signal (the replica
  * answers, slowly); it returns to Healthy when the slowdown clears.
  * Down is the edge that triggers failover — it fires once per outage.
+ *
+ * Grey failures widen the Suspect entry set beyond "slow": a replica
+ * can be *lying* (answering heartbeats while its work-progress
+ * watermark is frozen — a zombie, detected by ObserveProgress) or
+ * *unreachable* (an asymmetric partition cut the router->replica
+ * direction while its heartbeats still arrive). A zombie that stays
+ * stalled is declared Down and *held* there — its good heartbeats are
+ * the lie, so they must not walk it back to Recovering until the
+ * watermark moves again. Suspect exit takes `suspect_exit_beats`
+ * consecutive good beats (hysteresis), so a flapping replica dwells in
+ * Suspect instead of thrashing Healthy <-> Suspect.
  */
 enum class ReplicaHealth : std::uint8_t {
   kHealthy = 0,
@@ -32,6 +43,17 @@ enum class ReplicaHealth : std::uint8_t {
 };
 
 const char* HealthName(ReplicaHealth state);
+
+/** Why a replica is (or last was) Suspect — slow, lying, unreachable. */
+enum class SuspectReason : std::uint8_t {
+  kNone = 0,
+  kSlow = 1,         // Straggler signal: answers, slowly.
+  kLying = 2,        // Zombie: answers, watermark frozen with work queued.
+  kUnreachable = 3,  // Partition: we cannot reach it, it can reach us.
+  kMisses = 4,       // Deadline path: missed heartbeats.
+};
+
+const char* SuspectReasonName(SuspectReason reason);
 
 struct HealthPolicy {
   /** Heartbeat cadence; every transition happens on a beat. */
@@ -45,14 +67,35 @@ struct HealthPolicy {
 
   /** Good beats a Recovering replica serves before Healthy again. */
   int recovery_probation_beats = 2;
+
+  /**
+   * Consecutive good beats before Suspect clears back to Healthy (flap
+   * hysteresis). 1 reproduces the pre-grey FSM exactly: the first good
+   * beat clears a non-pinned Suspect.
+   */
+  int suspect_exit_beats = 1;
+
+  /** Zombie detection via work-progress watermarks (ObserveProgress). */
+  bool zombie_detection = true;
+
+  /** Stalled-watermark beats (work in flight) before Suspect (lying). */
+  int zombie_after_beats = 2;
+
+  /** Stalled-watermark beats before Down — the zombie failover edge. */
+  int zombie_down_beats = 4;
+
+  /** React to asymmetric-partition signals (off = the blind twin). */
+  bool partition_detection = true;
 };
 
 /**
  * Per-replica health state machine. Pure state over sim time: the
  * router owns the heartbeat events and calls Beat() per replica per
- * tick; crash/recovery/straggler signals from fault::FaultInjector
- * arrive between beats and only change what the next beat observes.
- * Everything is deterministic — no wall clock, no randomness.
+ * tick; crash/recovery/straggler/partition signals from
+ * fault::FaultInjector arrive between beats and only change what the
+ * next beat observes, and the zombie watermark is sampled by the router
+ * each beat through ObserveProgress(). Everything is deterministic —
+ * no wall clock, no randomness.
  */
 class HealthTracker {
  public:
@@ -62,8 +105,15 @@ class HealthTracker {
   ReplicaHealth state(std::size_t r) const { return states_[r].state; }
   bool alive(std::size_t r) const { return states_[r].alive; }
   bool straggling(std::size_t r) const { return states_[r].straggling; }
+  SuspectReason reason(std::size_t r) const { return states_[r].reason; }
 
-  /** Time of the crash signal behind the current outage (latency). */
+  /** Partition flags (set only while partition_detection is on). */
+  bool silenced(std::size_t r) const { return states_[r].silenced; }
+  bool unreachable(std::size_t r) const { return states_[r].unreachable; }
+
+  /** Time of the outage signal behind the current detection (latency
+   * accounting): crash signal, partition silence onset, or the first
+   * stalled-watermark beat of a zombie. */
   sim::Time crash_signal_at(std::size_t r) const {
     return states_[r].crash_signal_at;
   }
@@ -87,6 +137,33 @@ class HealthTracker {
     ReplicaHealth to = ReplicaHealth::kHealthy;
   };
 
+  /**
+   * Asymmetric-partition signal. drop_from silences the replica->router
+   * direction: the replica is alive but its heartbeats stop arriving,
+   * so misses accumulate toward Down exactly as for a crash (silence
+   * onset timestamps the outage for failover latency). drop_to cuts
+   * router->replica delivery: heartbeats still arrive, so the replica
+   * is marked unreachable and pinned Suspect — alive, not routable,
+   * never failed over. (false, false) heals both directions. Ignored
+   * entirely when partition_detection is off (the blind twin).
+   */
+  Transition OnPartitionSignal(std::size_t r, bool drop_to, bool drop_from,
+                               sim::Time now);
+
+  /**
+   * Work-progress watermark sample for one beat. A watermark frozen
+   * across `zombie_after_beats` beats while `in_flight` work is queued
+   * marks the replica Suspect (lying); across `zombie_down_beats` it is
+   * declared Down and held — good heartbeats cannot walk a lying
+   * replica back to Recovering until the watermark moves again (the
+   * fence a real fleet applies to a zombie). A watermark that advances,
+   * or an idle replica (nothing to progress — indistinguishable from
+   * healthy), resets the stall clock and lifts the verdict. No-op when
+   * zombie_detection is off (the blind twin). Call before Beat().
+   */
+  Transition ObserveProgress(std::size_t r, std::uint64_t watermark,
+                             std::size_t in_flight, sim::Time now);
+
   /** One heartbeat evaluation of replica `r`. */
   Transition Beat(std::size_t r, sim::Time now);
 
@@ -102,8 +179,15 @@ class HealthTracker {
     ReplicaHealth state = ReplicaHealth::kHealthy;
     bool alive = true;
     bool straggling = false;
+    bool silenced = false;     // Partition: replica->router dropped.
+    bool unreachable = false;  // Partition: router->replica dropped.
     int misses = 0;
     int probation = 0;
+    int good_beats = 0;   // Consecutive good beats while Suspect.
+    int stall_beats = 0;  // Consecutive frozen-watermark beats.
+    bool watermark_seen = false;
+    std::uint64_t last_watermark = 0;
+    SuspectReason reason = SuspectReason::kNone;
     sim::Time crash_signal_at = sim::kTimeNever;
   };
 

@@ -1,6 +1,7 @@
 #ifndef MUXWISE_SERVE_ENGINE_H_
 #define MUXWISE_SERVE_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -66,6 +67,51 @@ class Engine {
     (void)domain;
     (void)slowdown;
   }
+
+  // --- Grey-failure surface (defaults: fault-oblivious no-ops) ---
+
+  /**
+   * Zombie: `domain` keeps answering heartbeats/control but its kernel
+   * completions stall (frozen=true freezes the device, retaining
+   * partial progress; frozen=false thaws it).
+   */
+  virtual void InjectZombie(std::size_t domain, bool frozen) {
+    (void)domain;
+    (void)frozen;
+  }
+
+  /**
+   * Silent capacity degradation: `domain`'s effective FLOPs and HBM
+   * bandwidth scale by the factors in (0, 1]; (1.0, 1.0) ends the
+   * window. Planner predictions are deliberately unaffected.
+   */
+  virtual void InjectDegrade(std::size_t domain, double flops_factor,
+                             double bandwidth_factor) {
+    (void)domain;
+    (void)flops_factor;
+    (void)bandwidth_factor;
+  }
+
+  /**
+   * Asymmetric partition of `domain`: drop_to cuts router->replica
+   * delivery, drop_from cuts replica->router heartbeats. (false, false)
+   * heals. Meaningful only for routed engines; single-instance engines
+   * have no control plane to partition and ignore it.
+   */
+  virtual void InjectPartition(std::size_t domain, bool drop_to,
+                               bool drop_from) {
+    (void)domain;
+    (void)drop_to;
+    (void)drop_from;
+  }
+
+  /**
+   * Monotone work-progress watermark (e.g. kernels completed). A
+   * health tracker distinguishes a zombie from a busy instance by
+   * watching this advance while work is in flight. 0 for engines
+   * without one (zombie detection then cannot see them).
+   */
+  virtual std::uint64_t ProgressWatermark() const { return 0; }
 
   /**
    * The channel transfer faults apply to; nullptr when the engine has

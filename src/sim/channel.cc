@@ -38,6 +38,11 @@ void Channel::SetFailureProbability(double p) {
   fault_model_.failure_probability = p;
 }
 
+void Channel::SetBandwidthScale(double scale) {
+  MUX_CHECK(scale > 0.0 && scale <= 1.0);
+  bandwidth_scale_ = scale;
+}
+
 void Channel::Transfer(double bytes, std::function<void()> done,
                        std::function<void()> failed) {
   MUX_CHECK(bytes >= 0.0);
@@ -48,17 +53,20 @@ void Channel::Transfer(double bytes, std::function<void()> done,
 void Channel::StartAttempt(double bytes, int attempt,
                            std::function<void()> done,
                            std::function<void()> failed) {
-  const Duration wire_time =
-      latency_ + static_cast<Duration>(bytes / bandwidth_ * 1e9);
+  const Duration wire_time = latency_ + static_cast<Duration>(
+      bytes / (bandwidth_ * bandwidth_scale_) * 1e9);
   // Clamp: a link that has been idle since free_at_ passed must not make
   // the next transfer inherit that stale serialization point.
   free_at_ = std::max(free_at_, sim_->Now()) + wire_time;
   // Draw per-attempt loss up front (deterministic given the seeded
   // stream); an unarmed or zero-probability link consumes no randomness
   // and takes the exact same single-event path as before faults existed.
-  const bool lost = fault_rng_.has_value() &&
-                    fault_model_.failure_probability > 0.0 &&
-                    fault_rng_->Bernoulli(fault_model_.failure_probability);
+  // A flapped-down link loses the attempt without drawing, so the armed
+  // stream's draw sequence is identical with and without the flap.
+  const bool lost = !link_up_ ||
+                    (fault_rng_.has_value() &&
+                     fault_model_.failure_probability > 0.0 &&
+                     fault_rng_->Bernoulli(fault_model_.failure_probability));
   if (!lost) {
     auto finish = [this, bytes, done = std::move(done)] {
       bytes_transferred_ += bytes;

@@ -107,6 +107,24 @@ class Channel {
   void SetFailureProbability(double p);
 
   /**
+   * Link flap: while down, every transfer attempt is deterministically
+   * lost (no randomness drawn, so an armed fault stream is unperturbed)
+   * after occupying the wire — retries back off as usual and a transfer
+   * whose attempts all land inside the down phase permanently fails.
+   * Works on unarmed channels; up (the default) is digest-neutral.
+   */
+  void SetLinkUp(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
+  /**
+   * Silent degradation: wire time uses bandwidth * scale, scale in
+   * (0, 1]. 1.0 (the default) is bit-neutral — multiplying a double by
+   * 1.0 is exact.
+   */
+  void SetBandwidthScale(double scale);
+  double bandwidth_scale() const { return bandwidth_scale_; }
+
+  /**
    * Enqueues a clocked transfer; `done` fires when the bytes have
    * landed. If the armed fault model exhausts its attempts, `failed`
    * (when provided) fires instead — the permanent-failure path.
@@ -192,6 +210,8 @@ class Channel {
   Simulator* sim_;
   std::string name_;
   double bandwidth_ = 0.0;  // 0 marks a control-only channel.
+  double bandwidth_scale_ = 1.0;  // Degrade factor, (0, 1].
+  bool link_up_ = true;           // Flap state; down loses every attempt.
   Duration latency_ = 0;
   Time free_at_ = 0;
   double bytes_transferred_ = 0.0;

@@ -94,6 +94,120 @@ TEST(FaultPlanTest, ValidateAcceptsSequentialCrashWindowsPerInstance) {
   plan.Validate();  // Must not abort.
 }
 
+// ------------------------------------------------- grey-failure plans
+
+TEST(FaultPlanTest, GreyKindsBuildValidateAndDescribe) {
+  // One well-formed entry per grey kind (and both link-targeted
+  // flavours); a clean Validate() is the positive fixture the death
+  // tests below are the negatives of.
+  FaultPlan plan;
+  plan.Zombie(1, sim::Seconds(5), sim::Seconds(10))
+      .Flap(2, sim::Seconds(12), sim::Seconds(20), sim::Seconds(2), 0.5)
+      .FlapLink(sim::Seconds(1), sim::Seconds(3), sim::Milliseconds(500), 0.6)
+      .Degrade(0, sim::Seconds(4), sim::Seconds(9), 0.5, 0.7)
+      .DegradeLink(sim::Seconds(10), sim::Seconds(15), 0.5)
+      .Partition(1, sim::Seconds(21), sim::Seconds(25), /*drop_to=*/true,
+                 /*drop_from=*/false)
+      .Partition(2, sim::Seconds(21), sim::Seconds(25), /*drop_to=*/false,
+                 /*drop_from=*/true);
+  EXPECT_FALSE(plan.Empty());
+  plan.Validate();  // Must not abort.
+  const std::string text = plan.Describe();
+  EXPECT_NE(text.find("zombie instance 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("flap link"), std::string::npos) << text;
+  EXPECT_NE(text.find("degrade instance 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("router->replica"), std::string::npos) << text;
+  EXPECT_NE(text.find("replica->router"), std::string::npos) << text;
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsInvertedZombieWindow) {
+  FaultPlan plan;
+  plan.Zombie(0, sim::Seconds(10), sim::Seconds(5));
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "inverted zombie window");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsNeverEndingZombieWindow) {
+  // A frozen device that never thaws strands its in-flight work, so the
+  // run could never drain; the plan must say when the zombie ends.
+  FaultPlan plan;
+  plan.Zombie(2, sim::Seconds(10), sim::kTimeNever);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "zombie window on instance 2 never ends");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsOverlappingZombieWindows) {
+  FaultPlan plan;
+  plan.Zombie(0, sim::Seconds(5), sim::Seconds(15))
+      .Zombie(0, sim::Seconds(10), sim::Seconds(20));
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "overlapping zombie windows on instance 0");
+}
+
+TEST(FaultPlanTest, ZombieWindowsOnDistinctInstancesMayOverlap) {
+  FaultPlan plan;
+  plan.Zombie(0, sim::Seconds(5), sim::Seconds(15))
+      .Zombie(1, sim::Seconds(10), sim::Seconds(20));
+  plan.Validate();  // Overlap is only a defect per target.
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsNonPositiveFlapPeriod) {
+  FaultPlan plan;
+  plan.Flap(0, sim::Seconds(5), sim::Seconds(10), sim::Seconds(0), 0.5);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "flap period");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsFlapDutyCycleAtTheBoundary) {
+  // duty_up == 1 would be a no-op flap, duty_up == 0 a plain outage;
+  // both are misuses of the kind, rejected rather than silently odd.
+  FaultPlan plan;
+  plan.Flap(0, sim::Seconds(5), sim::Seconds(10), sim::Seconds(1), 1.0);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "flap duty cycle");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsDegradeFactorOutsideUnitInterval) {
+  FaultPlan plan;
+  plan.Degrade(0, sim::Seconds(5), sim::Seconds(10), 1.5, 0.5);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "degrade factors");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsZeroDegradeFactor) {
+  // Factor 0 is an outage, not a degradation (and divides by zero in
+  // the wire-time model); the kind's domain is (0, 1].
+  FaultPlan plan;
+  plan.Degrade(0, sim::Seconds(5), sim::Seconds(10), 1.0, 0.0);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "degrade factors");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsLinkDegradeWithFlopsFactor) {
+  FaultPlan plan;
+  plan.degrades.push_back({0, /*link=*/true, sim::Seconds(5),
+                           sim::Seconds(10), /*flops_factor=*/0.5,
+                           /*bandwidth_factor=*/0.5});
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "link degrade carries flops_factor");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsPartitionDroppingBothDirections) {
+  FaultPlan plan;
+  plan.Partition(1, sim::Seconds(5), sim::Seconds(10), /*drop_to=*/true,
+                 /*drop_from=*/true);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "drops both directions");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsPartitionDroppingNeitherDirection) {
+  FaultPlan plan;
+  plan.Partition(1, sim::Seconds(5), sim::Seconds(10), /*drop_to=*/false,
+                 /*drop_from=*/false);
+  EXPECT_EXIT(plan.Validate(), ::testing::ExitedWithCode(1),
+              "drops neither direction");
+}
+
 // ------------------------------------------------------------- deadlines
 
 TEST(RecoveryPolicyTest, DisabledPolicyNeverExpires) {
@@ -244,6 +358,48 @@ TEST(FaultInjectorTest, DeliversPlanAndCountsSkippedWindows) {
   EXPECT_EQ(injector.straggler_edges_injected(), 2u);
   EXPECT_EQ(injector.transfer_edges_injected(), 0u);
   EXPECT_EQ(injector.windows_skipped(), 1u);  // Chunked has no link.
+
+  check::InvariantRegistry registry;
+  injector.RegisterAudits(registry);
+  EXPECT_TRUE(registry.RunAll().empty());
+}
+
+TEST(FaultInjectorTest, DeliversGreyEdgesAndSkipsLinklessLinkWindows) {
+  sim::Simulator simulator;
+  const serve::Deployment d = Llama70bA100();
+  baselines::ChunkedPrefillEngine::Options options;
+  options.token_budget = 256;
+  options.recovery.enabled = true;
+  baselines::ChunkedPrefillEngine engine(&simulator, d, options);
+
+  FaultPlan plan;
+  plan.Zombie(0, sim::Seconds(2), sim::Seconds(3))
+      .Degrade(0, sim::Seconds(1), sim::Seconds(2), 0.8, 0.9)
+      .Flap(0, sim::Seconds(4), sim::Seconds(5), sim::Milliseconds(500), 0.5)
+      .Partition(0, sim::Seconds(6), sim::Seconds(7), /*drop_to=*/false,
+                 /*drop_from=*/true)
+      .FlapLink(sim::Seconds(1), sim::Seconds(2), sim::Milliseconds(500), 0.5)
+      .DegradeLink(sim::Seconds(3), sim::Seconds(4), 0.5);
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  FaultInjector injector(&simulator, plan, policy);
+  injector.Arm(engine);
+
+  const workload::Trace trace =
+      workload::GenerateTrace(workload::Dataset::kShareGpt, 30, 2.0, 51);
+  const auto result = testutil::RunTrace(simulator, engine, trace);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(engine.InFlight(), 0u);
+
+  EXPECT_EQ(injector.zombie_edges_injected(), 2u);   // Freeze + thaw.
+  EXPECT_EQ(injector.degrade_edges_injected(), 2u);  // Begin + restore.
+  // The 1 s instance flap at period 500 ms toggles twice: down/up pairs
+  // at t=4.0 and t=4.5.
+  EXPECT_EQ(injector.flap_edges_injected(), 4u);
+  EXPECT_EQ(injector.partition_edges_injected(), 2u);  // Cut + heal.
+  // Chunked has no inter-instance link: the link flap and link degrade
+  // windows are dropped and counted, not silently half-armed.
+  EXPECT_EQ(injector.windows_skipped(), 2u);
 
   check::InvariantRegistry registry;
   injector.RegisterAudits(registry);

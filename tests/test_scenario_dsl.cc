@@ -182,5 +182,158 @@ TEST(ScenarioDslTest, RejectsMalformedJsonWithSourceLabel) {
       << parsed.error;
 }
 
+// ---------------------------------------------------------------------------
+// Grey-failure surface: fleet health knobs and fault arrays are parsed
+// strictly — every rejection names the qualified path, so a typo in a
+// chaos repro fails loudly instead of silently running a softer plan.
+// ---------------------------------------------------------------------------
+
+std::string WithFleet(const std::string& fleet_body) {
+  return R"({"name": "x",
+             "trace": {"mix": [{"dataset": "sharegpt", "requests": 1,
+                                "rate_per_second": 1.0}]},
+             "fleet": {"enabled": true, )" +
+         fleet_body + "}}";
+}
+
+std::string WithFaults(const std::string& faults_body) {
+  return R"({"name": "x",
+             "trace": {"mix": [{"dataset": "sharegpt", "requests": 1,
+                                "rate_per_second": 1.0}]},
+             "faults": {)" +
+         faults_body + "}}";
+}
+
+void ExpectRejects(const std::string& text, const std::string& path_needle,
+                   const std::string& reason_needle) {
+  const ScenarioParseResult parsed = ParseScenarioJson(text, "inline");
+  EXPECT_FALSE(parsed.ok()) << "parsed despite: " << reason_needle;
+  EXPECT_NE(parsed.error.find(path_needle), std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find(reason_needle), std::string::npos)
+      << parsed.error;
+}
+
+TEST(ScenarioDslTest, RejectsNonPositiveHeartbeat) {
+  ExpectRejects(WithFleet(R"("heartbeat_ms": 0)"), "fleet.heartbeat_ms",
+                "must be > 0");
+}
+
+TEST(ScenarioDslTest, RejectsDownThresholdBelowSuspect) {
+  ExpectRejects(
+      WithFleet(R"("suspect_after_misses": 3, "down_after_misses": 2)"),
+      "fleet.down_after_misses", "must be >= suspect_after_misses");
+}
+
+TEST(ScenarioDslTest, RejectsZeroSuspectExitBeats) {
+  ExpectRejects(WithFleet(R"("suspect_exit_beats": 0)"),
+                "fleet.suspect_exit_beats", "must be >= 1");
+}
+
+TEST(ScenarioDslTest, RejectsZombieDownBelowZombieAfter) {
+  ExpectRejects(
+      WithFleet(R"("zombie_after_beats": 4, "zombie_down_beats": 2)"),
+      "fleet.zombie_down_beats", "must be >= zombie_after_beats");
+}
+
+TEST(ScenarioDslTest, RejectsUnknownFleetHealthKey) {
+  ExpectRejects(WithFleet(R"("heartbeta_ms": 250)"), "fleet",
+                "heartbeta_ms");
+}
+
+TEST(ScenarioDslTest, RejectsEmptyZombieWindow) {
+  ExpectRejects(
+      WithFaults(
+          R"("zombies": [{"instance": 0, "from_seconds": 5, "to_seconds": 5}])"),
+      "faults.zombies[0]", "from < to");
+}
+
+TEST(ScenarioDslTest, RejectsFlapWithUnitDutyCycle) {
+  // duty_up == 1.0 never goes down (a no-op masquerading as a fault).
+  ExpectRejects(
+      WithFaults(
+          R"("flaps": [{"instance": 0, "from_seconds": 1, "to_seconds": 5,
+                        "period_seconds": 1.0, "duty_up": 1.0}])"),
+      "faults.flaps[0]", "duty_up");
+}
+
+TEST(ScenarioDslTest, RejectsFlapWithZeroPeriod) {
+  ExpectRejects(
+      WithFaults(
+          R"("flaps": [{"instance": 0, "from_seconds": 1, "to_seconds": 5,
+                        "period_seconds": 0.0, "duty_up": 0.5}])"),
+      "faults.flaps[0]", "period > 0");
+}
+
+TEST(ScenarioDslTest, RejectsDegradeFactorAboveOne) {
+  ExpectRejects(
+      WithFaults(
+          R"("degrades": [{"instance": 0, "from_seconds": 1,
+                           "to_seconds": 5, "flops_factor": 1.5}])"),
+      "faults.degrades[0]", "factors in (0, 1]");
+}
+
+TEST(ScenarioDslTest, RejectsLinkDegradeWithFlopsFactor) {
+  // A link has no FLOPs; only its bandwidth can degrade.
+  ExpectRejects(
+      WithFaults(
+          R"("degrades": [{"link": true, "from_seconds": 1,
+                           "to_seconds": 5, "flops_factor": 0.5,
+                           "bandwidth_factor": 0.5}])"),
+      "faults.degrades[0]", "link degrade cannot carry a flops_factor");
+}
+
+TEST(ScenarioDslTest, RejectsPartitionDroppingBothDirections) {
+  ExpectRejects(
+      WithFaults(
+          R"("partitions": [{"instance": 0, "from_seconds": 1,
+                             "to_seconds": 5, "drop_to_replica": true,
+                             "drop_from_replica": true}])"),
+      "faults.partitions[0]", "dropping both directions is a crash");
+}
+
+TEST(ScenarioDslTest, RejectsPartitionDroppingNeitherDirection) {
+  ExpectRejects(
+      WithFaults(
+          R"("partitions": [{"instance": 0, "from_seconds": 1,
+                             "to_seconds": 5}])"),
+      "faults.partitions[0]", "must drop at least one direction");
+}
+
+TEST(ScenarioDslTest, RejectsUnknownFaultEntryKey) {
+  ExpectRejects(
+      WithFaults(
+          R"("zombies": [{"instance": 0, "from_seconds": 1,
+                          "til_seconds": 5}])"),
+      "faults.zombies[0]", "til_seconds");
+}
+
+TEST(ScenarioDslTest, AcceptsAFullGreyFaultBlock) {
+  const ScenarioParseResult parsed = ParseScenarioJson(
+      WithFaults(
+          R"("seed": 7,
+             "zombies": [{"instance": 1, "from_seconds": 2,
+                          "to_seconds": 4}],
+             "flaps": [{"link": true, "from_seconds": 1, "to_seconds": 3,
+                        "period_seconds": 0.5, "duty_up": 0.5}],
+             "degrades": [{"instance": 0, "from_seconds": 5,
+                           "to_seconds": 6, "flops_factor": 0.8,
+                           "bandwidth_factor": 0.9}],
+             "partitions": [{"instance": 2, "from_seconds": 7,
+                             "to_seconds": 8, "drop_from_replica": true}])"),
+      "inline");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_TRUE(parsed.spec->config.fault_plan.has_value());
+  const fault::FaultPlan& plan = *parsed.spec->config.fault_plan;
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.zombies.size(), 1u);
+  ASSERT_EQ(plan.flaps.size(), 1u);
+  EXPECT_TRUE(plan.flaps[0].link);
+  ASSERT_EQ(plan.degrades.size(), 1u);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_TRUE(plan.partitions[0].drop_from_replica);
+  EXPECT_EQ(plan.Check(), "");
+}
+
 }  // namespace
 }  // namespace muxwise::harness

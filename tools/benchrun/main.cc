@@ -8,9 +8,14 @@
 //
 // Usage:
 //   benchrun [--smoke|--full] [--repeat=N] [--filter=substr]
-//            [--bench-dir=DIR] [--out=FILE] [--list]
+//            [--bench-dir=DIR] [--scenarios=DIR] [--out=FILE] [--list]
 //   benchrun --diff BASE.json CANDIDATE.json
 //            [--threshold=0.10] [--no-wall] [--allow-missing]
+//
+// --scenarios=DIR sweeps every scenario DSL file in DIR as a
+// "scenario.<name>" bench row (digest = the run's outcome digest), so
+// checked-in scenarios — including the chaos ones — ride the same
+// gated digest/wall pipeline as the simcore rows.
 
 #include <chrono>
 #include <cstdio>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "benchrun/report.h"
+#include "benchrun/scenarios.h"
 #include "benchrun/simcore.h"
 
 namespace {
@@ -160,6 +166,7 @@ int main(int argc, char** argv) {
   std::string suite = "smoke";
   std::string filter;
   std::string bench_dir;
+  std::string scenarios_dir;
   std::string out_path;
   bool list_only = false;
 
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
       filter = value;
     } else if (HasPrefixArg(arg, "--bench-dir=", &value)) {
       bench_dir = value;
+    } else if (HasPrefixArg(arg, "--scenarios=", &value)) {
+      scenarios_dir = value;
     } else if (HasPrefixArg(arg, "--out=", &value)) {
       out_path = value;
     } else {
@@ -223,6 +232,27 @@ int main(int argc, char** argv) {
       }
     }
     report.benches.push_back(std::move(result));
+  }
+
+  if (!scenarios_dir.empty()) {
+    for (BenchResult& result :
+         muxwise::benchrun::RunScenarioBenches(scenarios_dir, options)) {
+      if (!filter.empty() && result.name.find(filter) == std::string::npos) {
+        continue;
+      }
+      std::printf("[bench] %-38s ... %9.2f ms  %10llu events  %016llx%s\n",
+                  result.name.c_str(), result.wall_ms_median,
+                  static_cast<unsigned long long>(result.sim_events),
+                  static_cast<unsigned long long>(result.digest),
+                  result.ok ? "" : "  FAILED");
+      if (!result.ok) {
+        all_ok = false;
+        if (!result.note.empty()) {
+          std::fprintf(stderr, "  %s\n", result.note.c_str());
+        }
+      }
+      report.benches.push_back(std::move(result));
+    }
   }
 
   if (!bench_dir.empty()) {

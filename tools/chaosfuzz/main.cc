@@ -1,0 +1,115 @@
+// chaosfuzz: deterministic property-based chaos campaigns over the
+// scenario DSL.
+//
+//   chaosfuzz --campaign=scenarios/foo.json [--runs=N] [--seed=S]
+//             [--out-dir=DIR] [--max-faults=K] [--horizon-seconds=H]
+//             [--instances=I] [--no-shrink]
+//       Runs N seeded random FaultPlans (all seven fault kinds)
+//       against the scenario and checks each against the robustness
+//       properties (stable drain, terminal-ledger balance, double-run
+//       digest equality, invariant audits). Failing plans are shrunk
+//       to a minimal repro and written to DIR as self-contained
+//       scenario files. Exit 0 iff every run passed.
+//
+//   chaosfuzz --replay FILE...
+//       Replays repro/corpus scenario files through the same property
+//       checker. Corpus entries are minimized repros of *fixed* bugs,
+//       so replay must pass; exit 0 iff every file passed.
+//
+// Everything is seed-determined: the same seed yields the same plans,
+// the same verdicts, and byte-identical minimized repros.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaosfuzz/fuzz.h"
+
+namespace muxwise {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string campaign_scenario;
+  std::vector<std::string> replay_files;
+  bool replay = false;
+  chaosfuzz::CampaignOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--campaign=", 0) == 0) {
+      campaign_scenario = value_of("--campaign=");
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      options.runs =
+          static_cast<std::size_t>(std::atoll(value_of("--runs=").c_str()));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed =
+          static_cast<std::uint64_t>(std::atoll(value_of("--seed=").c_str()));
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      options.out_dir = value_of("--out-dir=");
+    } else if (arg.rfind("--max-faults=", 0) == 0) {
+      options.shape.max_faults = static_cast<std::size_t>(
+          std::atoll(value_of("--max-faults=").c_str()));
+    } else if (arg.rfind("--horizon-seconds=", 0) == 0) {
+      options.shape.horizon_seconds =
+          std::atof(value_of("--horizon-seconds=").c_str());
+    } else if (arg.rfind("--instances=", 0) == 0) {
+      options.shape.instances = static_cast<std::size_t>(
+          std::atoll(value_of("--instances=").c_str()));
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "chaosfuzz: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      replay_files.push_back(arg);
+    }
+  }
+
+  if (replay) {
+    if (replay_files.empty()) {
+      std::fprintf(stderr, "chaosfuzz: --replay needs scenario files\n");
+      return 2;
+    }
+    bool all_ok = true;
+    for (const std::string& path : replay_files) {
+      const chaosfuzz::Verdict v = chaosfuzz::ReplayFile(path);
+      const bool ok = v.result == chaosfuzz::Verdict::Result::kPass;
+      all_ok = all_ok && ok;
+      std::printf("%s %s%s%s\n", ok ? "ok  " : "FAIL", path.c_str(),
+                  v.detail.empty() ? "" : ": ", v.detail.c_str());
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  if (campaign_scenario.empty()) {
+    std::fprintf(stderr,
+                 "chaosfuzz: need --campaign=SCENARIO or --replay FILE...\n");
+    return 2;
+  }
+  if (options.runs < 1 || options.shape.max_faults < 1 ||
+      options.shape.instances < 1 || options.shape.horizon_seconds <= 2.0) {
+    std::fprintf(stderr, "chaosfuzz: invalid campaign bounds\n");
+    return 2;
+  }
+  const chaosfuzz::CampaignResult result =
+      chaosfuzz::RunCampaign(campaign_scenario, options, stdout);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "chaosfuzz: %s\n", result.error.c_str());
+    return 2;
+  }
+  std::printf("%zu/%zu runs passed\n", result.runs - result.failures.size(),
+              result.runs);
+  return result.failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace muxwise
+
+int main(int argc, char** argv) { return muxwise::Main(argc, argv); }
